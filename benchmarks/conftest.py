@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Heavy inputs (scenario replays, wild-scan populations) are built once per
+session so the benchmark loop times only the piece under measurement.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.study.scenarios import SCENARIO_BUILDERS
+from repro.workload.generator import WildScanConfig, WildScanner
+
+
+@pytest.fixture(scope="session")
+def bzx1_outcome():
+    return SCENARIO_BUILDERS["bzx1"]()
+
+
+@pytest.fixture(scope="session")
+def harvest_outcome():
+    return SCENARIO_BUILDERS["harvest"]()
+
+
+@pytest.fixture(scope="session")
+def balancer_outcome():
+    return SCENARIO_BUILDERS["balancer"]()
+
+
+@pytest.fixture(scope="session")
+def wild_result_small():
+    """A small, seeded wild scan shared by the table5/6/7/fig8 benches."""
+    return WildScanner(WildScanConfig(scale=0.01, seed=7)).run()
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return random.Random(1234)

@@ -1,0 +1,42 @@
+"""Perf benchmark (paper Sec. VI-A): per-transaction detection latency.
+
+The paper reports a mean of 10 ms and a 75th percentile of 16 ms per
+flash loan transaction on the authors' Go implementation; these benches
+measure the same end-to-end ``LeiShen.analyze`` path.
+"""
+
+from __future__ import annotations
+
+
+def test_bench_detect_bzx1(benchmark, bzx1_outcome):
+    detector = bzx1_outcome.world.detector()
+    detector.analyze(bzx1_outcome.trace)  # warm tag caches
+    report = benchmark(detector.analyze, bzx1_outcome.trace)
+    assert report is not None and report.is_attack
+
+
+def test_bench_detect_harvest(benchmark, harvest_outcome):
+    detector = harvest_outcome.world.detector()
+    detector.analyze(harvest_outcome.trace)
+    report = benchmark(detector.analyze, harvest_outcome.trace)
+    assert report is not None and report.is_attack
+
+
+def test_bench_detect_balancer_cold_tagger(benchmark, balancer_outcome):
+    """Cold path: rebuild the tagger each round (first-tx latency)."""
+
+    def run():
+        detector = balancer_outcome.world.detector()
+        return detector.analyze(balancer_outcome.trace)
+
+    report = benchmark(run)
+    assert report is not None and report.is_attack
+
+
+def test_bench_meets_paper_latency_budget(benchmark, bzx1_outcome):
+    """Mean analysis latency must stay within the paper's 10 ms budget."""
+    detector = bzx1_outcome.world.detector()
+    detector.analyze(bzx1_outcome.trace)
+    benchmark(detector.analyze, bzx1_outcome.trace)
+    assert benchmark.stats["mean"] < 10e-3, "mean latency exceeds the paper's 10ms"
+    assert benchmark.stats["max"] < 16e-3 or benchmark.stats["mean"] < 16e-3

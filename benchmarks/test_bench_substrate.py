@@ -1,0 +1,71 @@
+"""Substrate micro-benchmarks: the building blocks under the detector."""
+
+from __future__ import annotations
+
+from repro.chain import Chain, ETH
+from repro.leishen.simplify import TransferSimplifier
+from repro.leishen.tagging import AccountTagger
+from repro.leishen.trades import TradeIdentifier
+from repro.tokens import TokenRegistry
+from repro.world import DeFiWorld
+
+
+def test_bench_erc20_transfer(benchmark):
+    chain = Chain()
+    registry = TokenRegistry()
+    deployer = chain.create_eoa("d")
+    token = registry.deploy(chain, deployer, "TKN")
+    alice = chain.create_eoa("alice")
+    bob = chain.create_eoa("bob")
+    token.mint(alice, 10**30)
+
+    def run():
+        chain.transact(alice, token.address, "transfer", bob, 1)
+
+    benchmark(run)
+
+
+def test_bench_amm_swap(benchmark):
+    world = DeFiWorld()
+    token = world.new_token("TKN")
+    pair = world.dex_pair(token, world.weth, 10**9 * token.unit, 10**6 * ETH)
+    trader = world.create_attacker("trader")
+    token.mint(trader, 10**28)
+    world.approve(trader, token, world.dex_router().address)
+    router = world.dex_router()
+
+    def run():
+        chain = world.chain
+        chain.transact(
+            trader, router.address, "swapExactTokensForTokens",
+            10**18, 0, (pair.address,), token.address,
+        )
+
+    benchmark(run)
+
+
+def test_bench_tagging(benchmark, bzx1_outcome):
+    """Account tagging over one attack's transfer set (cold cache)."""
+    world = bzx1_outcome.world
+    transfers = bzx1_outcome.trace.transfers
+
+    def run():
+        tagger = AccountTagger(world.chain)
+        return tagger.tag_transfers(transfers)
+
+    tagged = benchmark(run)
+    assert len(tagged) == len(transfers)
+
+
+def test_bench_simplify_and_trades(benchmark, bzx1_outcome):
+    world = bzx1_outcome.world
+    tagger = AccountTagger(world.chain)
+    tagged = tagger.tag_transfers(bzx1_outcome.trace.transfers)
+    simplifier = TransferSimplifier(world.simplifier_config())
+    identifier = TradeIdentifier()
+
+    def run():
+        return identifier.identify(simplifier.simplify(tagged))
+
+    trades = benchmark(run)
+    assert len(trades) == 3  # the bZx-1 SBS triple

@@ -1,0 +1,87 @@
+"""Benchmarks regenerating each paper table/figure.
+
+Each bench times the regeneration of one experiment and asserts the
+result keeps the paper's shape (who wins, what precision band).
+"""
+
+from __future__ import annotations
+
+from repro.baselines import DeFiRanger, ExplorerLeiShen
+from repro.experiments import fig1, table1
+from repro.study.catalog import FLP_ATTACKS
+from repro.study.scenarios import SCENARIO_BUILDERS
+from repro.workload.generator import WildScanConfig, WildScanner
+
+
+def test_bench_fig1_series(benchmark):
+    points = benchmark(fig1.run)
+    totals = {p: sum(pt.counts[p] for pt in points) for p in points[0].counts}
+    assert totals == {"Uniswap": 208_342, "dYdX": 41_741, "AAVE": 22_959}
+
+
+def test_bench_table1_single_scenario(benchmark):
+    """Table I cost per attack: replay + measure one scenario (Harvest)."""
+    from repro.study.analysis import analyze_scenario
+
+    def run():
+        outcome = SCENARIO_BUILDERS["harvest"]()
+        return analyze_scenario(outcome)
+
+    row = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert 0.1 < row.max_volatility_pct < 5.0  # paper: 0.5%
+
+
+def test_bench_table4_three_detectors(benchmark, bzx1_outcome):
+    """Table IV cost per attack: three detectors on one replay."""
+    world = bzx1_outcome.world
+    leishen = world.detector()
+    ranger = DeFiRanger(world.chain)
+    explorer = ExplorerLeiShen(world.chain)
+
+    def run():
+        return (
+            leishen.detect(bzx1_outcome.trace),
+            ranger.detect(bzx1_outcome.trace),
+            explorer.detect(bzx1_outcome.trace),
+        )
+
+    ls, dr, ex = benchmark(run)
+    assert (ls, dr, ex) == (True, False, False)
+
+
+def test_bench_table5_wild_scan(benchmark):
+    """Table V: generate + scan a 0.5% population end to end."""
+
+    def run():
+        return WildScanner(WildScanConfig(scale=0.005, seed=11)).run()
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.true_positives > 0
+    krp = result.rows["KRP"]
+    assert krp.fp == 0  # KRP precision is 100% at every scale
+
+
+def test_bench_table6_7_fig8_tabulation(benchmark, wild_result_small):
+    """Post-scan tabulation cost for Tables VI/VII and Fig 8."""
+
+    def run():
+        return (
+            wild_result_small.table6(),
+            wild_result_small.table7(),
+            wild_result_small.fig8_months(),
+        )
+
+    table6_rows, table7_stats, fig8_months = benchmark(run)
+    assert table7_stats["total_profit_usd"] > 0
+    assert len(table6_rows) >= 1
+
+
+def test_bench_all_known_scenarios_replay(benchmark):
+    """Full empirical-study replay cost (22 scenario builds)."""
+
+    def run():
+        return [SCENARIO_BUILDERS[m.key]() for m in FLP_ATTACKS]
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(outcomes) == 22
+    assert all(outcome.trace.success for outcome in outcomes)

@@ -1,0 +1,68 @@
+"""Live monitoring bot: detect flpAttacks as blocks are produced.
+
+Run::
+
+    python examples/live_monitor.py
+
+Simulates the deployment mode the paper motivates: a detector subscribed
+to new blocks, screening every flash loan transaction within its 10 ms
+budget and alerting on pattern matches. Here the "chain" is a simulated
+world where benign traffic is interleaved with two injected attacks.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.workload.attacks import ATTACK_CLUSTERS, WildAttackInjector
+from repro.workload.profiles import BENIGN_PROFILES, WildMarket
+from repro.world import DeFiWorld
+
+
+def main() -> None:
+    rng = random.Random(42)
+    world = DeFiWorld()
+    market = WildMarket(world, rng)
+    injector = WildAttackInjector(market, rng, scale=0.01)
+    detector = world.detector()
+
+    # a block stream: mostly benign traffic, two attacks hidden inside
+    attack_clusters = [c for c in ATTACK_CLUSTERS if c.shape in ("sbs", "mbs")][:2]
+    schedule: list = []
+    runners = [runner for _, _, runner in BENIGN_PROFILES]
+    weights = [weight for _, weight, _ in BENIGN_PROFILES]
+    for _ in range(60):
+        runner = rng.choices(runners, weights)[0]
+        schedule.append(lambda r=runner: r(market))
+    for cluster in attack_clusters:
+        schedule.insert(rng.randint(10, 50), lambda c=cluster: injector.execute(c, 0, 0, 0, None))
+
+    print("monitoring incoming flash loan transactions...\n")
+    alerts = 0
+    for height, produce in enumerate(schedule):
+        world.chain.mine()
+        labeled = produce()
+        start = time.perf_counter()
+        report = detector.analyze(labeled.trace)
+        latency_ms = (time.perf_counter() - start) * 1e3
+        if report is None:
+            continue  # not a flash loan transaction
+        if report.is_attack:
+            alerts += 1
+            patterns = ",".join(sorted(p.name for p in report.patterns))
+            print(
+                f"block {world.chain.block_number}: ALERT {patterns} "
+                f"tx={report.tx_hash[:12]} volatility={report.volatility():.2%} "
+                f"({latency_ms:.2f} ms)"
+            )
+        elif height % 20 == 0:
+            print(f"block {world.chain.block_number}: flash loan tx screened "
+                  f"({latency_ms:.2f} ms) — clean")
+
+    truth = sum(1 for c in attack_clusters for _ in range(1))
+    print(f"\n{alerts} alerts raised; {truth} attacks were injected")
+
+
+if __name__ == "__main__":
+    main()

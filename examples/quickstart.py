@@ -1,0 +1,57 @@
+"""Quickstart: build a DeFi world, run an attack, detect it with LeiShen.
+
+Run::
+
+    python examples/quickstart.py
+
+This builds a minimal vulnerable market (a vault priced off a Curve pool),
+executes a Harvest-style multi-round attack funded by a Uniswap flash
+swap, and walks the resulting transaction through the LeiShen pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.study.scenarios import SCENARIO_BUILDERS
+from repro.world import DeFiWorld
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. replay a canonical attack (Harvest Finance, Oct 2020)
+    # ------------------------------------------------------------------
+    outcome = SCENARIO_BUILDERS["harvest"]()
+    world: DeFiWorld = outcome.world
+    print(f"replayed '{outcome.name}' — {len(outcome.trace.transfers)} asset transfers")
+
+    # ------------------------------------------------------------------
+    # 2. run the LeiShen pipeline on the transaction
+    # ------------------------------------------------------------------
+    detector = world.detector()
+    report = detector.analyze(outcome.trace)
+    assert report is not None, "not a flash loan transaction?"
+
+    print("\nflash loans taken:")
+    for loan in report.flash_loans:
+        symbol = world.registry.symbol_of(loan.token)
+        print(f"  {loan.provider}: {loan.amount / 10**6:,.0f} {symbol}")
+
+    print("\nidentified trades (application level):")
+    for trade in report.trades:
+        sell = world.registry.symbol_of(trade.token_sell)
+        buy = world.registry.symbol_of(trade.token_buy)
+        print(
+            f"  {trade.kind.value:<18} {str(trade.buyer)[:12]:<14} with "
+            f"{str(trade.seller):<12} {sell} -> {buy}"
+        )
+
+    print("\nverdict:")
+    if report.is_attack:
+        patterns = ", ".join(sorted(p.name for p in report.patterns))
+        print(f"  flpAttack detected!  patterns: {patterns}")
+        print(f"  price volatility: {report.volatility():.2%}")
+    else:
+        print("  benign flash loan transaction")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""LeiShen reproduction: detecting flash-loan based price manipulation attacks.
+
+Reproduction of *Detecting Flash Loan Based Attacks in Ethereum*
+(Xia et al., ICDCS 2023). See README.md for the architecture overview and
+DESIGN.md for the system inventory and per-experiment index.
+
+Public API highlights
+---------------------
+- :mod:`repro.chain` — simulated Ethereum substrate (accounts, atomic
+  transactions, ordered transfer traces).
+- :mod:`repro.defi` — DeFi protocol substrate (AMMs, lending, flash loan
+  providers, vaults, aggregators).
+- :mod:`repro.leishen` — the paper's detector: transfer extraction,
+  account tagging, simplification, trade identification, KRP/SBS/MBS
+  pattern matching.
+- :mod:`repro.baselines` — DeFiRanger-, Explorer- and volatility-style
+  comparison detectors.
+- :mod:`repro.study` — the empirical study's 22 real-world flpAttack
+  scenarios.
+- :mod:`repro.workload` — wild-scan population generator.
+- :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,13 @@
+"""Comparison detectors: DeFiRanger, Explorer+LeiShen, volatility threshold."""
+
+from .defiranger import DeFiRanger, DeFiRangerReport
+from .explorer_trades import ExplorerLeiShen
+from .volatility import VolatilityDetector, VolatilityReport
+
+__all__ = [
+    "DeFiRanger",
+    "DeFiRangerReport",
+    "ExplorerLeiShen",
+    "VolatilityDetector",
+    "VolatilityReport",
+]

@@ -1,0 +1,63 @@
+"""Price-volatility threshold baseline (Xue et al., ICAIS 2022).
+
+The related work the paper contrasts with monitors the price volatility a
+transaction causes via the DEX's price-inquiry methods: a transaction
+that moves a tracked price by more than a fixed threshold (they use 99%)
+is flagged. LeiShen's empirical study shows why this misses attacks —
+several real flpAttacks (e.g. Harvest Finance at 0.5%) barely move the
+price at all.
+
+Our reimplementation computes per-pair volatility over the transaction's
+identified trades (the same metric as Table I) and flags the transaction
+when any pair exceeds the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..chain.trace import TransactionTrace
+from ..leishen.detector import LeiShen
+from ..leishen.identify import FlashLoanIdentifier
+from ..leishen.report import pair_volatilities
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..chain.chain import Chain
+
+__all__ = ["VolatilityDetector", "VolatilityReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class VolatilityReport:
+    tx_hash: str
+    max_volatility: float
+    is_attack: bool
+
+
+class VolatilityDetector:
+    """Flags flash loan transactions whose max pair volatility >= threshold."""
+
+    def __init__(self, leishen: LeiShen, threshold: float = 0.99) -> None:
+        """Reuses a LeiShen instance's transfer/trade pipeline to observe
+        prices; only the decision rule differs."""
+        self._leishen = leishen
+        self.threshold = threshold
+        self._identifier = FlashLoanIdentifier()
+
+    def analyze(self, trace: TransactionTrace) -> VolatilityReport | None:
+        if not trace.success or not self._identifier.identify(trace):
+            return None
+        report = self._leishen.analyze(trace)
+        if report is None:
+            return None
+        volatility = max(pair_volatilities(report.trades).values(), default=0.0)
+        return VolatilityReport(
+            tx_hash=trace.tx_hash,
+            max_volatility=volatility,
+            is_attack=volatility >= self.threshold,
+        )
+
+    def detect(self, trace: TransactionTrace) -> bool:
+        report = self.analyze(trace)
+        return report is not None and report.is_attack

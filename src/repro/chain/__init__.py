@@ -1,0 +1,71 @@
+"""Simulated Ethereum substrate: accounts, state, contracts, traces.
+
+This package replaces the paper's archive Geth node and replay
+instrumentation. See DESIGN.md for the substitution argument.
+"""
+
+from .chain import Block, Chain, GENESIS_TIMESTAMP, SECONDS_PER_BLOCK
+from .contract import Contract, Msg, external
+from .errors import (
+    ChainError,
+    InsufficientAllowance,
+    InsufficientBalance,
+    InsufficientLiquidity,
+    NotAContract,
+    Revert,
+    UnknownAccount,
+    UnknownFunction,
+)
+from .explorer import ChainExplorer
+from .state import StateJournal, StorageView
+from .trace import CallRecord, CreationRecord, LogRecord, TransactionTrace, TransferRecord
+from .types import (
+    Address,
+    AddressFactory,
+    BLACKHOLE,
+    ETH,
+    ETHER,
+    GWEI,
+    WEI,
+    ZERO_ADDRESS,
+    from_wei,
+    keccak_address,
+    to_wei,
+)
+
+__all__ = [
+    "Address",
+    "AddressFactory",
+    "BLACKHOLE",
+    "Block",
+    "CallRecord",
+    "Chain",
+    "ChainError",
+    "ChainExplorer",
+    "Contract",
+    "CreationRecord",
+    "ETH",
+    "ETHER",
+    "GENESIS_TIMESTAMP",
+    "GWEI",
+    "InsufficientAllowance",
+    "InsufficientBalance",
+    "InsufficientLiquidity",
+    "LogRecord",
+    "Msg",
+    "NotAContract",
+    "Revert",
+    "SECONDS_PER_BLOCK",
+    "StateJournal",
+    "StorageView",
+    "TransactionTrace",
+    "TransferRecord",
+    "UnknownAccount",
+    "UnknownFunction",
+    "WEI",
+    "ZERO_ADDRESS",
+    "external",
+    "from_wei",
+    "keccak_address",
+    "to_wei",
+]

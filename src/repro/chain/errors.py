@@ -1,0 +1,55 @@
+"""Exception hierarchy of the chain substrate.
+
+A :class:`Revert` raised anywhere inside a transaction unwinds the whole
+transaction and rolls back every state change — this is the atomicity
+property that makes flash loans safe for the lender (paper Sec. I).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ChainError",
+    "Revert",
+    "InsufficientBalance",
+    "InsufficientAllowance",
+    "InsufficientLiquidity",
+    "UnknownAccount",
+    "NotAContract",
+    "UnknownFunction",
+]
+
+
+class ChainError(Exception):
+    """Base class for all substrate errors."""
+
+
+class Revert(ChainError):
+    """EVM-style revert: the enclosing transaction is aborted atomically."""
+
+    def __init__(self, reason: str = "") -> None:
+        super().__init__(reason or "execution reverted")
+        self.reason = reason
+
+
+class InsufficientBalance(Revert):
+    """An account tried to move more of an asset than it holds."""
+
+
+class InsufficientAllowance(Revert):
+    """``transferFrom`` exceeded the spender's ERC20 allowance."""
+
+
+class InsufficientLiquidity(Revert):
+    """A pool cannot satisfy the requested output amount."""
+
+
+class UnknownAccount(ChainError):
+    """Lookup of an address the chain has never seen."""
+
+
+class NotAContract(ChainError):
+    """A call targeted an externally-owned account."""
+
+
+class UnknownFunction(Revert):
+    """Call to a function selector the contract does not implement."""

@@ -1,0 +1,144 @@
+"""Journaled world state.
+
+All mutable chain state (Ether balances, ERC20 ledgers, AMM reserves, vault
+shares, ...) lives in one flat key/value store with write-ahead journaling.
+A transaction opens a checkpoint before executing; a :class:`Revert` rolls
+the journal back to that checkpoint, which is how the substrate implements
+Ethereum's transaction atomicity — the property flash loans rely on.
+
+Keys are ``(owner_address, slot)`` tuples where ``slot`` is any hashable
+(usually a string or a ``(name, subkey)`` tuple), mirroring contract storage
+slots without the 256-bit encoding noise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterator
+
+from .types import Address
+
+__all__ = ["StateJournal", "StorageView"]
+
+_MISSING = object()
+
+
+class StateJournal:
+    """A flat key/value store with nested checkpoints.
+
+    The journal records, for every write since the innermost open
+    checkpoint, the key's *previous* value (or a tombstone if it was
+    absent). ``rollback`` replays the journal in reverse; ``commit`` folds
+    the journal entries into the parent checkpoint so outer rollbacks still
+    restore correctly.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[tuple[Address, Hashable], Any] = {}
+        self._journals: list[dict[tuple[Address, Hashable], Any]] = []
+
+    # -- reads ---------------------------------------------------------
+
+    def get(self, owner: Address, slot: Hashable, default: Any = None) -> Any:
+        return self._data.get((owner, slot), default)
+
+    def contains(self, owner: Address, slot: Hashable) -> bool:
+        return (owner, slot) in self._data
+
+    def items_for(self, owner: Address) -> Iterator[tuple[Hashable, Any]]:
+        """Iterate ``(slot, value)`` pairs owned by one address (for debugging
+        and explorer views; O(total state), not used on hot paths)."""
+        for (addr, slot), value in self._data.items():
+            if addr == owner:
+                yield slot, value
+
+    # -- writes --------------------------------------------------------
+
+    def set(self, owner: Address, slot: Hashable, value: Any) -> None:
+        key = (owner, slot)
+        if self._journals:
+            journal = self._journals[-1]
+            if key not in journal:
+                journal[key] = self._data.get(key, _MISSING)
+        self._data[key] = value
+
+    def delete(self, owner: Address, slot: Hashable) -> None:
+        key = (owner, slot)
+        if key not in self._data:
+            return
+        if self._journals:
+            journal = self._journals[-1]
+            if key not in journal:
+                journal[key] = self._data[key]
+        del self._data[key]
+
+    def add(self, owner: Address, slot: Hashable, delta: int) -> int:
+        """Numeric read-modify-write helper; returns the new value."""
+        new = self.get(owner, slot, 0) + delta
+        self.set(owner, slot, new)
+        return new
+
+    # -- checkpoints ----------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Open a nested checkpoint; returns its depth (for assertions)."""
+        self._journals.append({})
+        return len(self._journals)
+
+    def commit(self) -> None:
+        """Fold the innermost checkpoint into its parent."""
+        if not self._journals:
+            raise RuntimeError("commit without checkpoint")
+        journal = self._journals.pop()
+        if self._journals:
+            parent = self._journals[-1]
+            for key, old in journal.items():
+                if key not in parent:
+                    parent[key] = old
+
+    def rollback(self) -> None:
+        """Undo every write since the innermost checkpoint."""
+        if not self._journals:
+            raise RuntimeError("rollback without checkpoint")
+        journal = self._journals.pop()
+        for key, old in journal.items():
+            if old is _MISSING:
+                self._data.pop(key, None)
+            else:
+                self._data[key] = old
+
+    @property
+    def depth(self) -> int:
+        return len(self._journals)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class StorageView:
+    """A contract-scoped facade over the shared :class:`StateJournal`.
+
+    Contracts read and write their own storage through this view so all
+    mutations stay journaled (and therefore revertible) without each
+    contract knowing about checkpoints.
+    """
+
+    __slots__ = ("_state", "_owner")
+
+    def __init__(self, state: StateJournal, owner: Address) -> None:
+        self._state = state
+        self._owner = owner
+
+    def get(self, slot: Hashable, default: Any = None) -> Any:
+        return self._state.get(self._owner, slot, default)
+
+    def set(self, slot: Hashable, value: Any) -> None:
+        self._state.set(self._owner, slot, value)
+
+    def add(self, slot: Hashable, delta: int) -> int:
+        return self._state.add(self._owner, slot, delta)
+
+    def delete(self, slot: Hashable) -> None:
+        self._state.delete(self._owner, slot)
+
+    def contains(self, slot: Hashable) -> bool:
+        return self._state.contains(self._owner, slot)

@@ -1,0 +1,118 @@
+"""Fundamental value types of the simulated Ethereum substrate.
+
+The real system replays transactions in a modified Geth client; this
+reproduction models Ethereum at the level LeiShen observes it: 160-bit
+account addresses, wei-denominated integer amounts, and a native-asset
+sentinel used to represent Ether in asset transfers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterator
+
+__all__ = [
+    "Address",
+    "ZERO_ADDRESS",
+    "BLACKHOLE",
+    "ETHER",
+    "WEI",
+    "GWEI",
+    "ETH",
+    "to_wei",
+    "from_wei",
+    "keccak_address",
+    "AddressFactory",
+]
+
+
+class Address(str):
+    """A 160-bit Ethereum account address, rendered as ``0x`` + 40 hex chars.
+
+    ``Address`` subclasses :class:`str` so it can be used directly as a
+    dictionary key and compared with plain strings. Creation normalizes to
+    lowercase and validates the format.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, value: str) -> "Address":
+        if isinstance(value, Address):
+            return value  # already normalized
+        text = value.lower()
+        if text.startswith("0x"):
+            body = text[2:]
+        else:
+            body = text
+        if len(body) != 40:
+            raise ValueError(f"address must be 40 hex chars, got {value!r}")
+        try:
+            int(body, 16)
+        except ValueError as exc:
+            raise ValueError(f"address is not hex: {value!r}") from exc
+        return super().__new__(cls, "0x" + body)
+
+    @property
+    def short(self) -> str:
+        """First 16 bits of the address (paper Fig. 6 uses this rendering)."""
+        return "0x" + self[2:6]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Address({str.__repr__(self)})"
+
+
+#: The zero address. Token mints originate here and burns terminate here;
+#: the paper calls it the *BlackHole* address in Table III.
+ZERO_ADDRESS = Address("0x" + "0" * 40)
+BLACKHOLE = ZERO_ADDRESS
+
+#: Sentinel "token" used to represent the native asset (Ether) in asset
+#: transfers. Real Ether moves through internal transactions rather than
+#: ERC20 logs, but LeiShen unifies both into one transfer stream.
+ETHER = Address("0x" + "e" * 40)
+
+WEI = 1
+GWEI = 10**9
+ETH = 10**18
+
+
+def to_wei(amount: float | int, unit: int = ETH) -> int:
+    """Convert a human-readable amount into integer wei-style units."""
+    return int(round(amount * unit))
+
+
+def from_wei(amount: int, unit: int = ETH) -> float:
+    """Convert integer wei-style units back to a float for reporting."""
+    return amount / unit
+
+
+def keccak_address(*parts: str) -> Address:
+    """Derive a deterministic pseudo-address from arbitrary string parts.
+
+    Real Ethereum derives contract addresses from ``keccak256(rlp(sender,
+    nonce))``; we keep the determinism (same inputs -> same address) with
+    sha3-256 over the joined parts.
+    """
+    digest = hashlib.sha3_256("|".join(parts).encode()).hexdigest()
+    return Address("0x" + digest[:40])
+
+
+class AddressFactory:
+    """Deterministic generator of fresh, unique addresses.
+
+    Each :class:`~repro.chain.chain.Chain` owns one factory so scenario
+    replays are reproducible run to run.
+    """
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self._namespace = namespace
+        self._counter = 0
+
+    def fresh(self, hint: str = "acct") -> Address:
+        """Return a new address never handed out by this factory before."""
+        self._counter += 1
+        return keccak_address(self._namespace, hint, str(self._counter))
+
+    def __iter__(self) -> Iterator[Address]:  # pragma: no cover - convenience
+        while True:
+            yield self.fresh()

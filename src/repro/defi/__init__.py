@@ -1,0 +1,48 @@
+"""DeFi protocol substrate: AMMs, lending, flash loans, vaults, routers."""
+
+from .aave import AAVE_FLASHLOAN_FEE_BPS, AaveLendingPool
+from .aggregator import TradeAggregator
+from .balancer import BalancerPool
+from .base import DeFiProtocol, FlashLoanReceiver
+from .bzx import MarginVenue
+from .compound import LendingMarket
+from .curve import StableSwapPool
+from .dydx import (
+    Action,
+    DYDX_FLASH_FEE_WEI,
+    SoloMargin,
+    call_action,
+    deposit_action,
+    withdraw_action,
+)
+from .mixer import Mixer, commitment_of
+from .oracle import DEFAULT_USD_PRICES, DexSpotOracle, UsdPriceOracle
+from .uniswap import UniswapV2Factory, UniswapV2Pair, UniswapV2Router
+from .vault import Vault
+
+__all__ = [
+    "AAVE_FLASHLOAN_FEE_BPS",
+    "AaveLendingPool",
+    "Action",
+    "BalancerPool",
+    "DEFAULT_USD_PRICES",
+    "DYDX_FLASH_FEE_WEI",
+    "DeFiProtocol",
+    "DexSpotOracle",
+    "FlashLoanReceiver",
+    "LendingMarket",
+    "MarginVenue",
+    "Mixer",
+    "SoloMargin",
+    "StableSwapPool",
+    "TradeAggregator",
+    "UniswapV2Factory",
+    "UniswapV2Pair",
+    "UniswapV2Router",
+    "UsdPriceOracle",
+    "Vault",
+    "call_action",
+    "commitment_of",
+    "deposit_action",
+    "withdraw_action",
+]

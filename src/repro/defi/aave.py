@@ -1,0 +1,68 @@
+"""AAVE-style lending pool with flash loans.
+
+Paper Table II identifies AAVE flash loans by the ``flashLoan`` function
+and the ``FlashLoan`` event — both reproduced here. AAVE V1 charged a
+0.09% flash-loan fee, pulled back from the receiver after its
+``executeOperation`` callback returns.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..chain.contract import Msg, external
+from ..chain.types import Address
+from .base import DeFiProtocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..chain.chain import Chain
+
+__all__ = ["AaveLendingPool", "AAVE_FLASHLOAN_FEE_BPS"]
+
+#: 0.09% of the borrowed amount, AAVE V1's flash-loan premium.
+AAVE_FLASHLOAN_FEE_BPS = 9
+
+
+class AaveLendingPool(DeFiProtocol):
+    """Deposit-funded pool offering uncollateralized single-tx loans."""
+
+    APP_NAME = "AAVE"
+
+    @external
+    def deposit(self, msg: Msg, token: Address, amount: int) -> None:
+        """Fund the pool (liquidity providers; setup helper in scenarios)."""
+        self.pull_token(token, msg.sender, amount)
+        self.storage.add(("liquidity", token), amount)
+        self.emit("Deposit", reserve=token, user=msg.sender, amount=amount)
+
+    @external
+    def flashLoan(
+        self,
+        msg: Msg,
+        receiver: Address,
+        token: Address,
+        amount: int,
+        params: object = None,
+    ) -> None:
+        """Lend ``amount`` for the duration of the transaction.
+
+        Sends the funds, invokes the receiver's ``executeOperation``, then
+        pulls back principal plus the 0.09% premium. If the pull fails the
+        revert unwinds everything — transaction atomicity is the
+        collateral.
+        """
+        available = self.storage.get(("liquidity", token), 0)
+        self.require(amount > 0, "zero amount")
+        self.require(amount <= available, "insufficient flash liquidity")
+        fee = amount * AAVE_FLASHLOAN_FEE_BPS // 10_000
+        self.push_token(token, receiver, amount)
+        self.call(receiver, "executeOperation", token, amount, fee, params)
+        self.pull_token(token, receiver, amount + fee)
+        self.storage.add(("liquidity", token), fee)
+        self.emit(
+            "FlashLoan",
+            target=receiver,
+            reserve=token,
+            amount=amount,
+            totalFee=fee,
+        )

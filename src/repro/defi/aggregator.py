@@ -1,0 +1,110 @@
+"""Trade aggregators / routing intermediaries (Kyber, 1inch style).
+
+Aggregators stand *between* the counterparties of a trade: they receive
+the input asset, execute the trade on the best venue, and forward the
+output — optionally skimming a small service fee. At the transfer level
+this creates the ``A -> aggregator -> B`` chains that LeiShen's *merge
+inter-app transfers* rule collapses (paper Sec. V-B-2, the Kyber hop in
+Fig. 6), with the 0.1% amount tolerance absorbing the fee.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..chain.contract import Msg, external
+from ..chain.types import Address
+from .balancer import BalancerPool
+from .base import DeFiProtocol
+from .curve import StableSwapPool
+from .uniswap import UniswapV2Pair
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..chain.chain import Chain
+
+__all__ = ["TradeAggregator"]
+
+
+class TradeAggregator(DeFiProtocol):
+    """A venue-agnostic trade router.
+
+    Parameters
+    ----------
+    fee_bps:
+        Service fee in basis points, taken from the output. Must stay
+        below 10 bps for the merge rule's 0.1% tolerance to collapse the
+        hop — real aggregators charge 0-10 bps, and the tests exercise
+        both sides of the boundary.
+    """
+
+    APP_NAME = "Kyber"
+
+    def __init__(self, chain: "Chain", address: Address, fee_bps: int = 0) -> None:
+        super().__init__(chain, address)
+        if fee_bps < 0:
+            raise ValueError("negative fee")
+        self.fee_bps = fee_bps
+
+    @external
+    def trade(
+        self,
+        msg: Msg,
+        venue: Address,
+        token_in: Address,
+        amount_in: int,
+        token_out: Address,
+        recipient: Address | None = None,
+    ) -> int:
+        """Pull ``amount_in`` from the caller, trade on ``venue``, forward out.
+
+        Dispatches on the venue's contract type (Uniswap pair, Balancer
+        pool or Curve pool). Returns the amount forwarded to the
+        recipient, net of the aggregator fee.
+        """
+        to = recipient or msg.sender
+        self.pull_token(token_in, msg.sender, amount_in)
+        received = self._execute(venue, token_in, amount_in, token_out)
+        fee = received * self.fee_bps // 10_000
+        forwarded = received - fee
+        self.push_token(token_out, to, forwarded)
+        self.emit(
+            "AggregatedTrade",
+            trader=msg.sender,
+            venue=venue,
+            tokenIn=token_in,
+            amountIn=amount_in,
+            tokenOut=token_out,
+            amountOut=forwarded,
+        )
+        return forwarded
+
+    # -- venue adapters ------------------------------------------------------
+
+    def _execute(self, venue: Address, token_in: Address, amount_in: int, token_out: Address) -> int:
+        contract = self.chain.contract_at(venue)
+        if isinstance(contract, UniswapV2Pair):
+            return self._swap_uniswap(contract, token_in, amount_in)
+        if isinstance(contract, BalancerPool):
+            return self._swap_balancer(contract, token_in, amount_in, token_out)
+        if isinstance(contract, StableSwapPool):
+            return self._swap_curve(contract, token_in, amount_in, token_out)
+        self.require(False, f"unsupported venue {type(contract).__name__}")
+        raise AssertionError("unreachable")
+
+    def _swap_uniswap(self, pair: UniswapV2Pair, token_in: Address, amount_in: int) -> int:
+        amount_out = pair.get_amount_out(amount_in, token_in)
+        self.push_token(token_in, pair.address, amount_in)
+        token_out = pair.other_token(token_in)
+        out0, out1 = (amount_out, 0) if token_out == pair.token0 else (0, amount_out)
+        self.call(pair.address, "swap", out0, out1, self.address)
+        return amount_out
+
+    def _swap_balancer(self, pool: BalancerPool, token_in: Address, amount_in: int, token_out: Address) -> int:
+        self.call(token_in, "approve", pool.address, amount_in)
+        return self.call(pool.address, "swapExactAmountIn", token_in, amount_in, token_out)
+
+    def _swap_curve(self, pool: StableSwapPool, token_in: Address, amount_in: int, token_out: Address) -> int:
+        self.call(token_in, "approve", pool.address, amount_in)
+        i = pool.index_of(token_in)
+        j = pool.index_of(token_out)
+        return self.call(pool.address, "exchange", i, j, amount_in)

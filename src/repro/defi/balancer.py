@@ -1,0 +1,181 @@
+"""Balancer-style weighted constant-mean pool.
+
+Balancer pools hold N tokens with arbitrary weights and price trades with
+the constant weighted-product invariant. Two details matter for the
+reproduction of the June 2020 Balancer attack:
+
+- the pool prices against its *internal balance records*, not the actual
+  token balances, and
+
+- ``gulp`` resyncs a token's record to the actual balance.
+
+With a deflationary token (1% burn on transfer) an attacker can swap in a
+loop so the pool's recorded balance decays to dust, then buy the other
+assets at an absurd rate — the ``6.5 * 10^28 %`` volatility row of the
+paper's Table I.
+
+Weighted-power math uses floats; amounts stay integers at the boundary.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from ..chain.contract import Msg, external
+from ..chain.errors import InsufficientLiquidity, Revert
+from ..chain.types import Address
+from ..tokens.erc20 import ERC20
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..chain.chain import Chain
+
+__all__ = ["BalancerPool"]
+
+
+class BalancerPool(ERC20):
+    """An N-token weighted pool; the pool token (BPT) is the contract."""
+
+    APP_NAME = "Balancer"
+    #: default swap fee: 0.3% expressed in parts per million.
+    FEE_PPM = 3_000
+
+    def __init__(
+        self,
+        chain: "Chain",
+        address: Address,
+        tokens: Sequence[Address],
+        weights: Sequence[float],
+        lp_symbol: str = "BPT",
+        fee_ppm: int | None = None,
+    ) -> None:
+        if len(tokens) < 2 or len(tokens) != len(weights):
+            raise ValueError("need >=2 tokens with matching weights")
+        if len(set(tokens)) != len(tokens):
+            raise ValueError("duplicate pool token")
+        super().__init__(chain, address, symbol=lp_symbol, decimals=18)
+        self.tokens = tuple(tokens)
+        total_weight = float(sum(weights))
+        self.weights = {t: w / total_weight for t, w in zip(tokens, weights)}
+        self.fee_ppm = self.FEE_PPM if fee_ppm is None else fee_ppm
+
+    # -- views ---------------------------------------------------------------
+
+    def record_balance(self, token: Address) -> int:
+        """The pool's *internal* balance record for ``token``."""
+        self._require_bound(token)
+        return self.storage.get(("record", token), 0)
+
+    def actual_balance(self, token: Address) -> int:
+        return self.chain.contract_of(token, ERC20).balance_of(self.address)
+
+    def spot_price(self, base: Address, quote: Address) -> float:
+        """Price of ``base`` in ``quote`` per the weighted-mean formula."""
+        balance_base = self.record_balance(base)
+        balance_quote = self.record_balance(quote)
+        if balance_base == 0 or balance_quote == 0:
+            raise InsufficientLiquidity("empty balance record")
+        ratio_quote = balance_quote / self.weights[quote]
+        ratio_base = balance_base / self.weights[base]
+        return ratio_quote / ratio_base
+
+    def calc_out_given_in(self, token_in: Address, amount_in: int, token_out: Address) -> int:
+        """Balancer's ``calcOutGivenIn`` (swap fee applied to the input)."""
+        balance_in = self.record_balance(token_in)
+        balance_out = self.record_balance(token_out)
+        if balance_in <= 0 or balance_out <= 0:
+            raise InsufficientLiquidity("no liquidity")
+        weight_ratio = self.weights[token_in] / self.weights[token_out]
+        adjusted_in = amount_in * (1 - self.fee_ppm / 1e6)
+        y = balance_in / (balance_in + adjusted_in)
+        out = balance_out * (1 - y**weight_ratio)
+        return int(out)
+
+    # -- trading ----------------------------------------------------------------
+
+    @external
+    def swapExactAmountIn(
+        self,
+        msg: Msg,
+        token_in: Address,
+        amount_in: int,
+        token_out: Address,
+        min_amount_out: int = 0,
+    ) -> int:
+        """Swap using internal records; pulls input from the caller."""
+        self._require_bound(token_in)
+        self._require_bound(token_out)
+        amount_out = self.calc_out_given_in(token_in, amount_in, token_out)
+        if amount_out < min_amount_out:
+            raise Revert("limit out")
+        if amount_out >= self.record_balance(token_out):
+            raise InsufficientLiquidity("out exceeds record")
+        self.call(token_in, "transferFrom", msg.sender, self.address, amount_in)
+        # Balancer credits the *requested* input amount to its record even if a
+        # fee-on-transfer token delivered less: the core bug behind the attack.
+        self.storage.add(("record", token_in), amount_in)
+        self.storage.add(("record", token_out), -amount_out)
+        self.call(token_out, "transfer", msg.sender, amount_out)
+        self.emit_trade(
+            "LOG_SWAP",
+            caller=msg.sender,
+            tokenIn=token_in,
+            tokenOut=token_out,
+            tokenAmountIn=amount_in,
+            tokenAmountOut=amount_out,
+        )
+        return amount_out
+
+    @external
+    def gulp(self, msg: Msg, token: Address) -> None:
+        """Resync one token's record to the actual balance."""
+        self._require_bound(token)
+        self.storage.set(("record", token), self.actual_balance(token))
+
+    # -- liquidity ---------------------------------------------------------------
+
+    @external
+    def joinPool(self, msg: Msg, pool_amount_out: int) -> None:
+        """Proportional all-asset join minting ``pool_amount_out`` BPT."""
+        total = self.total_supply()
+        if total == 0:
+            raise Revert("pool not seeded; use seed()")
+        ratio = pool_amount_out / total
+        for token in self.tokens:
+            amount = int(self.record_balance(token) * ratio) + 1
+            self.call(token, "transferFrom", msg.sender, self.address, amount)
+            self.storage.add(("record", token), amount)
+        super().mint(msg.sender, pool_amount_out)
+        self.emit_trade("LOG_JOIN", caller=msg.sender, poolAmountOut=pool_amount_out)
+
+    @external
+    def exitPool(self, msg: Msg, pool_amount_in: int) -> None:
+        """Proportional all-asset exit burning ``pool_amount_in`` BPT."""
+        total = self.total_supply()
+        if total <= 0 or pool_amount_in <= 0:
+            raise InsufficientLiquidity("nothing to exit")
+        ratio = pool_amount_in / total
+        super().burn(msg.sender, pool_amount_in)
+        for token in self.tokens:
+            amount = int(self.record_balance(token) * ratio)
+            self.storage.add(("record", token), -amount)
+            self.call(token, "transfer", msg.sender, amount)
+        self.emit_trade("LOG_EXIT", caller=msg.sender, poolAmountIn=pool_amount_in)
+
+    def seed(self, provider: Address, amounts: dict[Address, int], initial_bpt: int) -> None:
+        """Bootstrap records and supply from ``provider`` (setup helper).
+
+        Requires prior approvals, like any pool funding.
+        """
+        if self.total_supply() != 0:
+            raise Revert("already seeded")
+        for token, amount in amounts.items():
+            self._require_bound(token)
+            self.call(token, "transferFrom", provider, self.address, amount)
+            self.storage.set(("record", token), self.actual_balance(token))
+        super().mint(provider, initial_bpt)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _require_bound(self, token: Address) -> None:
+        if token not in self.weights:
+            raise Revert(f"token {token.short} not bound")

@@ -1,0 +1,70 @@
+"""Common machinery for DeFi protocol contracts."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..chain.contract import Contract, external
+from ..chain.errors import Revert
+from ..chain.types import Address
+from ..tokens.erc20 import ERC20
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..chain.chain import Chain
+
+__all__ = ["DeFiProtocol", "FlashLoanReceiver"]
+
+
+class DeFiProtocol(Contract):
+    """Base class for protocol contracts.
+
+    Adds token-movement helpers that route through the ERC20 contracts so
+    every asset flow lands in the transaction trace.
+    """
+
+    def token(self, address: Address) -> ERC20:
+        return self.chain.contract_of(address, ERC20)
+
+    def pull_token(self, token: Address, owner: Address, amount: int) -> None:
+        """Pull ``amount`` of ``token`` from ``owner`` via ``transferFrom``.
+
+        The owner must have approved this contract beforehand, exactly as
+        on the real chain.
+        """
+        self.call(token, "transferFrom", owner, self.address, amount)
+
+    def push_token(self, token: Address, to: Address, amount: int) -> None:
+        """Send ``amount`` of ``token`` held by this contract to ``to``."""
+        self.call(token, "transfer", to, amount)
+
+    def token_balance(self, token: Address, owner: Address | None = None) -> int:
+        return self.token(token).balance_of(owner or self.address)
+
+    def require(self, condition: bool, reason: str) -> None:
+        if not condition:
+            raise Revert(f"{type(self).__name__}: {reason}")
+
+
+class FlashLoanReceiver(Contract):
+    """Interface expected from flash-loan borrower contracts.
+
+    Providers call back into the borrower mid-transaction:
+
+    - Uniswap pairs call :meth:`uniswapV2Call`;
+    - AAVE calls :meth:`executeOperation`;
+    - dYdX calls :meth:`callFunction`.
+
+    Subclasses override whichever callbacks they use.
+    """
+
+    @external
+    def uniswapV2Call(self, msg, sender: Address, amount0: int, amount1: int, data: object) -> None:
+        raise Revert("uniswapV2Call not implemented")
+
+    @external
+    def executeOperation(self, msg, token: Address, amount: int, fee: int, params: object) -> None:
+        raise Revert("executeOperation not implemented")
+
+    @external
+    def callFunction(self, msg, sender: Address, data: object) -> None:
+        raise Revert("callFunction not implemented")

@@ -1,0 +1,170 @@
+"""bZx-style margin trading venue with a DEX price oracle.
+
+Reproduces the two behaviours the first two flpAttacks exploited:
+
+- **margin trading** (bZx-1, Fig. 3): a trader posts a deposit, the venue
+  finances a position of ``leverage x deposit`` with *its own funds* and
+  executes the position swap on an external AMM — moving that AMM's price
+  with the venue's money;
+- **oracle-priced lending** (bZx-2): the venue values collateral using a
+  Uniswap spot oracle, so inflating the collateral token's spot price lets
+  an attacker drain the loan book.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..chain.contract import Msg, external
+from ..chain.types import Address
+from .base import DeFiProtocol
+from .oracle import DexSpotOracle
+from .uniswap import UniswapV2Pair
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..chain.chain import Chain
+
+__all__ = ["MarginVenue"]
+
+
+class MarginVenue(DeFiProtocol):
+    """Margin trading + collateralized lending priced by a DEX oracle."""
+
+    APP_NAME = "bZx"
+    #: loan-to-value for oracle-priced loans, basis points.
+    LTV_BPS = 8_000
+    MAX_LEVERAGE = 5
+
+    def __init__(self, chain: "Chain", address: Address, oracle: DexSpotOracle) -> None:
+        super().__init__(chain, address)
+        self.oracle = oracle
+
+    @external
+    def fund(self, msg: Msg, token: Address, amount: int) -> None:
+        """Seed the venue's loan book (LPs / scenario setup)."""
+        self.pull_token(token, msg.sender, amount)
+        self.storage.add(("cash", token), amount)
+
+    # -- margin trading (bZx-1 path) --------------------------------------
+
+    @external
+    def open_margin_position(
+        self,
+        msg: Msg,
+        deposit_token: Address,
+        deposit_amount: int,
+        position_pair: Address,
+        leverage: int,
+        via: Address | None = None,
+    ) -> int:
+        """Open a leveraged long on ``position_pair``'s other token.
+
+        Pulls the trader's deposit, then swaps ``leverage * deposit`` of
+        the deposit token — financed from venue cash — on the AMM. When
+        ``via`` names an aggregator, the swap is routed through it (the
+        Kyber hop of paper Fig. 6); the position stays on the venue's
+        books, so any loss from a manipulated price is the venue's.
+        """
+        self.require(1 <= leverage <= self.MAX_LEVERAGE, "bad leverage")
+        pair = self.chain.contract_of(position_pair, UniswapV2Pair)
+        position_token = pair.other_token(deposit_token)
+        self.pull_token(deposit_token, msg.sender, deposit_amount)
+        self.storage.add(("cash", deposit_token), deposit_amount)
+        trade_amount = deposit_amount * leverage
+        cash = self.storage.get(("cash", deposit_token), 0)
+        self.require(trade_amount <= cash, "insufficient venue cash")
+        self.storage.add(("cash", deposit_token), -trade_amount)
+        if via is not None:
+            self.call(deposit_token, "approve", via, trade_amount)
+            received = self.call(
+                via,
+                "trade",
+                position_pair,
+                deposit_token,
+                trade_amount,
+                position_token,
+                self.address,
+            )
+        else:
+            received = pair.get_amount_out(trade_amount, deposit_token)
+            self.push_token(deposit_token, position_pair, trade_amount)
+            out0, out1 = (received, 0) if position_token == pair.token0 else (0, received)
+            self.call(position_pair, "swap", out0, out1, self.address)
+        self.storage.add(("position", msg.sender, position_token), received)
+        self.storage.add(("cash", position_token), received)
+        self.emit(
+            "MarginTradeOpened",
+            trader=msg.sender,
+            depositToken=deposit_token,
+            depositAmount=deposit_amount,
+            positionToken=position_token,
+            positionSize=received,
+        )
+        return received
+
+    # -- oracle-priced lending (bZx-2 path) -----------------------------------
+
+    @external
+    def borrow_against(
+        self,
+        msg: Msg,
+        collateral_token: Address,
+        collateral_amount: int,
+        borrow_token: Address,
+    ) -> int:
+        """Lend ``borrow_token`` against collateral valued at the DEX spot.
+
+        The loan size is ``collateral_value * LTV``; because the value
+        comes from a manipulable AMM spot price, this is the bZx-2 attack
+        surface.
+        """
+        self.require(collateral_amount > 0, "zero collateral")
+        rate = self.oracle.price(collateral_token, borrow_token)
+        borrow_amount = int(collateral_amount * rate * self.LTV_BPS / 10_000)
+        cash = self.storage.get(("cash", borrow_token), 0)
+        self.require(0 < borrow_amount <= cash, "insufficient venue cash")
+        self.pull_token(collateral_token, msg.sender, collateral_amount)
+        self.storage.add(("cash", collateral_token), collateral_amount)
+        self.storage.add(("cash", borrow_token), -borrow_amount)
+        self.storage.add(("debt", msg.sender, borrow_token), borrow_amount)
+        self.push_token(borrow_token, msg.sender, borrow_amount)
+        self.emit(
+            "BorrowAgainst",
+            borrower=msg.sender,
+            collateralToken=collateral_token,
+            collateralAmount=collateral_amount,
+            borrowToken=borrow_token,
+            borrowAmount=borrow_amount,
+        )
+        return borrow_amount
+
+    # -- oracle-priced swaps (CheeseBank/AutoShark/Saddle-style venues) --------
+
+    @external
+    def oracle_swap(self, msg: Msg, token_in: Address, amount_in: int, token_out: Address) -> int:
+        """Trade against the venue's treasury at the oracle spot price.
+
+        Many exploited venues (synth platforms, single-sided vault exits,
+        bank-style redemptions) effectively sell treasury assets at an
+        on-chain oracle rate with no slippage — which makes them the
+        cheap-buy / dear-sell endpoint of SBS and KRP attacks once the
+        oracle pool is manipulated.
+        """
+        self.require(amount_in > 0, "zero amount")
+        rate = self.oracle.price(token_in, token_out)
+        amount_out = int(amount_in * rate)
+        cash = self.storage.get(("cash", token_out), 0)
+        self.require(0 < amount_out <= cash, "insufficient venue cash")
+        self.pull_token(token_in, msg.sender, amount_in)
+        self.storage.add(("cash", token_in), amount_in)
+        self.storage.add(("cash", token_out), -amount_out)
+        self.push_token(token_out, msg.sender, amount_out)
+        return amount_out
+
+    # -- views ---------------------------------------------------------------
+
+    def cash_of(self, token: Address) -> int:
+        return self.storage.get(("cash", token), 0)
+
+    def position_of(self, trader: Address, token: Address) -> int:
+        return self.storage.get(("position", trader, token), 0)

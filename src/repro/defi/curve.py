@@ -1,0 +1,202 @@
+"""Curve-style StableSwap pool.
+
+Implements the amplified invariant from Egorov's StableSwap paper with the
+same integer Newton iterations the production Vyper contracts use. Curve
+pools back several of the studied attacks (Harvest Finance trades through
+the Y pool; Yearn's DAI vault deposits into 3Crv; Value DeFi prices its
+mvUSD against 3Crv), so the pool exposes both trading and the
+``virtual price`` oracle that vault share pricing reads.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from ..chain.contract import Msg, external
+from ..chain.errors import InsufficientLiquidity, Revert
+from ..chain.types import Address
+from ..tokens.erc20 import ERC20
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..chain.chain import Chain
+
+__all__ = ["StableSwapPool"]
+
+_FEE_DENOMINATOR = 10**10
+_PRECISION = 10**18
+
+
+class StableSwapPool(ERC20):
+    """An N-coin StableSwap pool whose LP token is the contract itself."""
+
+    APP_NAME = "Curve"
+    #: default trade fee: 0.04% (Curve's classic 4 bps), in 1e10 units.
+    FEE = 4_000_000
+
+    def __init__(
+        self,
+        chain: "Chain",
+        address: Address,
+        coins: Sequence[Address],
+        amp: int = 100,
+        lp_symbol: str = "crvLP",
+        fee: int | None = None,
+    ) -> None:
+        if len(coins) < 2:
+            raise ValueError("need at least two coins")
+        super().__init__(chain, address, symbol=lp_symbol, decimals=18)
+        self.coins = tuple(coins)
+        self.amp = amp
+        self.fee = self.FEE if fee is None else fee
+        #: per-coin multiplier normalizing to 18 decimals.
+        self._rates = tuple(
+            10 ** (18 - chain.contract_of(coin, ERC20).decimals) for coin in coins
+        )
+
+    # -- invariant math -----------------------------------------------------
+
+    def balances(self) -> list[int]:
+        return [self.storage.get(("balance_record", coin), 0) for coin in self.coins]
+
+    def _xp(self, balances: Sequence[int] | None = None) -> list[int]:
+        raw = self.balances() if balances is None else list(balances)
+        return [balance * rate for balance, rate in zip(raw, self._rates)]
+
+    def get_D(self, xp: Sequence[int] | None = None) -> int:
+        """Newton iteration for the StableSwap invariant D."""
+        xp = self._xp() if xp is None else list(xp)
+        n = len(xp)
+        s = sum(xp)
+        if s == 0:
+            return 0
+        d = s
+        ann = self.amp * n
+        for _ in range(255):
+            d_p = d
+            for x in xp:
+                if x == 0:
+                    raise InsufficientLiquidity("empty coin balance")
+                d_p = d_p * d // (x * n)
+            d_prev = d
+            d = (ann * s + d_p * n) * d // ((ann - 1) * d + (n + 1) * d_p)
+            if abs(d - d_prev) <= 1:
+                return d
+        raise Revert("D did not converge")
+
+    def get_y(self, i: int, j: int, x: int, xp: Sequence[int]) -> int:
+        """Solve for coin ``j``'s normalized balance given coin ``i`` at ``x``."""
+        n = len(xp)
+        d = self.get_D(xp)
+        ann = self.amp * n
+        c = d
+        s = 0
+        for k in range(n):
+            if k == i:
+                x_k = x
+            elif k != j:
+                x_k = xp[k]
+            else:
+                continue
+            s += x_k
+            c = c * d // (x_k * n)
+        c = c * d // (ann * n)
+        b = s + d // ann
+        y = d
+        for _ in range(255):
+            y_prev = y
+            y = (y * y + c) // (2 * y + b - d)
+            if abs(y - y_prev) <= 1:
+                return y
+        raise Revert("y did not converge")
+
+    def get_dy(self, i: int, j: int, dx: int) -> int:
+        """Output of trading ``dx`` of coin i for coin j, after fee."""
+        xp = self._xp()
+        x = xp[i] + dx * self._rates[i]
+        y = self.get_y(i, j, x, xp)
+        dy = xp[j] - y - 1
+        fee = dy * self.fee // _FEE_DENOMINATOR
+        return (dy - fee) // self._rates[j]
+
+    def virtual_price(self) -> int:
+        """LP token value in 1e18 units: D / total_supply."""
+        total = self.total_supply()
+        if total == 0:
+            return _PRECISION
+        return self.get_D() * _PRECISION // total
+
+    def index_of(self, coin: Address) -> int:
+        try:
+            return self.coins.index(coin)
+        except ValueError:
+            raise Revert(f"coin {coin.short} not in pool") from None
+
+    # -- trading -----------------------------------------------------------
+
+    @external
+    def exchange(self, msg: Msg, i: int, j: int, dx: int, min_dy: int = 0) -> int:
+        """Trade ``dx`` of coin i for coin j; pulls from the caller."""
+        if not (0 <= i < len(self.coins) and 0 <= j < len(self.coins)) or i == j:
+            raise Revert("bad coin index")
+        dy = self.get_dy(i, j, dx)
+        if dy < min_dy:
+            raise Revert("slippage")
+        if dy >= self.balances()[j]:
+            raise InsufficientLiquidity("dy exceeds balance")
+        self.call(self.coins[i], "transferFrom", msg.sender, self.address, dx)
+        self.storage.add(("balance_record", self.coins[i]), dx)
+        self.storage.add(("balance_record", self.coins[j]), -dy)
+        self.call(self.coins[j], "transfer", msg.sender, dy)
+        self.emit_trade(
+            "TokenExchange",
+            buyer=msg.sender,
+            sold_id=i,
+            tokens_sold=dx,
+            bought_id=j,
+            tokens_bought=dy,
+        )
+        return dy
+
+    # -- liquidity ------------------------------------------------------------
+
+    @external
+    def add_liquidity(self, msg: Msg, amounts: Sequence[int], min_mint: int = 0) -> int:
+        """Deposit coins (possibly one-sided) and mint LP at the D ratio."""
+        if len(amounts) != len(self.coins):
+            raise Revert("amounts length mismatch")
+        total = self.total_supply()
+        d0 = self.get_D() if total > 0 else 0
+        for coin, amount in zip(self.coins, amounts):
+            if amount < 0:
+                raise Revert("negative deposit")
+            if amount:
+                self.call(coin, "transferFrom", msg.sender, self.address, amount)
+                self.storage.add(("balance_record", coin), amount)
+        d1 = self.get_D()
+        if d1 <= d0:
+            raise Revert("D must grow")
+        minted = d1 if total == 0 else total * (d1 - d0) // d0
+        if minted < min_mint:
+            raise Revert("slippage")
+        super().mint(msg.sender, minted)
+        self.emit_trade("AddLiquidity", provider=msg.sender, token_supply=self.total_supply())
+        return minted
+
+    @external
+    def remove_liquidity(self, msg: Msg, amount: int, min_amounts: Sequence[int] | None = None) -> list[int]:
+        """Burn LP and withdraw every coin proportionally."""
+        total = self.total_supply()
+        if total <= 0 or amount <= 0:
+            raise InsufficientLiquidity("nothing to remove")
+        outputs: list[int] = []
+        balances = self.balances()
+        super().burn(msg.sender, amount)
+        for idx, coin in enumerate(self.coins):
+            out = balances[idx] * amount // total
+            if min_amounts is not None and out < min_amounts[idx]:
+                raise Revert("slippage")
+            self.storage.add(("balance_record", coin), -out)
+            self.call(coin, "transfer", msg.sender, out)
+            outputs.append(out)
+        self.emit_trade("RemoveLiquidity", provider=msg.sender, token_supply=self.total_supply())
+        return outputs

@@ -1,0 +1,71 @@
+"""Tornado Cash-style coin mixer.
+
+Paper Sec. VI-D2: "some attackers utilize coin-mixing services, e.g.,
+Tornado Cash, to avoid tracking by mixing their attack profits with
+honest users' assets." This contract reproduces the mechanism the paper
+observed: fixed-denomination deposits against a commitment, withdrawals
+to any address against the (simulated) nullifier — severing the on-chain
+link between depositor and recipient.
+
+No real zero-knowledge proofs here: the commitment/nullifier pair is a
+hash preimage check, which preserves exactly the transfer-graph property
+the attacker-behaviour analysis cares about (deposits and withdrawals
+are unlinkable by address).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING
+
+from ..chain.contract import Msg, external
+from ..chain.types import Address
+from .base import DeFiProtocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..chain.chain import Chain
+
+__all__ = ["Mixer", "commitment_of"]
+
+
+def commitment_of(secret: str) -> str:
+    """The deposit commitment for a withdrawal secret."""
+    return hashlib.sha256(f"note|{secret}".encode()).hexdigest()
+
+
+class Mixer(DeFiProtocol):
+    """Fixed-denomination token mixer."""
+
+    APP_NAME = "Tornado Cash"
+
+    def __init__(self, chain: "Chain", address: Address, token: Address, denomination: int) -> None:
+        super().__init__(chain, address)
+        self.token = token
+        self.denomination = denomination
+
+    @external
+    def deposit(self, msg: Msg, commitment: str) -> None:
+        """Deposit exactly one denomination against a fresh commitment."""
+        self.require(not self.storage.contains(("commitment", commitment)), "commitment reused")
+        self.pull_token(self.token, msg.sender, self.denomination)
+        self.storage.set(("commitment", commitment), True)
+        self.storage.add("pool_size", 1)
+        self.emit("Deposit", commitment=commitment)
+
+    @external
+    def withdraw(self, msg: Msg, secret: str, recipient: Address) -> None:
+        """Withdraw one denomination to ``recipient`` by revealing the
+        secret behind a deposited commitment (simulated ZK proof)."""
+        commitment = commitment_of(secret)
+        self.require(bool(self.storage.get(("commitment", commitment))), "unknown note")
+        self.require(
+            not self.storage.contains(("nullifier", secret)), "note already spent"
+        )
+        self.storage.set(("nullifier", secret), True)
+        self.storage.add("pool_size", -1)
+        self.push_token(self.token, recipient, self.denomination)
+        self.emit("Withdrawal", recipient=recipient)
+
+    def anonymity_set(self) -> int:
+        """Unspent notes currently in the pool."""
+        return self.storage.get("pool_size", 0)

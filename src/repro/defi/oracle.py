@@ -1,0 +1,115 @@
+"""Price oracles.
+
+Two kinds of price feeds appear in the paper:
+
+- **on-chain DEX spot oracles** — DeFi apps (bZx, vaults) read asset
+  prices straight from AMM reserves; this is the dependency flpAttacks
+  manipulate (Sec. II-B);
+- **historical USD prices** — used only offline, to value borrowed funds
+  and attack profits (Sec. III-B, Table VII). We substitute a seeded
+  deterministic price table for the market-data feeds the authors used.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import TYPE_CHECKING, Mapping
+
+from ..chain.types import Address
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .uniswap import UniswapV2Pair
+
+__all__ = ["DexSpotOracle", "UsdPriceOracle", "DEFAULT_USD_PRICES"]
+
+
+class DexSpotOracle:
+    """Reads spot prices from one or more AMM pairs.
+
+    ``price(base, quote)`` returns how many ``quote`` tokens one ``base``
+    token fetches, per the first registered pool containing both.
+    """
+
+    def __init__(self, pools: list["UniswapV2Pair"]) -> None:
+        self._pools = list(pools)
+
+    def add_pool(self, pool: "UniswapV2Pair") -> None:
+        self._pools.append(pool)
+
+    def price(self, base: Address, quote: Address) -> float:
+        if base == quote:
+            return 1.0
+        for pool in self._pools:
+            tokens = {pool.token0, pool.token1}
+            if base in tokens and quote in tokens:
+                return pool.spot_price(base, quote)
+        # one level of routing through a shared intermediate (e.g. the
+        # pumped-token -> WETH -> reward-token path synth minters price).
+        for pool in self._pools:
+            tokens = {pool.token0, pool.token1}
+            if base not in tokens:
+                continue
+            mid = pool.other_token(base)
+            for second in self._pools:
+                second_tokens = {second.token0, second.token1}
+                if mid in second_tokens and quote in second_tokens:
+                    return pool.spot_price(base, mid) * second.spot_price(mid, quote)
+        raise LookupError(f"no pool prices {base.short}/{quote.short}")
+
+    def pricer(self, quote: Address):
+        """Return ``price_of(token) -> float`` quoting everything in ``quote``
+        (the callable shape :class:`~repro.defi.compound.LendingMarket` takes).
+        """
+
+        def price_of(token: Address) -> float:
+            return self.price(token, quote)
+
+        return price_of
+
+
+#: Baseline USD prices (early-2021-ish levels); per-day factors move around
+#: these. Unknown symbols default to 1 USD (stablecoin-like).
+DEFAULT_USD_PRICES: Mapping[str, float] = {
+    "ETH": 1_500.0,
+    "WETH": 1_500.0,
+    "WBTC": 30_000.0,
+    "BNB": 300.0,
+    "WBNB": 300.0,
+    "USDC": 1.0,
+    "USDT": 1.0,
+    "DAI": 1.0,
+    "BUSD": 1.0,
+    "sUSD": 1.0,
+    "3Crv": 1.01,
+    "LINK": 20.0,
+    "SNX": 10.0,
+}
+
+
+class UsdPriceOracle:
+    """Deterministic historical USD price table.
+
+    ``price(symbol, day)`` applies a +/-20% pseudo-random but reproducible
+    daily factor around the symbol's base price — enough structure to rank
+    attack profits the way Table VII does without real market data.
+    """
+
+    def __init__(self, base_prices: Mapping[str, float] | None = None, seed: str = "leishen") -> None:
+        self._base = dict(DEFAULT_USD_PRICES)
+        if base_prices:
+            self._base.update(base_prices)
+        self._seed = seed
+
+    def set_price(self, symbol: str, usd: float) -> None:
+        self._base[symbol] = usd
+
+    def price(self, symbol: str, day: int = 0) -> float:
+        base = self._base.get(symbol, 1.0)
+        digest = hashlib.sha256(f"{self._seed}|{symbol}|{day}".encode()).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2**64
+        factor = 1.0 + 0.2 * math.sin(2 * math.pi * unit)
+        return base * factor
+
+    def value_usd(self, symbol: str, amount: int, decimals: int = 18, day: int = 0) -> float:
+        return self.price(symbol, day) * amount / 10**decimals

@@ -1,0 +1,325 @@
+"""Uniswap V2-style constant-product AMM with flash swaps.
+
+Implements the three behaviours the paper depends on:
+
+- **swap** with the 0.3% fee enforced through the ``K`` invariant check,
+  using Uniswap's integer fee math (``balance*1000 - amountIn*3``);
+- **flash swaps**: ``swap`` with non-empty ``data`` calls the recipient's
+  ``uniswapV2Call`` before the invariant check — this is how Uniswap acts
+  as a flash-loan provider (paper Table II: ``swap`` + ``uniswapV2Call``);
+- **mint/burn liquidity** with LP tokens minted from / burned to the
+  BlackHole address (paper Table III's mint/remove liquidity shapes).
+
+The pair also doubles as Uniswap's on-chain price oracle: bZx-style
+victims read ``spot_price`` straight from the reserves, which is exactly
+the dependency flpAttacks exploit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from ..chain.contract import Msg, external
+from ..chain.errors import InsufficientLiquidity, Revert
+from ..chain.types import Address
+from ..tokens.erc20 import ERC20
+from .base import DeFiProtocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..chain.chain import Chain
+
+__all__ = ["UniswapV2Pair", "UniswapV2Factory", "UniswapV2Router"]
+
+#: Uniswap V2 permanently locks the first 1000 LP wei.
+MINIMUM_LIQUIDITY = 10**3
+
+
+class UniswapV2Pair(ERC20):
+    """A two-token constant-product liquidity pool; the LP token is the pair."""
+
+    APP_NAME = "Uniswap"
+    #: swap fee in basis points of 1000 (Uniswap V2 charges 3/1000).
+    FEE_PER_MILLE = 3
+
+    def __init__(
+        self,
+        chain: "Chain",
+        address: Address,
+        token0: Address,
+        token1: Address,
+        lp_symbol: str = "UNI-V2",
+    ) -> None:
+        if token0 == token1:
+            raise ValueError("pair tokens must differ")
+        super().__init__(chain, address, symbol=lp_symbol, decimals=18)
+        self.token0 = token0
+        self.token1 = token1
+
+    # -- views -----------------------------------------------------------
+
+    def get_reserves(self) -> tuple[int, int]:
+        return self.storage.get("reserve0", 0), self.storage.get("reserve1", 0)
+
+    def reserve_of(self, token: Address) -> int:
+        reserve0, reserve1 = self.get_reserves()
+        if token == self.token0:
+            return reserve0
+        if token == self.token1:
+            return reserve1
+        raise Revert(f"token {token.short} not in pair")
+
+    def other_token(self, token: Address) -> Address:
+        if token == self.token0:
+            return self.token1
+        if token == self.token1:
+            return self.token0
+        raise Revert(f"token {token.short} not in pair")
+
+    def spot_price(self, base: Address, quote: Address) -> float:
+        """Price of one ``base`` token in ``quote`` tokens (oracle read)."""
+        reserve_base = self.reserve_of(base)
+        reserve_quote = self.reserve_of(quote)
+        if reserve_base == 0:
+            raise InsufficientLiquidity("empty pool has no price")
+        return reserve_quote / reserve_base
+
+    def get_amount_out(self, amount_in: int, token_in: Address) -> int:
+        """Output for an exact input, after the swap fee (UniswapV2Library)."""
+        reserve_in = self.reserve_of(token_in)
+        reserve_out = self.reserve_of(self.other_token(token_in))
+        if amount_in <= 0:
+            raise Revert("insufficient input amount")
+        if reserve_in == 0 or reserve_out == 0:
+            raise InsufficientLiquidity("no liquidity")
+        amount_in_with_fee = amount_in * (1000 - self.FEE_PER_MILLE)
+        numerator = amount_in_with_fee * reserve_out
+        denominator = reserve_in * 1000 + amount_in_with_fee
+        return numerator // denominator
+
+    def get_amount_in(self, amount_out: int, token_out: Address) -> int:
+        """Input required for an exact output, after the swap fee."""
+        reserve_out = self.reserve_of(token_out)
+        reserve_in = self.reserve_of(self.other_token(token_out))
+        if amount_out <= 0:
+            raise Revert("insufficient output amount")
+        if amount_out >= reserve_out:
+            raise InsufficientLiquidity("output exceeds reserves")
+        numerator = reserve_in * amount_out * 1000
+        denominator = (reserve_out - amount_out) * (1000 - self.FEE_PER_MILLE)
+        return numerator // denominator + 1
+
+    # -- liquidity ---------------------------------------------------------
+
+    @external
+    def mint(self, msg: Msg, to: Address) -> int:
+        """Mint LP tokens for whatever was transferred in since last sync."""
+        reserve0, reserve1 = self.get_reserves()
+        balance0 = self._token_balance(self.token0)
+        balance1 = self._token_balance(self.token1)
+        amount0 = balance0 - reserve0
+        amount1 = balance1 - reserve1
+        total = self.total_supply()
+        if total == 0:
+            liquidity = math.isqrt(amount0 * amount1) - MINIMUM_LIQUIDITY
+            if liquidity <= 0:
+                raise InsufficientLiquidity("initial deposit too small")
+            super().mint(Address("0x" + "0" * 40), MINIMUM_LIQUIDITY)
+        else:
+            liquidity = min(
+                amount0 * total // reserve0 if reserve0 else 0,
+                amount1 * total // reserve1 if reserve1 else 0,
+            )
+        if liquidity <= 0:
+            raise InsufficientLiquidity("insufficient liquidity minted")
+        super().mint(to, liquidity)
+        self._update(balance0, balance1)
+        self.emit_trade("Mint", sender=msg.sender, amount0=amount0, amount1=amount1)
+        return liquidity
+
+    @external
+    def burn(self, msg: Msg, to: Address) -> tuple[int, int]:
+        """Burn the LP tokens held by the pair, paying out both assets."""
+        liquidity = self.balance_of(self.address)
+        total = self.total_supply()
+        if liquidity <= 0 or total <= 0:
+            raise InsufficientLiquidity("nothing to burn")
+        balance0 = self._token_balance(self.token0)
+        balance1 = self._token_balance(self.token1)
+        amount0 = liquidity * balance0 // total
+        amount1 = liquidity * balance1 // total
+        if amount0 <= 0 or amount1 <= 0:
+            raise InsufficientLiquidity("insufficient liquidity burned")
+        super().burn(self.address, liquidity)
+        self.call(self.token0, "transfer", to, amount0)
+        self.call(self.token1, "transfer", to, amount1)
+        self._update(self._token_balance(self.token0), self._token_balance(self.token1))
+        self.emit_trade("Burn", sender=msg.sender, amount0=amount0, amount1=amount1, to=to)
+        return amount0, amount1
+
+    # -- swapping ------------------------------------------------------------
+
+    @external
+    def swap(
+        self,
+        msg: Msg,
+        amount0_out: int,
+        amount1_out: int,
+        to: Address,
+        data: object = None,
+    ) -> None:
+        """Low-level swap; with ``data`` it becomes a flash swap.
+
+        Exactly like the real pair, output tokens are sent optimistically,
+        the recipient's ``uniswapV2Call`` runs if ``data`` is non-empty,
+        and the fee-adjusted constant-product check at the end reverts the
+        whole transaction if the pool was not made whole.
+        """
+        if amount0_out < 0 or amount1_out < 0 or amount0_out + amount1_out == 0:
+            raise Revert("insufficient output amount")
+        reserve0, reserve1 = self.get_reserves()
+        if amount0_out >= reserve0 or amount1_out >= reserve1:
+            raise InsufficientLiquidity("insufficient liquidity")
+        if amount0_out:
+            self.call(self.token0, "transfer", to, amount0_out)
+        if amount1_out:
+            self.call(self.token1, "transfer", to, amount1_out)
+        if data:
+            self.call(to, "uniswapV2Call", msg.sender, amount0_out, amount1_out, data)
+        balance0 = self._token_balance(self.token0)
+        balance1 = self._token_balance(self.token1)
+        amount0_in = max(0, balance0 - (reserve0 - amount0_out))
+        amount1_in = max(0, balance1 - (reserve1 - amount1_out))
+        if amount0_in + amount1_in == 0:
+            raise Revert("insufficient input amount")
+        fee = self.FEE_PER_MILLE
+        adjusted0 = balance0 * 1000 - amount0_in * fee
+        adjusted1 = balance1 * 1000 - amount1_in * fee
+        if adjusted0 * adjusted1 < reserve0 * reserve1 * 1000 * 1000:
+            raise Revert("K invariant violated")
+        self._update(balance0, balance1)
+        self.emit_trade(
+            "Swap",
+            sender=msg.sender,
+            amount0In=amount0_in,
+            amount1In=amount1_in,
+            amount0Out=amount0_out,
+            amount1Out=amount1_out,
+            to=to,
+        )
+
+    @external
+    def sync(self, msg: Msg) -> None:
+        """Force reserves to match balances (used after donations)."""
+        self._update(self._token_balance(self.token0), self._token_balance(self.token1))
+
+    # -- internals -------------------------------------------------------------
+
+    def _token_balance(self, token: Address) -> int:
+        return self.chain.contract_of(token, ERC20).balance_of(self.address)
+
+    def _update(self, balance0: int, balance1: int) -> None:
+        self.storage.set("reserve0", balance0)
+        self.storage.set("reserve1", balance1)
+        self.emit("Sync", reserve0=balance0, reserve1=balance1)
+
+
+class UniswapV2Factory(DeFiProtocol):
+    """Deploys pairs; the creation edge is what account tagging walks."""
+
+    APP_NAME = "Uniswap"
+
+    @external
+    def createPair(self, msg: Msg, token_a: Address, token_b: Address) -> Address:
+        pair = self.create_pair(token_a, token_b)
+        return pair.address
+
+    def create_pair(self, token_a: Address, token_b: Address, lp_symbol: str = "UNI-V2") -> UniswapV2Pair:
+        """Deploy a pair from this factory (convenience for scenario setup)."""
+        token0, token1 = sorted((token_a, token_b))
+        pair = self.chain.deploy(
+            self.address,
+            type(self).PAIR_CLASS,
+            token0,
+            token1,
+            lp_symbol,
+            hint=f"pair-{token0.short}-{token1.short}",
+        )
+        pair.app_name = self.app_name
+        self.emit("PairCreated", token0=token0, token1=token1, pair=pair.address)
+        return pair
+
+    PAIR_CLASS = UniswapV2Pair
+
+
+class UniswapV2Router(DeFiProtocol):
+    """Periphery router: pulls funds from the trader and talks to pairs.
+
+    Unlike a yield aggregator, the router is part of the same application
+    as its pairs (it carries the same app tag), so its hops collapse into
+    intra-app transfers during simplification.
+    """
+
+    APP_NAME = "Uniswap"
+
+    @external
+    def swapExactTokensForTokens(
+        self,
+        msg: Msg,
+        amount_in: int,
+        amount_out_min: int,
+        pairs: tuple[Address, ...],
+        token_in: Address,
+        to: Address | None = None,
+    ) -> int:
+        """Multi-hop exact-in swap along ``pairs``; returns the final output."""
+        recipient = to or msg.sender
+        self.pull_token(token_in, msg.sender, amount_in)
+        current_token, current_amount = token_in, amount_in
+        for pair_address in pairs:
+            pair = self.chain.contract_of(pair_address, UniswapV2Pair)
+            amount_out = pair.get_amount_out(current_amount, current_token)
+            self.push_token(current_token, pair_address, current_amount)
+            out0, out1 = (
+                (0, amount_out)
+                if pair.other_token(current_token) == pair.token1
+                else (amount_out, 0)
+            )
+            self.call(pair_address, "swap", out0, out1, self.address)
+            current_token = pair.other_token(current_token)
+            current_amount = amount_out
+        self.require(current_amount >= amount_out_min, "slippage")
+        self.push_token(current_token, recipient, current_amount)
+        return current_amount
+
+    @external
+    def addLiquidity(
+        self,
+        msg: Msg,
+        pair_address: Address,
+        amount0: int,
+        amount1: int,
+        to: Address | None = None,
+    ) -> int:
+        """Deposit both assets into a pair and mint LP to the caller."""
+        recipient = to or msg.sender
+        pair = self.chain.contract_of(pair_address, UniswapV2Pair)
+        self.pull_token(pair.token0, msg.sender, amount0)
+        self.pull_token(pair.token1, msg.sender, amount1)
+        self.push_token(pair.token0, pair_address, amount0)
+        self.push_token(pair.token1, pair_address, amount1)
+        return self.call(pair_address, "mint", recipient)
+
+    @external
+    def removeLiquidity(
+        self,
+        msg: Msg,
+        pair_address: Address,
+        liquidity: int,
+        to: Address | None = None,
+    ) -> tuple[int, int]:
+        """Burn caller LP tokens and return both assets."""
+        recipient = to or msg.sender
+        self.pull_token(pair_address, msg.sender, liquidity)
+        self.push_token(pair_address, pair_address, liquidity)
+        return self.call(pair_address, "burn", recipient)

@@ -1,0 +1,114 @@
+"""Share-priced yield vaults (Harvest fUSDC / Yearn yDAI style).
+
+A vault takes deposits of one underlying token and mints share tokens at
+the current *price per share*; withdrawals burn shares and pay the
+underlying back out. The price per share marks the vault's holdings to
+market through a pluggable valuation hook — in the real protocols that
+hook reads a Curve pool's instantaneous rate, which is exactly what the
+Harvest attacker skewed (deposit while shares look cheap, restore the
+pool, withdraw at the honest price; paper Sec. IV-B3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..chain.contract import Msg, external
+from ..chain.errors import InsufficientLiquidity, Revert
+from ..chain.types import Address
+from ..tokens.erc20 import ERC20
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..chain.chain import Chain
+
+__all__ = ["Vault"]
+
+_PRECISION = 10**18
+
+
+class Vault(ERC20):
+    """A single-asset vault; the share token is the contract itself."""
+
+    APP_NAME = "Harvest"
+
+    def __init__(
+        self,
+        chain: "Chain",
+        address: Address,
+        underlying: Address,
+        share_symbol: str,
+        value_per_underlying: Callable[[], float] | None = None,
+        deviation_guard_bps: int | None = None,
+    ) -> None:
+        """``value_per_underlying()`` marks one held underlying unit to
+        market (1.0 = par). ``deviation_guard_bps`` reproduces the defence
+        Harvest deployed after the attack: deposits/withdrawals revert if
+        the mark deviates from par by more than the threshold
+        (paper Sec. VI-D: a 3% threshold that attacks below 1% still slip
+        under)."""
+        underlying_decimals = chain.contract_of(underlying, ERC20).decimals
+        super().__init__(chain, address, symbol=share_symbol, decimals=underlying_decimals)
+        self.underlying = underlying
+        self.value_per_underlying = value_per_underlying or (lambda: 1.0)
+        self.deviation_guard_bps = deviation_guard_bps
+
+    # -- pricing ------------------------------------------------------------
+
+    def total_value(self) -> int:
+        """Vault holdings marked to market, in underlying units."""
+        held = self.chain.contract_of(self.underlying, ERC20).balance_of(self.address)
+        return int(held * self.value_per_underlying())
+
+    def price_per_share(self) -> float:
+        total_shares = self.total_supply()
+        if total_shares == 0:
+            return 1.0
+        return self.total_value() / total_shares
+
+    def _check_guard(self) -> None:
+        if self.deviation_guard_bps is None:
+            return
+        mark = self.value_per_underlying()
+        deviation_bps = abs(mark - 1.0) * 10_000
+        if deviation_bps > self.deviation_guard_bps:
+            raise Revert("price deviation guard tripped")
+
+    # -- deposits / withdrawals ------------------------------------------------
+
+    @external
+    def deposit(self, msg: Msg, amount: int) -> int:
+        """Deposit underlying, receive freshly minted shares."""
+        self.require_positive(amount)
+        self._check_guard()
+        total_shares = self.total_supply()
+        total_value = self.total_value()
+        self.call(self.underlying, "transferFrom", msg.sender, self.address, amount)
+        if total_shares == 0 or total_value == 0:
+            shares = amount
+        else:
+            shares = amount * total_shares // total_value
+        if shares <= 0:
+            raise InsufficientLiquidity("deposit too small for one share")
+        super().mint(msg.sender, shares)
+        self.emit_trade("Deposit", account=msg.sender, amount=amount, shares=shares)
+        return shares
+
+    @external
+    def withdraw(self, msg: Msg, shares: int) -> int:
+        """Burn shares, receive underlying at the current share price."""
+        self.require_positive(shares)
+        self._check_guard()
+        total_shares = self.total_supply()
+        if total_shares == 0:
+            raise InsufficientLiquidity("no shares outstanding")
+        amount = shares * self.total_value() // total_shares
+        held = self.chain.contract_of(self.underlying, ERC20).balance_of(self.address)
+        amount = min(amount, held)
+        super().burn(msg.sender, shares)
+        self.call(self.underlying, "transfer", msg.sender, amount)
+        self.emit_trade("Withdraw", account=msg.sender, amount=amount, shares=shares)
+        return amount
+
+    def require_positive(self, amount: int) -> None:
+        if amount <= 0:
+            raise Revert("amount must be positive")

@@ -1,0 +1,17 @@
+"""Experiment harness: one module per paper table/figure, plus ablations."""
+
+from . import ablations, fig1, fig8, perf, table1, table4, table5, table6, table7
+from .runner import main
+
+__all__ = [
+    "ablations",
+    "fig1",
+    "fig8",
+    "main",
+    "perf",
+    "table1",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+]

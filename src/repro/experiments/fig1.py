@@ -1,0 +1,32 @@
+"""Fig. 1 — weekly flash loan transactions from three DeFi applications."""
+
+from __future__ import annotations
+
+from ..workload.timeline import PROVIDER_TOTALS, WeekPoint, weekly_flash_loan_series
+
+__all__ = ["run", "render"]
+
+
+def run() -> list[WeekPoint]:
+    return weekly_flash_loan_series()
+
+
+def render(points: list[WeekPoint] | None = None, width: int = 60) -> str:
+    """ASCII rendering of the weekly series (one row per 4-week bucket)."""
+    points = points if points is not None else run()
+    lines = ["Fig. 1 — weekly flash loan transactions (4-week buckets)"]
+    lines.append(f"{'weeks':<10}{'total':>8}  " + " / ".join(PROVIDER_TOTALS))
+    buckets: list[tuple[int, dict[str, int]]] = []
+    for start in range(0, len(points), 4):
+        chunk = points[start : start + 4]
+        counts = {p: sum(pt.counts[p] for pt in chunk) for p in PROVIDER_TOTALS}
+        buckets.append((start, counts))
+    peak = max(sum(c.values()) for _, c in buckets) or 1
+    for start, counts in buckets:
+        total = sum(counts.values())
+        bar = "#" * max(1 if total else 0, round(total / peak * width))
+        detail = "/".join(str(counts[p]) for p in PROVIDER_TOTALS)
+        lines.append(f"w{start:<4}-{start + 3:<4}{total:>8}  {detail:<24} {bar}")
+    totals = {p: sum(pt.counts[p] for pt in points) for p in PROVIDER_TOTALS}
+    lines.append(f"totals: {totals} (paper: {dict(PROVIDER_TOTALS)})")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Detection latency (paper Sec. VI-A: mean 10 ms, p75 16 ms per tx)."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+
+from ..study.scenarios import SCENARIO_BUILDERS
+
+__all__ = ["LatencyStats", "run", "render"]
+
+#: a representative mix: one light, one medium, one heavy transaction.
+SAMPLE_SCENARIOS = ("harvest", "bzx1", "balancer")
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyStats:
+    samples: int
+    mean_ms: float
+    p50_ms: float
+    p75_ms: float
+    p99_ms: float
+
+
+def run(iterations: int = 50) -> LatencyStats:
+    """Measure end-to-end LeiShen analysis latency over replayed attacks."""
+    prepared = []
+    for key in SAMPLE_SCENARIOS:
+        outcome = SCENARIO_BUILDERS[key]()
+        prepared.append((outcome.world.detector(), outcome.trace))
+    # warm caches (tagging trees) once, like a long-running scanner would
+    for detector, trace in prepared:
+        detector.analyze(trace)
+    durations_ms: list[float] = []
+    for _ in range(iterations):
+        for detector, trace in prepared:
+            start = time.perf_counter()
+            detector.analyze(trace)
+            durations_ms.append((time.perf_counter() - start) * 1e3)
+    durations_ms.sort()
+    quantiles = statistics.quantiles(durations_ms, n=100)
+    return LatencyStats(
+        samples=len(durations_ms),
+        mean_ms=statistics.fmean(durations_ms),
+        p50_ms=quantiles[49],
+        p75_ms=quantiles[74],
+        p99_ms=quantiles[98],
+    )
+
+
+def render(stats: LatencyStats | None = None) -> str:
+    stats = stats if stats is not None else run()
+    return (
+        "Detection latency per flash loan transaction\n"
+        f"samples={stats.samples} mean={stats.mean_ms:.2f}ms p50={stats.p50_ms:.2f}ms "
+        f"p75={stats.p75_ms:.2f}ms p99={stats.p99_ms:.2f}ms\n"
+        "paper: mean 10 ms, 75% within 16 ms (Go implementation, Xeon E5-2683)"
+    )

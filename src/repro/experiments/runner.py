@@ -1,0 +1,78 @@
+"""Experiment CLI: regenerate every table and figure of the paper.
+
+Usage::
+
+    python -m repro.experiments.runner all
+    python -m repro.experiments.runner table5 --scale 0.1
+    leishen table4            # via the installed console script
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import ablations, fig1, fig8, perf, table1, table4, table5, table6, table7
+
+__all__ = ["main"]
+
+_EXPERIMENTS = ("fig1", "table1", "table4", "table5", "table6", "table7", "fig8",
+                "perf", "ablations")
+
+
+def _run_one(name: str, scale: float) -> str:
+    if name == "fig1":
+        return fig1.render()
+    if name == "table1":
+        return table1.render()
+    if name == "table4":
+        return table4.render()
+    if name == "table5":
+        return table5.render(scale=scale)
+    if name == "table6":
+        return table6.render(scale=scale)
+    if name == "table7":
+        return table7.render(scale=scale)
+    if name == "fig8":
+        return fig8.render(scale=scale)
+    if name == "perf":
+        return perf.render()
+    if name == "ablations":
+        return ablations.render()
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="leishen",
+        description="Regenerate the paper's tables and figures from the reproduction.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=(*_EXPERIMENTS, "all"),
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="wild-scan population scale (1.0 = the paper's 272,984 txs)",
+    )
+    parser.add_argument("--full", action="store_true", help="shorthand for --scale 1.0")
+    args = parser.parse_args(argv)
+    scale = 1.0 if args.full else args.scale
+
+    names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.perf_counter()
+        output = _run_one(name, scale)
+        elapsed = time.perf_counter() - start
+        print(f"=== {name} ({elapsed:.1f}s) ===")
+        print(output)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

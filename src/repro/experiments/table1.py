@@ -1,0 +1,29 @@
+"""Table I — real-world flpAttacks: measured volatility and patterns."""
+
+from __future__ import annotations
+
+from ..study.analysis import StudyRow, run_study
+
+__all__ = ["run", "render"]
+
+
+def run(keys: list[str] | None = None) -> list[StudyRow]:
+    return run_study(keys)
+
+
+def render(rows: list[StudyRow] | None = None) -> str:
+    rows = rows if rows is not None else run()
+    lines = [
+        "Table I — real-world flpAttacks (measured from scenario replays)",
+        f"{'ID':<4}{'Attack':<18}{'GT patterns':<14}{'Detected':<14}"
+        f"{'Max volatility':>16}  top pair",
+    ]
+    for row in rows:
+        gt = ",".join(sorted(p.name for p in row.meta.patterns)) or "-"
+        det = ",".join(row.patterns_detected) or "-"
+        top_pair = row.volatility_by_pair[0][0] if row.volatility_by_pair else "-"
+        lines.append(
+            f"{row.meta.attack_id:<4}{row.meta.name:<18}{gt:<14}{det:<14}"
+            f"{row.max_volatility_pct:>15.2f}%  {top_pair}"
+        )
+    return "\n".join(lines)

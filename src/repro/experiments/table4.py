@@ -1,0 +1,77 @@
+"""Table IV — detection results on known flpAttacks: three detectors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines import DeFiRanger, ExplorerLeiShen
+from ..study.catalog import AttackMeta, FLP_ATTACKS
+from ..study.scenarios import SCENARIO_BUILDERS
+
+__all__ = ["Table4Row", "run", "render"]
+
+
+@dataclass(frozen=True, slots=True)
+class Table4Row:
+    meta: AttackMeta
+    defiranger: bool
+    explorer_leishen: bool
+    leishen: bool
+    leishen_patterns: tuple[str, ...]
+
+    @property
+    def matches_paper(self) -> bool:
+        return (
+            self.leishen == self.meta.expect_leishen
+            and self.defiranger == self.meta.expect_defiranger
+            and self.explorer_leishen == self.meta.expect_explorer
+        )
+
+
+def run(keys: list[str] | None = None) -> list[Table4Row]:
+    rows: list[Table4Row] = []
+    for meta in FLP_ATTACKS:
+        if keys is not None and meta.key not in keys:
+            continue
+        outcome = SCENARIO_BUILDERS[meta.key]()
+        world = outcome.world
+        report = world.detector().analyze(outcome.trace)
+        leishen = report is not None and report.is_attack
+        patterns = tuple(sorted(p.name for p in report.patterns)) if report else ()
+        rows.append(
+            Table4Row(
+                meta=meta,
+                defiranger=DeFiRanger(world.chain).detect(outcome.trace),
+                explorer_leishen=ExplorerLeiShen(world.chain).detect(outcome.trace),
+                leishen=leishen,
+                leishen_patterns=patterns,
+            )
+        )
+    return rows
+
+
+def render(rows: list[Table4Row] | None = None) -> str:
+    rows = rows if rows is not None else run()
+    mark = lambda flag: "Y" if flag else "-"  # noqa: E731
+    lines = [
+        "Table IV — detection results on known flpAttacks",
+        f"{'ID':<4}{'Attack':<18}{'DeFiRanger':<12}{'Explorer+LS':<13}{'LeiShen':<9}"
+        f"{'patterns':<12}{'vs paper'}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.meta.attack_id:<4}{row.meta.name:<18}{mark(row.defiranger):<12}"
+            f"{mark(row.explorer_leishen):<13}{mark(row.leishen):<9}"
+            f"{','.join(row.leishen_patterns) or '-':<12}"
+            f"{'OK' if row.matches_paper else 'DIFFERS'}"
+        )
+    totals = (
+        sum(r.defiranger for r in rows),
+        sum(r.explorer_leishen for r in rows),
+        sum(r.leishen for r in rows),
+    )
+    lines.append(
+        f"detected: DeFiRanger {totals[0]}, Explorer+LeiShen {totals[1]}, "
+        f"LeiShen {totals[2]} (paper: 9 / 4 / 14-15 of 17 patterned)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Table VI — the most attacked applications among unknown attacks."""
+
+from __future__ import annotations
+
+from ..workload.generator import WildScanResult
+from .table5 import run as run_scan
+
+__all__ = ["run", "render", "PAPER_ROWS"]
+
+PAPER_ROWS = (
+    ("Balancer", 31, 5, 14, 13),
+    ("Uniswap", 16, 6, 8, 5),
+    ("Yearn", 11, 1, 1, 1),
+)
+
+
+def run(scale: float = 0.1, seed: int = 7) -> WildScanResult:
+    return run_scan(scale=scale, seed=seed)
+
+
+def render(result: WildScanResult | None = None, scale: float = 0.1) -> str:
+    result = result if result is not None else run(scale=scale)
+    lines = [
+        "Table VI — top attacked applications (unknown attacks)",
+        f"{'App':<18}{'Attacks':>8}{'Attackers':>10}{'Contracts':>10}{'Assets':>8}",
+    ]
+    for app, attacks, attackers, contracts, assets in result.table6()[:5]:
+        lines.append(f"{app:<18}{attacks:>8}{attackers:>10}{contracts:>10}{assets:>8}")
+    lines.append("paper (full scale):")
+    for app, attacks, attackers, contracts, assets in PAPER_ROWS:
+        lines.append(f"{app:<18}{attacks:>8}{attackers:>10}{contracts:>10}{assets:>8}")
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""JSON export of detection results.
+
+The paper's pipeline "returns a detailed report regarding attack patterns
+as output" (Sec. V). This module serializes
+:class:`~repro.leishen.report.AttackReport` and wild-scan results into
+plain JSON for downstream alerting/archival — the operational surface a
+deployed monitor needs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+from .report import AttackReport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..tokens.registry import TokenRegistry
+    from ..workload.generator import WildScanResult
+
+__all__ = ["report_to_dict", "report_to_json", "scan_result_to_dict"]
+
+
+def report_to_dict(report: AttackReport, registry: "TokenRegistry | None" = None) -> dict[str, Any]:
+    """A stable, JSON-safe rendering of one attack report."""
+
+    def symbol(token: str) -> str:
+        return registry.symbol_of(token) if registry is not None else str(token)
+
+    return {
+        "tx_hash": report.tx_hash,
+        "is_attack": report.is_attack,
+        "borrower": str(report.borrower),
+        "borrower_tag": report.borrower_tag,
+        "flash_loans": [
+            {
+                "provider": loan.provider,
+                "token": symbol(loan.token),
+                "amount": str(loan.amount),
+                "borrower": str(loan.borrower),
+            }
+            for loan in report.flash_loans
+        ],
+        "patterns": sorted(p.name for p in report.patterns),
+        "matches": [
+            {
+                "pattern": match.pattern.name,
+                "target_token": symbol(match.target_token),
+                "n_trades": len(match.trades),
+                "details": {key: value for key, value in match.details},
+            }
+            for match in report.matches
+        ],
+        "trades": [
+            {
+                "kind": trade.kind.value,
+                "buyer": str(trade.buyer),
+                "seller": str(trade.seller),
+                "sell": {"token": symbol(trade.token_sell), "amount": str(trade.amount_sell)},
+                "buy": {"token": symbol(trade.token_buy), "amount": str(trade.amount_buy)},
+            }
+            for trade in report.trades
+        ],
+        "price_volatility": report.volatility(),
+        "profit_flows": {
+            symbol(token): str(amount) for token, amount in report.profit_flows.items()
+        },
+        "profit_usd": report.profit_usd,
+    }
+
+
+def report_to_json(report: AttackReport, registry: "TokenRegistry | None" = None, **dumps_kwargs: Any) -> str:
+    dumps_kwargs.setdefault("indent", 2)
+    return json.dumps(report_to_dict(report, registry), **dumps_kwargs)
+
+
+def scan_result_to_dict(result: "WildScanResult") -> dict[str, Any]:
+    """JSON-safe summary of a wild scan (the Table V/VI/VII payload)."""
+    return {
+        "scale": result.config.scale,
+        "seed": result.config.seed,
+        "with_heuristic": result.config.with_heuristic,
+        "total_transactions": result.total_transactions,
+        "detected": result.detected_count,
+        "true_positives": result.true_positives,
+        "precision": result.precision,
+        "per_pattern": {
+            row.pattern: {"n": row.n, "tp": row.tp, "fp": row.fp, "precision": row.precision}
+            for row in result.table5()
+        },
+        "top_attacked_apps": [
+            {
+                "app": app,
+                "attacks": attacks,
+                "attackers": attackers,
+                "contracts": contracts,
+                "assets": assets,
+            }
+            for app, attacks, attackers, contracts, assets in result.table6()
+        ],
+        "profit": result.table7(),
+        "monthly_unknown_attacks": result.fig8_months(),
+    }

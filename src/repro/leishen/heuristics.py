@@ -1,0 +1,52 @@
+"""Post-detection heuristics (paper Sec. VI-C).
+
+The MBS pattern's main false-positive source is yield aggregators, whose
+investment strategies legitimately buy and sell the same asset over many
+rounds. The paper reports that assuming *transactions initiated from
+yield aggregators are not attacks* lifts MBS precision from 56.1% to 80%.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from .patterns import AttackPattern
+from .report import AttackReport
+from .tagging import AccountTagger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..chain.trace import TransactionTrace
+
+__all__ = ["YieldAggregatorHeuristic", "DEFAULT_AGGREGATOR_APPS"]
+
+#: Application names treated as yield aggregators / strategy operators.
+DEFAULT_AGGREGATOR_APPS = frozenset(
+    {"Yearn Strategy", "Harvest Strategy", "Idle", "Rari Capital", "APY.Finance"}
+)
+
+
+class YieldAggregatorHeuristic:
+    """Drops MBS-only detections whose transaction sender is an aggregator."""
+
+    def __init__(
+        self,
+        tagger: AccountTagger,
+        aggregator_apps: Iterable[str] = DEFAULT_AGGREGATOR_APPS,
+    ) -> None:
+        self._tagger = tagger
+        self._apps = set(aggregator_apps)
+
+    def initiated_by_aggregator(self, trace: "TransactionTrace") -> bool:
+        sender_tag = self._tagger.tag_of(trace.sender)
+        return sender_tag in self._apps
+
+    def apply(self, trace: "TransactionTrace", report: AttackReport) -> AttackReport:
+        """Return the report with MBS matches suppressed when appropriate.
+
+        Only MBS matches are dropped: a KRP or SBS match from an
+        aggregator-initiated transaction still flags the transaction.
+        """
+        if not report.matches or not self.initiated_by_aggregator(trace):
+            return report
+        report.matches = [m for m in report.matches if m.pattern is not AttackPattern.MBS]
+        return report

@@ -1,0 +1,173 @@
+"""Account tagging via contract-creation trees (paper Sec. V-B-1).
+
+Most accounts in an asset-transfer stream carry no Etherscan label. The
+paper observes that 52,482 of 52,500 labelled accounts follow one rule:
+*accounts connected by creation relationships share the application name*.
+Tagging therefore:
+
+1. builds the creation tree containing the account (ancestors via
+   creator edges, descendants via created edges);
+2. collects the application names of every labelled tree member into a
+   tag set;
+3. resolves the account's tag by the tag set:
+
+   - exactly one name -> that application name (Fig. 7a);
+   - empty -> the tree root's address, so accounts created by the same
+     (unknown) deployer still share one tag (Fig. 7b);
+   - more than one name -> **untaggable** (conflicting tags, Fig. 7c — the
+     rare publicly-deployable-contract case that makes LeiShen miss the
+     JulSwap and PancakeHunny attacks).
+
+The BlackHole (zero address) gets a reserved tag, and plain user accounts
+with no creations and no label are tagged with their own address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from ..chain.trace import TransferRecord
+from ..chain.types import Address, ZERO_ADDRESS
+from .labels import LabelDatabase
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..chain.chain import Chain
+
+__all__ = ["AccountTagger", "TaggedTransfer", "BLACKHOLE_TAG", "Tag"]
+
+#: Reserved tag for the zero address (mint/burn endpoint).
+BLACKHOLE_TAG = "BlackHole"
+
+#: A resolved tag: an application name, a root-address string, the
+#: BlackHole sentinel — or ``None`` for untaggable (conflicting) accounts.
+Tag = str | None
+
+
+@dataclass(frozen=True, slots=True)
+class TaggedTransfer:
+    """An account-level transfer lifted to tags:
+    ``tagT = (tag_sender, tag_receiver, amount, token)``."""
+
+    seq: int
+    tag_sender: Tag
+    tag_receiver: Tag
+    amount: int
+    token: Address
+    sender: Address
+    receiver: Address
+
+
+class AccountTagger:
+    """Resolves account tags against one chain's creation graph."""
+
+    def __init__(self, chain: "Chain", labels: LabelDatabase | None = None) -> None:
+        self._chain = chain
+        #: when no explicit database is supplied, labels mirror the chain's
+        #: and are re-synced whenever the chain gains labels (contracts get
+        #: labelled mid-scan in long-running detections).
+        self._auto_labels = labels is None
+        self._labels = labels if labels is not None else LabelDatabase.from_chain(chain)
+        self._synced_labels = len(chain.labels)
+        self._children: dict[Address, list[Address]] | None = None
+        self._indexed_creations = -1
+        self._cache: dict[Address, Tag] = {}
+
+    @property
+    def labels(self) -> LabelDatabase:
+        return self._labels
+
+    def invalidate(self) -> None:
+        """Drop caches after the chain gained new contracts or labels."""
+        self._children = None
+        self._cache.clear()
+
+    # -- tag resolution -----------------------------------------------------
+
+    def tag_of(self, address: Address) -> Tag:
+        """Resolve one account's tag (cached)."""
+        if address == ZERO_ADDRESS:
+            return BLACKHOLE_TAG
+        self._children_index()  # refresh (and drop caches) if the chain grew
+        cached = self._cache.get(address)
+        if cached is not None or address in self._cache:
+            return cached
+        tag = self._resolve(address)
+        self._cache[address] = tag
+        return tag
+
+    def _resolve(self, address: Address) -> Tag:
+        own = self._labels.app_of(address)
+        tree = self._tree_members(address)
+        tag_set = {self._labels.app_of(member) for member in tree}
+        tag_set.discard(None)
+        if own is not None:
+            tag_set.add(own)
+        if len(tag_set) == 1:
+            return next(iter(tag_set))
+        if len(tag_set) > 1:
+            return None  # conflicting tags: cannot be tagged (Fig. 7c)
+        return self._root_of(address)  # no tags anywhere: tag by tree root
+
+    def _tree_members(self, address: Address) -> set[Address]:
+        """Ancestors and descendants of ``address`` in its creation tree."""
+        members: set[Address] = set()
+        # ancestors
+        current: Address | None = address
+        while current is not None and current not in members:
+            members.add(current)
+            current = self._chain.created_by.get(current)
+        # descendants (breadth-first through created edges)
+        children = self._children_index()
+        frontier = [address]
+        while frontier:
+            node = frontier.pop()
+            for child in children.get(node, ()):
+                if child not in members:
+                    members.add(child)
+                    frontier.append(child)
+        return members
+
+    def _root_of(self, address: Address) -> str:
+        current = address
+        seen = {current}
+        while True:
+            parent = self._chain.created_by.get(current)
+            if parent is None or parent in seen:
+                return str(current)
+            seen.add(parent)
+            current = parent
+
+    def _children_index(self) -> dict[Address, list[Address]]:
+        # Auto-invalidate when the chain gained contracts since the index
+        # was built (long-running scans deploy mid-stream).
+        if self._auto_labels and len(self._chain.labels) != self._synced_labels:
+            self._labels = LabelDatabase.from_chain(self._chain)
+            self._synced_labels = len(self._chain.labels)
+            self._cache.clear()
+        creation_count = len(self._chain.creations)
+        if self._children is None or creation_count != self._indexed_creations:
+            index: dict[Address, list[Address]] = {}
+            for record in self._chain.creations:
+                index.setdefault(record.creator, []).append(record.created)
+            self._children = index
+            self._indexed_creations = creation_count
+            self._cache.clear()
+        return self._children
+
+    # -- transfer lifting --------------------------------------------------------
+
+    def tag_transfers(self, transfers: Iterable[TransferRecord]) -> list[TaggedTransfer]:
+        """Lift account-level transfers to tagged transfers."""
+        return [
+            TaggedTransfer(
+                seq=t.seq,
+                tag_sender=self.tag_of(t.sender),
+                tag_receiver=self.tag_of(t.receiver),
+                amount=t.amount,
+                token=t.token,
+                sender=t.sender,
+                receiver=t.receiver,
+            )
+            for t in transfers
+        ]

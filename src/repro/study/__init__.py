@@ -1,0 +1,41 @@
+"""Empirical study: the 22 real-world flpAttack scenarios and analyses."""
+
+from .analysis import StudyRow, analyze_scenario, flash_loan_analysis, run_study
+from .non_price import build_governance, build_reentrancy
+from .behaviors import (
+    ExitReport,
+    launder_through_intermediaries,
+    launder_through_mixer,
+    simulate_selfdestruct,
+    trace_profit_exit,
+)
+from .catalog import (
+    AttackMeta,
+    FLP_ATTACKS,
+    NON_PRICE_ATTACKS,
+    flp_attack,
+    patterned_attacks,
+)
+from .scenarios import SCENARIO_BUILDERS, ScenarioOutcome, build_scenario
+
+__all__ = [
+    "AttackMeta",
+    "ExitReport",
+    "FLP_ATTACKS",
+    "NON_PRICE_ATTACKS",
+    "SCENARIO_BUILDERS",
+    "ScenarioOutcome",
+    "StudyRow",
+    "analyze_scenario",
+    "build_governance",
+    "build_reentrancy",
+    "flash_loan_analysis",
+    "build_scenario",
+    "flp_attack",
+    "launder_through_intermediaries",
+    "launder_through_mixer",
+    "patterned_attacks",
+    "run_study",
+    "simulate_selfdestruct",
+    "trace_profit_exit",
+]

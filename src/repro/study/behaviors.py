@@ -1,0 +1,163 @@
+"""Attacker post-attack behaviours (paper Sec. VI-D2).
+
+The paper reports two findings about what attackers do after the attack
+transaction:
+
+1. **trace hiding** — some attackers ``selfdestruct`` the attack contract
+   ("a removed contract will be no longer accessible. However, the
+   contract code remains in the entire blockchain history and can be
+   replayed exactly" — which our chain honours: traces survive
+   ``destroy``);
+2. **money laundering** — nearly all attackers move profits through
+   multi-level intermediary accounts they control, and some through
+   coin-mixing services (Tornado Cash).
+
+This module simulates both behaviours on top of a finished attack and
+provides the forensic analysis that recovers them from chain history:
+the exit-path tracer follows profits hop by hop until they vanish into a
+mixer or settle at a terminal account.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..chain.chain import Chain
+from ..chain.types import Address
+from ..defi.mixer import Mixer, commitment_of
+from ..tokens.erc20 import ERC20
+from .scenarios.base import ScenarioOutcome
+
+__all__ = [
+    "ExitReport",
+    "simulate_selfdestruct",
+    "launder_through_intermediaries",
+    "launder_through_mixer",
+    "trace_profit_exit",
+]
+
+
+@dataclass(slots=True)
+class ExitReport:
+    """Forensic reconstruction of where an attack's profit went."""
+
+    token: Address
+    #: chain of accounts the profit moved through, in order.
+    hops: list[Address] = field(default_factory=list)
+    #: terminal account still holding funds, if the trail ends in the open.
+    terminal: Address | None = None
+    #: True when the trail ends in a mixer deposit.
+    entered_mixer: bool = False
+    #: True when the attack contract's code was selfdestructed.
+    contract_destroyed: bool = False
+
+    @property
+    def laundering_depth(self) -> int:
+        return len(self.hops)
+
+
+def simulate_selfdestruct(outcome: ScenarioOutcome) -> None:
+    """The attacker removes the attack contract's code post-attack.
+
+    The transaction history (and therefore replayability) is untouched —
+    the property the paper leans on to analyze destroyed contracts.
+    """
+    for contract in outcome.attack_contracts:
+        outcome.chain.destroy(contract)
+
+
+def _fresh_secret(chain: Chain, hint: str) -> str:
+    return hashlib.sha256(f"{chain.name}|{hint}|{len(chain.creations)}".encode()).hexdigest()
+
+
+def launder_through_intermediaries(
+    outcome: ScenarioOutcome, token: ERC20, depth: int = 3
+) -> list[Address]:
+    """Move the attacker's profit through ``depth`` fresh EOAs.
+
+    Each hop is a plain ERC20 transfer to a new attacker-controlled
+    account — the multi-level intermediary pattern the paper observed.
+    Returns the intermediary chain (last one holds the funds).
+    """
+    chain = outcome.chain
+    holder = outcome.attacker
+    amount = token.balance_of(holder)
+    if amount <= 0:
+        raise ValueError("attacker holds no profit in this token")
+    intermediaries: list[Address] = []
+    for level in range(depth):
+        nxt = chain.create_eoa(f"laundry-{outcome.name}-{level}")
+        chain.transact(holder, token.address, "transfer", nxt, amount)
+        intermediaries.append(nxt)
+        holder = nxt
+    return intermediaries
+
+
+def launder_through_mixer(
+    outcome: ScenarioOutcome,
+    token: ERC20,
+    mixer: Mixer,
+    clean_recipient: Address | None = None,
+) -> Address:
+    """Push profit denominations into a mixer and withdraw them clean.
+
+    Returns the clean recipient address. Any profit remainder below one
+    denomination stays on the last dirty account (as on the real chain).
+    """
+    chain = outcome.chain
+    holder = outcome.attacker
+    amount = token.balance_of(holder)
+    notes = amount // mixer.denomination
+    if notes <= 0:
+        raise ValueError("profit below one mixer denomination")
+    clean = clean_recipient or chain.create_eoa(f"clean-{outcome.name}")
+    chain.transact(holder, token.address, "approve", mixer.address, amount)
+    secrets = []
+    for i in range(notes):
+        secret = _fresh_secret(chain, f"{outcome.name}-{i}")
+        secrets.append(secret)
+        chain.transact(holder, mixer.address, "deposit", commitment_of(secret))
+    for secret in secrets:
+        chain.transact(holder, mixer.address, "withdraw", secret, clean)
+    return clean
+
+
+def trace_profit_exit(outcome: ScenarioOutcome, token: ERC20) -> ExitReport:
+    """Follow the profit's exit path through chain history.
+
+    Starting from the attacker EOA, follows full-balance transfers of
+    ``token`` hop by hop. The trail ends at a mixer (unlinkable), or at
+    the last account still holding the funds.
+    """
+    chain = outcome.chain
+    report = ExitReport(token=token.address)
+    report.contract_destroyed = any(
+        contract not in chain.contracts for contract in outcome.attack_contracts
+    )
+    transfers = [
+        transfer
+        for block in chain.blocks
+        for trace in block.traces
+        for transfer in trace.transfers
+        if transfer.token == token.address
+    ]
+    current = outcome.attacker
+    seen = {current}
+    while True:
+        outgoing = [t for t in transfers if t.sender == current]
+        if not outgoing:
+            report.terminal = current
+            return report
+        hop = max(outgoing, key=lambda t: t.amount)
+        receiver = hop.receiver
+        if isinstance(chain.contracts.get(receiver), Mixer):
+            report.entered_mixer = True
+            report.hops.append(receiver)
+            return report
+        if receiver in seen:
+            report.terminal = current
+            return report
+        report.hops.append(receiver)
+        seen.add(receiver)
+        current = receiver

@@ -1,0 +1,156 @@
+"""Non-price manipulation flash loan attacks (paper Sec. III-C).
+
+Half of the 44 collected attacks exploit contract vulnerabilities rather
+than prices: "in the Akropolis attack, the attacker exploits [a]
+reentrancy bug to withdraw twice the assets borrowed from flash loans.
+And in the Beanstalk attack, the attacker borrows governance tokens ...
+to launch governance attacks."
+
+These attacks take flash loans but perform no price-manipulating trade
+sequence, so LeiShen must *not* flag them — they are the negative
+controls of the detection evaluation and are out of the paper's scope by
+design ("studied by many researchers with ... symbolic execution,
+abstract interpretation, formal verification and fuzzing").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..chain.contract import Contract, Msg, external
+from ..chain.types import Address
+from ..defi.base import DeFiProtocol
+from .scenarios.base import ScenarioOutcome, ScriptedAttackContract, run_flash_loan_attack
+from .scenarios.common import world_for
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..chain.chain import Chain
+
+__all__ = ["ReentrantBank", "GovernanceTreasury", "build_reentrancy", "build_governance"]
+
+
+class ReentrantBank(DeFiProtocol):
+    """An Akropolis-style savings bank with a classic reentrancy bug:
+    ``withdraw`` pays out *before* updating the depositor's balance and
+    notifies the recipient in between."""
+
+    APP_NAME = "Akropolis"
+
+    @external
+    def deposit(self, msg: Msg, token: Address, amount: int) -> None:
+        self.pull_token(token, msg.sender, amount)
+        self.storage.add(("deposit", msg.sender, token), amount)
+
+    @external
+    def withdraw(self, msg: Msg, token: Address, amount: int) -> None:
+        deposited = self.storage.get(("deposit", msg.sender, token), 0)
+        self.require(amount <= deposited, "over-withdraw")
+        # BUG: interaction before effect — the recipient hook can re-enter.
+        self.push_token(token, msg.sender, amount)
+        if self.chain.is_contract(msg.sender):
+            try:
+                self.call(msg.sender, "on_withdrawal", token, amount)
+            except Exception:  # notification failures are not our problem
+                pass
+        self.storage.add(("deposit", msg.sender, token), -amount)
+
+    def deposit_of(self, account: Address, token: Address) -> int:
+        return self.storage.get(("deposit", account, token), 0)
+
+
+class GovernanceTreasury(DeFiProtocol):
+    """A Beanstalk-style DAO treasury with same-block emergency execution:
+    voting power is the *current* governance-token balance, so a flash
+    loan of the token passes any proposal within one transaction."""
+
+    APP_NAME = "Beanstalk"
+
+    def __init__(self, chain: "Chain", address: Address, gov_token: Address) -> None:
+        super().__init__(chain, address)
+        self.gov_token = gov_token
+
+    @external
+    def propose_drain(self, msg: Msg, token: Address, recipient: Address) -> int:
+        proposal_id = self.storage.add("proposal_count", 1)
+        self.storage.set(("proposal", proposal_id), (token, recipient))
+        return proposal_id
+
+    @external
+    def emergency_execute(self, msg: Msg, proposal_id: int) -> None:
+        """Execute immediately if the caller holds a supermajority *right
+        now* — the flaw the real attack exploited."""
+        held = self.token(self.gov_token).balance_of(msg.sender)
+        supply = self.token(self.gov_token).total_supply()
+        self.require(held * 2 >= supply, "needs a majority")
+        payload = self.storage.get(("proposal", proposal_id))
+        self.require(payload is not None, "unknown proposal")
+        token, recipient = payload
+        balance = self.token_balance(token)
+        self.push_token(token, recipient, balance)
+        self.emit("EmergencyCommit", proposal=proposal_id)
+
+
+class _ReentrantThief(ScriptedAttackContract):
+    """Attack contract that re-enters the bank's withdraw once."""
+
+    @external
+    def on_withdrawal(self, msg: Msg, token: Address, amount: int) -> None:
+        if not getattr(self, "_reentered", False):
+            self._reentered = True
+            self.call(msg.sender, "withdraw", token, amount)
+
+
+def build_reentrancy() -> ScenarioOutcome:
+    """Flash-funded reentrancy drain: borrow, deposit, withdraw twice."""
+    world = world_for("ethereum")
+    dai = world.new_token("DAI")
+    bank = world.chain.deploy(
+        world.deployer_of("Akropolis"), ReentrantBank, label="Akropolis: SavingsModule"
+    )
+    # honest TVL the reentrancy steals from
+    world.approve(world.whale, dai, bank.address)
+    world.chain.transact(world.whale, bank.address, "deposit", dai.address, 10**7 * dai.unit)
+    solo = world.dydx(funding={dai: 10**7 * dai.unit})
+
+    def body(atk: ScriptedAttackContract) -> None:
+        atk._reentered = False
+        amount = 2 * 10**6 * dai.unit
+        atk.approve(dai.address, bank.address)
+        atk.call(bank.address, "deposit", dai.address, amount)
+        atk.call(bank.address, "withdraw", dai.address, amount)  # pays out twice
+
+    attacker = world.create_attacker("akro-eoa")
+    contract = world.chain.deploy(attacker, _ReentrantThief, body, hint="akro-contract")
+    trace = world.chain.transact(
+        attacker, contract.address, "run_dydx", solo.address, dai.address, 2 * 10**6 * dai.unit
+    )
+    return ScenarioOutcome(
+        name="akropolis", world=world, trace=trace,
+        attacker=attacker, attack_contracts=[contract.address],
+    )
+
+
+def build_governance() -> ScenarioOutcome:
+    """Flash-borrowed governance majority drains the DAO treasury."""
+    world = world_for("ethereum")
+    gov = world.new_token("STALK", supply_to_whale=15 * 10**8 * 10**18)
+    bean = world.new_token("BEAN")
+    treasury = world.chain.deploy(
+        world.deployer_of("Beanstalk"), GovernanceTreasury, gov.address,
+        label="Beanstalk: Silo",
+    )
+    bean.mint(treasury.address, 5 * 10**7 * bean.unit)  # the treasury
+    aave = world.aave(funding={gov: 9 * 10**8 * gov.unit})
+    # a market to convert a sliver of loot into the flash-loan premium
+    pool = world.dex_pair(gov, bean, 10**8 * gov.unit, 10**8 * bean.unit)
+
+    def body(atk: ScriptedAttackContract) -> None:
+        proposal = atk.call(treasury.address, "propose_drain", bean.address, atk.address)
+        atk.call(treasury.address, "emergency_execute", proposal)
+        # cover the 0.09% AAVE premium out of the loot
+        atk.swap_pool(pool.address, bean.address, 10**6 * bean.unit)
+
+    return run_flash_loan_attack(
+        world, body, "aave", aave.address, gov.address, 8 * 10**8 * gov.unit,
+        name="beanstalk",
+    )

@@ -1,0 +1,95 @@
+"""Scripted reproductions of the 22 real-world flpAttacks (paper Table I).
+
+``SCENARIO_BUILDERS`` maps each catalog key to a zero-argument builder
+returning a :class:`~repro.study.scenarios.base.ScenarioOutcome`. Builders
+construct a fresh world each call, so scenarios are independent and
+reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .balancer_attack import build_balancer
+from .base import ScenarioOutcome, ScriptedAttackContract, run_flash_loan_attack
+from .bzx import build_bzx1, build_bzx2
+from .common import (
+    build_krp,
+    build_mint_dump,
+    build_oracle_sbs,
+    build_vault_mbs,
+    conflict_tag,
+    flash_source,
+    imbalance_mark,
+    world_for,
+)
+from .krp_attacks import build_pancakehunny, build_spartan
+from .mint_dump_attacks import (
+    build_myfarmpet,
+    build_pancakebunny,
+    build_twindex,
+    build_xtoken1,
+)
+from .oracle_attacks import (
+    build_autoshark2,
+    build_autoshark3,
+    build_cheesebank,
+    build_julswap,
+    build_ploutoz,
+)
+from .saddle_attack import build_saddle
+from .vault_attacks import (
+    build_belt,
+    build_eminence,
+    build_harvest,
+    build_valuedefi,
+    build_wault,
+    build_xwin,
+)
+from .yearn_attack import build_yearn
+
+__all__ = [
+    "SCENARIO_BUILDERS",
+    "ScenarioOutcome",
+    "ScriptedAttackContract",
+    "build_scenario",
+    "run_flash_loan_attack",
+    "build_krp",
+    "build_mint_dump",
+    "build_oracle_sbs",
+    "build_vault_mbs",
+    "conflict_tag",
+    "flash_source",
+    "imbalance_mark",
+    "world_for",
+]
+
+SCENARIO_BUILDERS: dict[str, Callable[[], ScenarioOutcome]] = {
+    "bzx1": build_bzx1,
+    "bzx2": build_bzx2,
+    "balancer": build_balancer,
+    "eminence": build_eminence,
+    "harvest": build_harvest,
+    "cheesebank": build_cheesebank,
+    "valuedefi": build_valuedefi,
+    "yearn": build_yearn,
+    "spartan": build_spartan,
+    "xtoken1": build_xtoken1,
+    "pancakebunny": build_pancakebunny,
+    "julswap": build_julswap,
+    "belt": build_belt,
+    "xwin": build_xwin,
+    "wault": build_wault,
+    "twindex": build_twindex,
+    "autoshark2": build_autoshark2,
+    "myfarmpet": build_myfarmpet,
+    "pancakehunny": build_pancakehunny,
+    "autoshark3": build_autoshark3,
+    "ploutoz": build_ploutoz,
+    "saddle": build_saddle,
+}
+
+
+def build_scenario(key: str) -> ScenarioOutcome:
+    """Build and execute one named scenario."""
+    return SCENARIO_BUILDERS[key]()

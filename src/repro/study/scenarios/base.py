@@ -1,0 +1,239 @@
+"""Scenario framework: scripted attack contracts and outcome plumbing.
+
+Each of the 22 real-world flpAttacks is replayed as a *scripted attack
+contract* on a fresh :class:`~repro.world.DeFiWorld`. The script (the
+attack body) is a Python closure executed inside the flash-loan callback,
+exactly where the real attack logic ran; the surrounding machinery takes
+care of borrowing from the right provider and repaying with the fee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from ...chain.contract import Msg, external
+from ...chain.trace import TransactionTrace
+from ...chain.types import Address
+from ...defi.aave import AAVE_FLASHLOAN_FEE_BPS
+from ...defi.base import FlashLoanReceiver
+from ...defi.dydx import call_action, deposit_action, withdraw_action
+from ...defi.uniswap import UniswapV2Pair
+from ...world import DeFiWorld
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...chain.chain import Chain
+
+__all__ = ["ScriptedAttackContract", "ScenarioOutcome", "run_flash_loan_attack"]
+
+Body = Callable[["ScriptedAttackContract"], None]
+
+
+class ScriptedAttackContract(FlashLoanReceiver):
+    """An attack contract whose logic is supplied as a Python closure."""
+
+    def __init__(self, chain: "Chain", address: Address, body: Body | None = None) -> None:
+        super().__init__(chain, address)
+        self._body = body
+        self._continuations: list[Body] = []
+        #: the account that invoked the current entry point — accomplice
+        #: contracts use it to hand proceeds back to their caller.
+        self.caller: Address | None = None
+
+    # -- entry points -------------------------------------------------------
+
+    @external
+    def run(self, msg: Msg) -> None:
+        """Execute the body without any flash loan (plain transaction)."""
+        self.caller = msg.sender
+        self._run_body()
+
+    @external
+    def run_dydx(self, msg: Msg, solo: Address, token: Address, amount: int) -> None:
+        """Borrow via dYdX's Withdraw/Call/Deposit sequence, then run."""
+        self.approve(token, solo, amount + 2)
+        self.call(
+            solo,
+            "operate",
+            [
+                withdraw_action(token, amount),
+                call_action(self.address),
+                deposit_action(token, amount + 2),
+            ],
+        )
+
+    @external
+    def run_aave(self, msg: Msg, pool: Address, token: Address, amount: int) -> None:
+        """Borrow via AAVE flashLoan, then run."""
+        self.call(pool, "flashLoan", self.address, token, amount, "flp")
+
+    @external
+    def run_uniswap(self, msg: Msg, pair: Address, token: Address, amount: int) -> None:
+        """Borrow via a Uniswap V2 flash swap, then run."""
+        pool = self.chain.contract_of(pair, UniswapV2Pair)
+        out0, out1 = (amount, 0) if token == pool.token0 else (0, amount)
+        self.call(pair, "swap", out0, out1, self.address, "flash")
+
+    # -- provider callbacks ----------------------------------------------------
+
+    @external
+    def callFunction(self, msg: Msg, sender: Address, data: object) -> None:
+        self._run_body()
+
+    @external
+    def executeOperation(self, msg: Msg, token: Address, amount: int, fee: int, params: object) -> None:
+        self._run_body()
+        self.approve(token, msg.sender, amount + fee)
+
+    @external
+    def uniswapV2Call(self, msg: Msg, sender: Address, amount0: int, amount1: int, data: object) -> None:
+        pair = self.chain.contract_of(msg.sender, UniswapV2Pair)
+        self._run_body()
+        borrowed = amount0 or amount1
+        token = pair.token0 if amount0 else pair.token1
+        fee = borrowed * 3 // 997 + 1
+        self.transfer(token, msg.sender, borrowed + fee)
+
+    def _run_body(self) -> None:
+        if self._continuations:
+            self._continuations.pop()(self)
+        elif self._body is not None:
+            self._body(self)
+
+    # -- nested loans (multi-provider attacks, e.g. Yearn) ----------------------
+
+    def flash_aave_then(self, pool: Address, token: Address, amount: int, then: Body) -> None:
+        self._continuations.append(then)
+        self.call(pool, "flashLoan", self.address, token, amount, "nested")
+
+    def flash_uniswap_then(self, pair: Address, token: Address, amount: int, then: Body) -> None:
+        self._continuations.append(then)
+        pool = self.chain.contract_of(pair, UniswapV2Pair)
+        out0, out1 = (amount, 0) if token == pool.token0 else (0, amount)
+        self.call(pair, "swap", out0, out1, self.address, "flash")
+
+    # -- action helpers ------------------------------------------------------------
+
+    def approve(self, token: Address, spender: Address, amount: int = 2**200) -> None:
+        self.call(token, "approve", spender, amount)
+
+    def transfer(self, token: Address, to: Address, amount: int) -> None:
+        self.call(token, "transfer", to, amount)
+
+    def balance(self, token: Address) -> int:
+        from ...tokens.erc20 import ERC20
+
+        return self.chain.contract_of(token, ERC20).balance_of(self.address)
+
+    def swap_pool(self, pair: Address, token_in: Address, amount_in: int) -> int:
+        """Direct swap on a Uniswap-style pair; returns the output amount."""
+        pool = self.chain.contract_of(pair, UniswapV2Pair)
+        amount_out = pool.get_amount_out(amount_in, token_in)
+        self.transfer(token_in, pair, amount_in)
+        token_out = pool.other_token(token_in)
+        out0, out1 = (amount_out, 0) if token_out == pool.token0 else (0, amount_out)
+        self.call(pair, "swap", out0, out1, self.address)
+        return amount_out
+
+    def balancer_swap(self, pool: Address, token_in: Address, amount_in: int, token_out: Address) -> int:
+        self.approve(token_in, pool, amount_in)
+        return self.call(pool, "swapExactAmountIn", token_in, amount_in, token_out)
+
+    def curve_swap(self, pool: Address, i: int, j: int, amount: int) -> int:
+        coins = self.chain.contract_at(pool).coins  # type: ignore[attr-defined]
+        self.approve(coins[i], pool, amount)
+        return self.call(pool, "exchange", i, j, amount)
+
+    def vault_deposit(self, vault: Address, amount: int) -> int:
+        underlying = self.chain.contract_at(vault).underlying  # type: ignore[attr-defined]
+        self.approve(underlying, vault, amount)
+        return self.call(vault, "deposit", amount)
+
+    def vault_withdraw(self, vault: Address, shares: int) -> int:
+        return self.call(vault, "withdraw", shares)
+
+    def oracle_swap(self, venue: Address, token_in: Address, amount_in: int, token_out: Address) -> int:
+        self.approve(token_in, venue, amount_in)
+        return self.call(venue, "oracle_swap", token_in, amount_in, token_out)
+
+    def aggregator_trade(
+        self, aggregator: Address, venue: Address, token_in: Address, amount_in: int, token_out: Address
+    ) -> int:
+        self.approve(token_in, aggregator, amount_in)
+        return self.call(aggregator, "trade", venue, token_in, amount_in, token_out, self.address)
+
+    def sweep(self, tokens: Sequence[Address], to: Address) -> None:
+        """Send the full balance of each token to ``to`` (profit exit)."""
+        for token in tokens:
+            amount = self.balance(token)
+            if amount > 0:
+                self.transfer(token, to, amount)
+
+    @external
+    def collect(self, msg: Msg, token: Address) -> int:
+        """Step 3 of the paper's attack model: the attack contract hands
+        its profit to the attacker. Only the deployer may collect."""
+        if self.chain.created_by.get(self.address) != msg.sender:
+            from ...chain.errors import Revert
+
+            raise Revert("only the deployer collects")
+        amount = self.balance(token)
+        if amount > 0:
+            self.transfer(token, msg.sender, amount)
+        return amount
+
+
+@dataclass(slots=True)
+class ScenarioOutcome:
+    """A replayed attack: the world it ran in and its transaction trace."""
+
+    name: str
+    world: DeFiWorld
+    trace: TransactionTrace
+    attacker: Address
+    attack_contracts: list[Address] = field(default_factory=list)
+
+    @property
+    def chain(self):
+        return self.world.chain
+
+
+def run_flash_loan_attack(
+    world: DeFiWorld,
+    body: Body,
+    provider: str,
+    provider_account: Address,
+    token: Address,
+    amount: int,
+    attacker: Address | None = None,
+    accomplices: Sequence[ScriptedAttackContract] = (),
+    name: str = "attack",
+) -> ScenarioOutcome:
+    """Deploy a scripted attack contract and fire the flash-loan tx.
+
+    ``provider`` selects the entry point: ``"dydx"``, ``"aave"`` or
+    ``"uniswap"`` (which also covers PancakeSwap-style forks).
+    """
+    attacker = attacker or world.create_attacker(f"{name}-eoa")
+    contract = world.chain.deploy(attacker, ScriptedAttackContract, body, hint=f"{name}-contract")
+    entry = {"dydx": "run_dydx", "aave": "run_aave", "uniswap": "run_uniswap"}[provider]
+    trace = world.chain.transact(
+        attacker, contract.address, entry, provider_account, token, amount
+    )
+    # Step 3 of the attack model (paper Fig. 2): the contract transfers
+    # its profit to the attacker, in follow-up transactions that do not
+    # touch the analyzed attack trace.
+    for held in world.registry:
+        if held.balance_of(contract.address) > 0:
+            world.chain.transact(attacker, contract.address, "collect", held.address)
+    return ScenarioOutcome(
+        name=name,
+        world=world,
+        trace=trace,
+        attacker=attacker,
+        attack_contracts=[contract.address, *(a.address for a in accomplices)],
+    )
+
+
+# AAVE fee constant re-exported for scenario profit arithmetic.
+AAVE_FEE_BPS = AAVE_FLASHLOAN_FEE_BPS

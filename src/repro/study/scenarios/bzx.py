@@ -1,0 +1,75 @@
+"""The two bZx attacks (Feb 2020) — the first known flpAttacks.
+
+- **bZx-1** (paper Fig. 3, SBS): dYdX flash loan; collateralized WBTC
+  borrow on Compound (the cheap symmetric buy); an over-leveraged margin
+  trade on bZx routed through a Kyber-style aggregator pumps Uniswap's
+  WBTC price (the raise); the borrowed WBTC is dumped on the pumped pool
+  (the dear symmetric sell).
+- **bZx-2** (KRP): 18 equal 20-ETH buys of sUSD on Uniswap, then one dump
+  on a deep Synthetix-depot-like secondary market. The paper notes the
+  original loan came from bZx itself; we substitute dYdX, one of the
+  three providers Table II fingerprints.
+"""
+
+from __future__ import annotations
+
+from ...chain.types import ETH
+from .base import ScenarioOutcome, ScriptedAttackContract, run_flash_loan_attack
+from .common import build_krp, world_for
+
+__all__ = ["build_bzx1", "build_bzx2"]
+
+
+def build_bzx1() -> ScenarioOutcome:
+    world = world_for("ethereum")
+    weth = world.weth
+    wbtc = world.new_token("WBTC", 8)
+
+    # Shallow Uniswap WETH/WBTC pool at 38.5 WETH per WBTC (like the real one).
+    pool = world.dex_pair(weth, wbtc, 8_085 * ETH, 210 * wbtc.unit)
+
+    solo = world.dydx(funding={weth: 100_000 * ETH})
+    market = world.lending_market(
+        prices={weth.address: 1.0, wbtc.address: 36.8 * 10**18 / 10**8},
+        funding={wbtc: 10_000 * wbtc.unit},
+    )
+    venue = world.margin_venue([pool], funding={weth: 50_000 * ETH}, app="bZx")
+    kyber = world.aggregator("Kyber")
+
+    def body(atk: ScriptedAttackContract) -> None:
+        # Step 2: collateralize 5,500 ETH, borrow 112 WBTC on Compound.
+        atk.approve(weth.address, market.address)
+        atk.call(
+            market.address, "borrow", weth.address, 5_500 * ETH, wbtc.address, 112 * wbtc.unit
+        )
+        # Steps 3-4: 5x margin trade on bZx, routed via Kyber to Uniswap.
+        atk.approve(weth.address, venue.address)
+        atk.call(
+            venue.address,
+            "open_margin_position",
+            weth.address,
+            1_300 * ETH,
+            pool.address,
+            5,
+            kyber.address,
+        )
+        # Step 5: sell the 112 WBTC at the pumped price.
+        atk.swap_pool(pool.address, wbtc.address, 112 * wbtc.unit)
+
+    return run_flash_loan_attack(
+        world, body, "dydx", solo.address, weth.address, 10_000 * ETH, name="bzx1"
+    )
+
+
+def build_bzx2() -> ScenarioOutcome:
+    return build_krp(
+        name="bzx2",
+        chain="ethereum",
+        provider="dYdX",
+        pool_app=None,  # Uniswap
+        sink_app="Synthetix",
+        target_symbol="sUSD",
+        n_buys=18,
+        sink_is_pool=True,
+    )
+

@@ -1,0 +1,429 @@
+"""Parameterized attack-shape builders shared by the 22 scenarios.
+
+Four shapes cover most of the studied attacks:
+
+- :func:`build_vault_mbs` — Harvest-style multi-round vault share-price
+  skimming (Harvest, Eminence, Value DeFi, Belt, xWin, Wault);
+- :func:`build_oracle_sbs` — symmetrical buy/sell against an
+  oracle-priced venue with a DEX price raise in between (Cheese Bank,
+  AutoShark-2/-3, Ploutoz, JulSwap);
+- :func:`build_krp` — batch buys on a pool followed by a dump on a second
+  venue (bZx-2, Spartan, PancakeHunny);
+- :func:`build_mint_dump` — pump a pool, mint a reward/synth token at the
+  manipulated oracle rate, dump it (XToken-1, PancakeBunny, Twindex,
+  MY FARM PET; the paper's "no clear pattern" group).
+
+Every builder returns a :class:`ScenarioOutcome` whose trace is the one
+flash-loan attack transaction, executed for real on the substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...chain.contract import Contract
+from ...chain.types import Address
+from ...defi.curve import StableSwapPool
+from ...tokens.erc20 import ERC20
+from ...world import BSC_PROFILE, ChainProfile, DeFiWorld, ETHEREUM_PROFILE
+from .base import ScenarioOutcome, ScriptedAttackContract, run_flash_loan_attack
+
+__all__ = [
+    "world_for",
+    "flash_source",
+    "imbalance_mark",
+    "conflict_tag",
+    "build_vault_mbs",
+    "build_oracle_sbs",
+    "build_krp",
+    "build_mint_dump",
+]
+
+
+def world_for(chain: str) -> DeFiWorld:
+    profile: ChainProfile = ETHEREUM_PROFILE if chain == "ethereum" else BSC_PROFILE
+    return DeFiWorld(profile=profile)
+
+
+def flash_source(
+    world: DeFiWorld, token: ERC20, amount: int, provider: str
+) -> tuple[str, Address]:
+    """Arrange liquidity so ``amount`` of ``token`` can be flash-borrowed.
+
+    Returns ``(entry_key, provider_account)`` for
+    :func:`~repro.study.scenarios.base.run_flash_loan_attack`. ``provider``
+    is a catalog provider name (``"dYdX"``, ``"AAVE"``, ``"Uniswap"`` or
+    ``"PancakeSwap"`` — forks share the Uniswap flash-swap fingerprint).
+    """
+    if provider == "dYdX":
+        solo = world.dydx(funding={token: amount * 2})
+        return "dydx", solo.address
+    if provider == "AAVE":
+        pool = world.aave(funding={token: amount * 2})
+        return "aave", pool.address
+    # Uniswap-style flash swap: borrow from a pair deep in `token`; the
+    # counter-asset's depth (and hence the pair's rate) is irrelevant to a
+    # same-token flash swap repayment. When the borrowed token is the
+    # wrapped native asset itself, pair it against a stablecoin instead.
+    if token.address == world.weth.address:
+        counter: ERC20 = world.new_token("USDF", 18)
+    else:
+        counter = world.weth
+    pair = world.dex_pair(token, counter, amount * 2, 10_000 * counter.unit)
+    return "uniswap", pair.address
+
+
+def imbalance_mark(
+    pool: StableSwapPool, sensitivity: float, floor: float = 0.01
+) -> Callable[[], float]:
+    """Vault mark-to-market hook driven by a Curve pool's imbalance.
+
+    Balanced pool -> 1.0; the more coin 0 dominates, the lower the mark.
+    This is the stand-in for Harvest/Yearn's strategy valuation reading an
+    instantaneous Curve rate.
+    """
+
+    def mark() -> float:
+        xp = pool._xp()
+        u, q = xp[0], sum(xp[1:])
+        total = u + q
+        if total == 0:
+            return 1.0
+        return max(floor, 1.0 + sensitivity * (q - u) / total)
+
+    return mark
+
+
+class _DummyChild(Contract):
+    """Placeholder contract used to inject conflicting creation-tree tags."""
+
+
+def conflict_tag(world: DeFiWorld, contract: Contract, other_app: str) -> None:
+    """Make ``contract`` untaggable: deploy a child carrying another app's
+    Etherscan label, creating the conflicting-tag tree of paper Fig. 7(c)."""
+    world.chain.deploy(
+        contract.address, _DummyChild, label=f"{other_app}: Pool", hint="conflict-child"
+    )
+
+
+# ---------------------------------------------------------------------------
+# shape 1: multi-round vault share-price skimming (MBS)
+# ---------------------------------------------------------------------------
+
+
+def build_vault_mbs(
+    *,
+    name: str,
+    chain: str,
+    provider: str,
+    app: str,
+    underlying_symbol: str,
+    quote_symbol: str,
+    share_symbol: str,
+    rounds: int = 3,
+    deposit: int | None = None,
+    manipulation: int | None = None,
+    sensitivity: float = 0.05,
+    vault_events: bool = False,
+    split_withdraw: bool = False,
+    accomplice_withdraws: bool = False,
+    decimals: int = 18,
+) -> ScenarioOutcome:
+    """Harvest-shape attack: N rounds of deposit-cheap / withdraw-dear.
+
+    ``split_withdraw`` sells each round's shares in two unequal chunks
+    (breaks DeFiRanger's symmetric-round rule — the Eminence variant);
+    ``accomplice_withdraws`` routes withdrawals through a second attacker
+    contract (breaks DeFiRanger's single-account anchoring — the Wault
+    variant) while LeiShen still groups both contracts under the creation
+    root.
+    """
+    world = world_for(chain)
+    underlying = world.new_token(underlying_symbol, decimals)
+    quote = world.new_token(quote_symbol, decimals)
+    pool_size = 200_000_000 * underlying.unit
+    curve = world.curve_pool({underlying: pool_size, quote: pool_size})
+    vault = world.vault(
+        underlying,
+        share_symbol,
+        app=app,
+        value_per_underlying=imbalance_mark(curve, sensitivity),
+        seed_amount=300_000_000 * underlying.unit,
+    )
+    vault.emits_trade_events = vault_events
+
+    deposit = deposit if deposit is not None else 50_000_000 * underlying.unit
+    manipulation = (
+        manipulation if manipulation is not None else 40_000_000 * underlying.unit
+    )
+    accomplice: ScriptedAttackContract | None = None
+
+    def body(atk: ScriptedAttackContract) -> None:
+        for _ in range(rounds):
+            got_quote = atk.curve_swap(curve.address, 0, 1, manipulation)
+            shares = atk.vault_deposit(vault.address, deposit)
+            atk.curve_swap(curve.address, 1, 0, got_quote)
+            if accomplice_withdraws and accomplice is not None:
+                atk.transfer(vault.address, accomplice.address, shares)
+                atk.call(accomplice.address, "run")
+            elif split_withdraw:
+                first = shares * 3 // 5
+                atk.vault_withdraw(vault.address, first)
+                atk.vault_withdraw(vault.address, shares - first)
+            else:
+                atk.vault_withdraw(vault.address, shares)
+
+    attacker = world.create_attacker(f"{name}-eoa")
+    if accomplice_withdraws:
+
+        def accomplice_body(acc: ScriptedAttackContract) -> None:
+            shares = acc.balance(vault.address)
+            amount = acc.vault_withdraw(vault.address, shares)
+            acc.transfer(underlying.address, acc.caller, amount)
+
+        accomplice = world.chain.deploy(
+            attacker, ScriptedAttackContract, accomplice_body, hint=f"{name}-accomplice"
+        )
+
+    entry, source = flash_source(world, underlying, deposit + manipulation, provider)
+    outcome = run_flash_loan_attack(
+        world,
+        body,
+        entry,
+        source,
+        underlying.address,
+        deposit + manipulation,
+        attacker=attacker,
+        accomplices=(accomplice,) if accomplice is not None else (),
+        name=name,
+    )
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# shape 2: symmetrical buy/sell against an oracle venue (SBS)
+# ---------------------------------------------------------------------------
+
+
+def build_oracle_sbs(
+    *,
+    name: str,
+    chain: str,
+    provider: str,
+    app: str,
+    target_symbol: str,
+    symmetric_amount: int | None = None,
+    raise_amount: int | None = None,
+    two_venues: bool = False,
+    conflicting_tags: bool = False,
+    pool_events: bool = True,
+) -> ScenarioOutcome:
+    """Cheese Bank-shape attack.
+
+    t1 buys the target cheaply from an oracle-priced venue, t2 pumps the
+    oracle pool (>= 28%), a partial dump brings the spot between t1's and
+    t2's rates, t3 sells t1's exact amount back to the venue, and the
+    remaining pumped inventory is dumped at a loss.
+
+    ``two_venues`` places t1 and t3 on different accounts of the same app
+    (AutoShark-2); ``conflicting_tags`` additionally makes those venue
+    accounts untaggable (JulSwap — LeiShen's documented miss).
+    """
+    world = world_for(chain)
+    quote = world.weth
+    target = world.new_token(target_symbol, 18)
+    pool = world.dex_pair(target, quote, 1_000_000 * target.unit, 10_000 * quote.unit)
+    pool.emits_trade_events = pool_events
+    venue_funding = {world.registry.by_symbol(quote.symbol): 200_000 * quote.unit,
+                     target: 2_000_000 * target.unit}
+    venue1 = world.margin_venue([pool], funding=venue_funding, app=app)
+    venue1.emits_trade_events = False
+    venue2 = venue1
+    if two_venues:
+        venue2 = world.margin_venue([pool], funding=venue_funding, app=app)
+        venue2.emits_trade_events = False
+    if conflicting_tags:
+        other = "Uniswap" if chain == "ethereum" else "PancakeSwap"
+        conflict_tag(world, venue1, other)
+        if two_venues:
+            conflict_tag(world, venue2, other)
+
+    amount_quote = symmetric_amount if symmetric_amount is not None else 1_000 * quote.unit
+    pump = raise_amount if raise_amount is not None else 6_000 * quote.unit
+
+    def body(atk: ScriptedAttackContract) -> None:
+        # t1: buy target at the honest oracle price.
+        bought = atk.oracle_swap(venue1.address, quote.address, amount_quote, target.address)
+        # t2: pump the oracle pool (the SBS "raise" trade).
+        pumped = atk.swap_pool(pool.address, quote.address, pump)
+        # partial dump so the spot lands between t1's and t2's rates.
+        atk.swap_pool(pool.address, target.address, pumped * 55 // 100)
+        # t3: sell exactly t1's amount back to the venue at the pumped oracle.
+        atk.oracle_swap(venue2.address, target.address, bought, quote.address)
+        # liquidate the rest of the pumped inventory (at a loss).
+        rest = atk.balance(target.address)
+        if rest > 0:
+            atk.swap_pool(pool.address, target.address, rest)
+
+    borrow = amount_quote + pump
+    entry, source = flash_source(world, quote, borrow, provider)
+    return run_flash_loan_attack(
+        world, body, entry, source, quote.address, borrow, name=name
+    )
+
+
+# ---------------------------------------------------------------------------
+# shape 3: keep raising price (KRP)
+# ---------------------------------------------------------------------------
+
+
+def build_krp(
+    *,
+    name: str,
+    chain: str,
+    provider: str,
+    pool_app: str | None,
+    sink_app: str,
+    target_symbol: str,
+    n_buys: int = 18,
+    buy_amount: int | None = None,
+    pool_events: bool = True,
+    sink_is_pool: bool = False,
+    accomplice_sells: bool = False,
+    conflicting_tags: bool = False,
+) -> ScenarioOutcome:
+    """bZx-2-shape attack: N equal buys on a pool, then one dump.
+
+    The dump happens on a *sink*: either a second, deeper pool (bZx-2's
+    Synthetix-depot substitute, ``sink_is_pool=True``) or an oracle-priced
+    venue reading the pumped pool (Spartan, PancakeHunny).
+    """
+    world = world_for(chain)
+    quote = world.weth
+    target = world.new_token(target_symbol, 18)
+    pool = world.dex_pair(
+        target, quote, 263_000 * target.unit, 1_000 * quote.unit, app=pool_app
+    )
+    pool.emits_trade_events = pool_events
+    sink_pool = None
+    sink_venue = None
+    if sink_is_pool:
+        # deep secondary market at a mid-level price.
+        sink_pool = world.dex_pair(
+            target, quote, 2_000_000 * target.unit, 12_400 * quote.unit, app=sink_app
+        )
+    else:
+        sink_venue = world.margin_venue(
+            [pool],
+            funding={world.registry.by_symbol(quote.symbol): 500_000 * quote.unit},
+            app=sink_app,
+        )
+        sink_venue.emits_trade_events = False
+    if conflicting_tags:
+        other = "Uniswap" if chain == "ethereum" else "PancakeSwap"
+        conflict_tag(world, pool, other)
+        if sink_venue is not None:
+            conflict_tag(world, sink_venue, other)
+
+    buy_amount = buy_amount if buy_amount is not None else 20 * quote.unit
+    accomplice: ScriptedAttackContract | None = None
+    attacker = world.create_attacker(f"{name}-eoa")
+    sink_address = sink_pool.address if sink_pool is not None else sink_venue.address
+
+    def sell_all(contract: ScriptedAttackContract) -> None:
+        amount = contract.balance(target.address)
+        if sink_pool is not None:
+            contract.swap_pool(sink_pool.address, target.address, amount)
+        else:
+            contract.oracle_swap(sink_venue.address, target.address, amount, quote.address)
+
+    def body(atk: ScriptedAttackContract) -> None:
+        for _ in range(n_buys):
+            atk.swap_pool(pool.address, quote.address, buy_amount)
+        if accomplice_sells and accomplice is not None:
+            atk.transfer(target.address, accomplice.address, atk.balance(target.address))
+            atk.call(accomplice.address, "run")
+        else:
+            sell_all(atk)
+
+    if accomplice_sells:
+        def accomplice_body(acc: ScriptedAttackContract) -> None:
+            sell_all(acc)
+            # hand proceeds back to the borrower contract for repayment
+            acc.transfer(quote.address, acc.caller, acc.balance(quote.address))
+
+        accomplice = world.chain.deploy(
+            attacker, ScriptedAttackContract, accomplice_body, hint=f"{name}-accomplice"
+        )
+
+    borrow = buy_amount * n_buys + 10 * quote.unit
+    entry, source = flash_source(world, quote, borrow, provider)
+    outcome = run_flash_loan_attack(
+        world,
+        body,
+        entry,
+        source,
+        quote.address,
+        borrow,
+        attacker=attacker,
+        accomplices=(accomplice,) if accomplice is not None else (),
+        name=name,
+    )
+    _ = sink_address
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# shape 4: mint-and-dump (no clear pattern)
+# ---------------------------------------------------------------------------
+
+
+def build_mint_dump(
+    *,
+    name: str,
+    chain: str,
+    provider: str,
+    app: str,
+    pumped_symbol: str,
+    reward_symbol: str,
+    pump_amount: int | None = None,
+) -> ScenarioOutcome:
+    """Pump a pool, mint/buy a reward token at the skewed oracle, dump it.
+
+    No repeated same-token round exists, so neither LeiShen's patterns nor
+    DeFiRanger's two-trade rule fire — the paper's "cannot observe clear
+    attack patterns" group.
+    """
+    world = world_for(chain)
+    quote = world.weth
+    pumped = world.new_token(pumped_symbol, 18)
+    reward = world.new_token(reward_symbol, 18)
+    pool = world.dex_pair(pumped, quote, 500_000 * pumped.unit, 5_000 * quote.unit)
+    reward_pool = world.dex_pair(reward, quote, 3_000_000 * reward.unit, 30_000 * quote.unit)
+    minter = world.margin_venue(
+        [pool], funding={reward: 10_000_000 * reward.unit}, app=app
+    )
+    minter.emits_trade_events = False
+    # the minter venue prices `pumped -> reward` via the pumped pool's spot
+    # against quote; wire a composite oracle for that path.
+    from ...defi.oracle import DexSpotOracle
+
+    minter.oracle = DexSpotOracle([pool, reward_pool])
+
+    pump_amount = pump_amount if pump_amount is not None else 4_000 * quote.unit
+
+    def body(atk: ScriptedAttackContract) -> None:
+        bought = atk.swap_pool(pool.address, quote.address, pump_amount)
+        # mint rewards with a sliver of the pumped token at the skewed rate
+        sliver = bought // 100
+        atk.oracle_swap(minter.address, pumped.address, sliver, reward.address)
+        # dump everything
+        atk.swap_pool(reward_pool.address, reward.address, atk.balance(reward.address))
+        atk.swap_pool(pool.address, pumped.address, atk.balance(pumped.address))
+
+    borrow = pump_amount + 10 * quote.unit
+    entry, source = flash_source(world, quote, borrow, provider)
+    return run_flash_loan_attack(
+        world, body, entry, source, quote.address, borrow, name=name
+    )
+

@@ -1,0 +1,44 @@
+"""KRP batch-buy attacks beyond bZx-2: Spartan Protocol and PancakeHunny."""
+
+from __future__ import annotations
+
+from .base import ScenarioOutcome
+from .common import build_krp
+
+__all__ = ["build_spartan", "build_pancakehunny"]
+
+
+def build_spartan() -> ScenarioOutcome:
+    """Six escalating SPARTA buys on Spartan's own (event-less) pool, with
+    the final dump executed by a *second* attacker contract — LeiShen's
+    creation-root tag still covers it, DeFiRanger's account view does not."""
+    return build_krp(
+        name="spartan",
+        chain="bsc",
+        provider="PancakeSwap",
+        pool_app="Spartan",
+        sink_app="Spartan",
+        target_symbol="SPARTA",
+        n_buys=6,
+        buy_amount=None,
+        pool_events=False,
+        sink_is_pool=False,
+        accomplice_sells=True,
+    )
+
+
+def build_pancakehunny() -> ScenarioOutcome:
+    """KRP by manual analysis, but both the pool and the venue live in
+    conflicting-tag creation trees — LeiShen's second documented miss."""
+    return build_krp(
+        name="pancakehunny",
+        chain="bsc",
+        provider="PancakeSwap",
+        pool_app="PancakeHunny",
+        sink_app="PancakeHunny",
+        target_symbol="HUNNY",
+        n_buys=6,
+        pool_events=False,
+        sink_is_pool=False,
+        conflicting_tags=True,
+    )

@@ -1,0 +1,63 @@
+"""The "no clear pattern" group: XToken-1, PancakeBunny, Twindex, MY FARM PET.
+
+All four pump a pool, mint or buy a reward/synth token at the skewed
+oracle rate, and dump it elsewhere. There is no repeated same-token round
+for any detector's pattern to latch onto — the five-attack residue of the
+paper's empirical study (Value DeFi being the fifth, in vault_attacks).
+"""
+
+from __future__ import annotations
+
+from .base import ScenarioOutcome
+from .common import build_mint_dump
+
+__all__ = [
+    "build_xtoken1",
+    "build_pancakebunny",
+    "build_twindex",
+    "build_myfarmpet",
+]
+
+
+def build_xtoken1() -> ScenarioOutcome:
+    return build_mint_dump(
+        name="xtoken1",
+        chain="bsc",
+        provider="PancakeSwap",
+        app="xToken",
+        pumped_symbol="SNXb",
+        reward_symbol="xSNXa",
+    )
+
+
+def build_pancakebunny() -> ScenarioOutcome:
+    return build_mint_dump(
+        name="pancakebunny",
+        chain="bsc",
+        provider="PancakeSwap",
+        app="PancakeBunny",
+        pumped_symbol="USDTb",
+        reward_symbol="BUNNY",
+    )
+
+
+def build_twindex() -> ScenarioOutcome:
+    return build_mint_dump(
+        name="twindex",
+        chain="bsc",
+        provider="PancakeSwap",
+        app="Twindex",
+        pumped_symbol="TWX",
+        reward_symbol="KUSD",
+    )
+
+
+def build_myfarmpet() -> ScenarioOutcome:
+    return build_mint_dump(
+        name="myfarmpet",
+        chain="bsc",
+        provider="PancakeSwap",
+        app="MyFarmPet",
+        pumped_symbol="PETB",
+        reward_symbol="MyFarmPET",
+    )

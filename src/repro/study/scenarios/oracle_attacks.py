@@ -1,0 +1,78 @@
+"""Oracle-venue SBS attacks: Cheese Bank, AutoShark-2/-3, Ploutoz, JulSwap.
+
+Each buys the target cheaply from an oracle-priced venue, pumps the
+oracle pool by >= 28%, and sells the exact bought amount back dear —
+the Symmetrical Buying and Selling shape of paper Sec. IV-B2.
+"""
+
+from __future__ import annotations
+
+from .base import ScenarioOutcome
+from .common import build_oracle_sbs
+
+__all__ = [
+    "build_cheesebank",
+    "build_autoshark2",
+    "build_autoshark3",
+    "build_ploutoz",
+    "build_julswap",
+]
+
+
+def build_cheesebank() -> ScenarioOutcome:
+    return build_oracle_sbs(
+        name="cheesebank",
+        chain="ethereum",
+        provider="dYdX",
+        app="CheeseBank",
+        target_symbol="CHEESE",
+    )
+
+
+def build_autoshark2() -> ScenarioOutcome:
+    """t1 and t3 hit *different accounts* of the AutoShark app: LeiShen's
+    app-level transfers still line them up, DeFiRanger's account-level
+    view does not (the paper's core argument for application tagging)."""
+    return build_oracle_sbs(
+        name="autoshark2",
+        chain="bsc",
+        provider="PancakeSwap",
+        app="AutoShark",
+        target_symbol="SHARK",
+        two_venues=True,
+    )
+
+
+def build_autoshark3() -> ScenarioOutcome:
+    return build_oracle_sbs(
+        name="autoshark3",
+        chain="bsc",
+        provider="PancakeSwap",
+        app="AutoShark",
+        target_symbol="JAWS",
+    )
+
+
+def build_ploutoz() -> ScenarioOutcome:
+    return build_oracle_sbs(
+        name="ploutoz",
+        chain="bsc",
+        provider="PancakeSwap",
+        app="Ploutoz",
+        target_symbol="DOP",
+    )
+
+
+def build_julswap() -> ScenarioOutcome:
+    """SBS by manual analysis, but the venue accounts live in a
+    conflicting-tag creation tree (paper Fig. 7c): LeiShen cannot tag
+    them and misses the attack — its first documented miss in Table IV."""
+    return build_oracle_sbs(
+        name="julswap",
+        chain="bsc",
+        provider="PancakeSwap",
+        app="JulSwap",
+        target_symbol="JULb",
+        two_venues=True,
+        conflicting_tags=True,
+    )

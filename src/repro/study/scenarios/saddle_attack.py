@@ -1,0 +1,62 @@
+"""The Saddle Finance attack (Jan 2022) — the one dual-pattern attack.
+
+Three profitable symmetric rounds against Saddle's (event-less) swap
+venue satisfy MBS, while the first buy, a later dearer buy and a sell
+priced between them satisfy SBS — Table I's only row with two checkmarks.
+The venue prices sUSD via a Uniswap pool the attacker nudges between
+trades.
+"""
+
+from __future__ import annotations
+
+from .base import ScenarioOutcome, ScriptedAttackContract, run_flash_loan_attack
+from .common import flash_source, world_for
+
+__all__ = ["build_saddle"]
+
+
+def build_saddle() -> ScenarioOutcome:
+    world = world_for("ethereum")
+    usdc = world.new_token("USDC", 18)
+    susd = world.new_token("sUSD2", 18)
+    # the oracle pool starts balanced at 1 sUSD = 1 USDC
+    pool = world.dex_pair(susd, usdc, 1_000_000 * susd.unit, 1_000_000 * usdc.unit)
+    venue = world.margin_venue(
+        [pool],
+        funding={susd: 5_000_000 * susd.unit, usdc: 5_000_000 * usdc.unit},
+        app="Saddle",
+    )
+    venue.emits_trade_events = False
+
+    round_amount = 100_000 * usdc.unit
+
+    def buy_round(atk: ScriptedAttackContract, usdc_in: int) -> int:
+        return atk.oracle_swap(venue.address, usdc.address, usdc_in, susd.address)
+
+    def sell_round(atk: ScriptedAttackContract, susd_in: int) -> int:
+        return atk.oracle_swap(venue.address, susd.address, susd_in, usdc.address)
+
+    def body(atk: ScriptedAttackContract) -> None:
+        # round 1: buy at par (this is also SBS's t1)
+        got1 = buy_round(atk, round_amount)
+        # nudge the oracle up hard (SBS's implicit price path), sell dear
+        atk.swap_pool(pool.address, usdc.address, 300_000 * usdc.unit)
+        # bring the spot below the raise trade's average before selling
+        atk.swap_pool(pool.address, susd.address, 150_000 * susd.unit)
+        sell_round(atk, got1)
+        # round 2: buy at the elevated price (SBS's t2, the raise), small
+        got2 = buy_round(atk, 30_000 * usdc.unit)
+        atk.swap_pool(pool.address, usdc.address, 40_000 * usdc.unit)
+        sell_round(atk, got2)
+        # round 3: nudge down, buy, nudge up, sell the round's sUSD
+        atk.swap_pool(pool.address, susd.address, 80_000 * susd.unit)
+        got3 = buy_round(atk, 60_000 * usdc.unit)
+        atk.swap_pool(pool.address, usdc.address, 60_000 * usdc.unit)
+        sell_round(atk, got3)
+        # liquidate leftover nudge inventory so the USDC loan can be repaid
+        atk.swap_pool(pool.address, susd.address, atk.balance(susd.address))
+
+    entry, source = flash_source(world, usdc, 1_000_000 * usdc.unit, "Uniswap")
+    return run_flash_loan_attack(
+        world, body, entry, source, usdc.address, 1_000_000 * usdc.unit, name="saddle"
+    )

@@ -1,0 +1,119 @@
+"""Vault share-price attacks: Eminence, Harvest, Value DeFi, Belt, xWin, Wault.
+
+All six instantiate :func:`~repro.study.scenarios.common.build_vault_mbs`
+with per-attack parameters. Sensitivities are tuned so the measured
+fUSDC-style price volatility roughly matches the paper's Table I rows
+(Harvest 0.5%, Belt 3.1%, Value DeFi 27.6%, Eminence ~124%, xWin ~2500%).
+"""
+
+from __future__ import annotations
+
+from .base import ScenarioOutcome
+from .common import build_vault_mbs
+
+__all__ = [
+    "build_eminence",
+    "build_harvest",
+    "build_valuedefi",
+    "build_belt",
+    "build_xwin",
+    "build_wault",
+]
+
+
+def build_eminence() -> ScenarioOutcome:
+    """MBS; withdrawals split into unequal chunks (the attacker cashed out
+    EMN in stages), which is what pushes it outside DeFiRanger's
+    symmetric two-trade rule."""
+    return build_vault_mbs(
+        name="eminence",
+        chain="ethereum",
+        provider="Uniswap",
+        app="Eminence",
+        underlying_symbol="DAI",
+        quote_symbol="USDT",
+        share_symbol="EMN",
+        sensitivity=2.5,
+        split_withdraw=True,
+    )
+
+
+def build_harvest() -> ScenarioOutcome:
+    """The canonical MBS attack: three symmetric fUSDC rounds, ~0.5%
+    volatility — small enough to slip under Harvest's later 3% guard."""
+    return build_vault_mbs(
+        name="harvest",
+        chain="ethereum",
+        provider="Uniswap",
+        app="Harvest",
+        underlying_symbol="USDC",
+        quote_symbol="USDT",
+        share_symbol="fUSDC",
+        decimals=6,
+        sensitivity=0.025,
+        vault_events=True,  # Harvest's vault emits Deposit/Withdraw
+    )
+
+
+def build_valuedefi() -> ScenarioOutcome:
+    """A single manipulation round: profitable, but below every LeiShen
+    pattern threshold (MBS needs >= 3 rounds; there is no second buy for
+    SBS). DeFiRanger's two-trade rule still catches it — the one known
+    attack it detects and LeiShen does not (Table IV)."""
+    return build_vault_mbs(
+        name="valuedefi",
+        chain="ethereum",
+        provider="AAVE",
+        app="ValueDeFi",
+        underlying_symbol="DAI",
+        quote_symbol="USDT",
+        share_symbol="mvUSD",
+        rounds=1,
+        sensitivity=1.2,
+    )
+
+
+def build_belt() -> ScenarioOutcome:
+    return build_vault_mbs(
+        name="belt",
+        chain="bsc",
+        provider="PancakeSwap",
+        app="Belt",
+        underlying_symbol="BUSD",
+        quote_symbol="USDT",
+        share_symbol="beltBUSD",
+        sensitivity=0.08,
+    )
+
+
+def build_xwin() -> ScenarioOutcome:
+    """xWin's vault emits trade events, making it one of the four attacks
+    the Explorer+LeiShen baseline can see (Table IV)."""
+    return build_vault_mbs(
+        name="xwin",
+        chain="bsc",
+        provider="PancakeSwap",
+        app="xWin",
+        underlying_symbol="WBNBx",
+        quote_symbol="BUSD",
+        share_symbol="XWIN",
+        sensitivity=4.8,
+        vault_events=True,
+    )
+
+
+def build_wault() -> ScenarioOutcome:
+    """Withdrawals run through a second attacker contract: LeiShen's
+    creation-root tagging still groups both contracts, DeFiRanger's
+    account anchoring does not."""
+    return build_vault_mbs(
+        name="wault",
+        chain="bsc",
+        provider="PancakeSwap",
+        app="Wault",
+        underlying_symbol="USDT",
+        quote_symbol="BUSD",
+        share_symbol="wUSDT",
+        sensitivity=0.1,
+        accomplice_withdraws=True,
+    )

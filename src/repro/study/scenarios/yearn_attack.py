@@ -1,0 +1,54 @@
+"""The Yearn DAI vault attack (Feb 2021) — SBS through vault share pricing.
+
+The attacker deposits while the vault's Curve-based mark is crushed (the
+cheap symmetric buy), makes a small deposit at the restored mark (the
+price-raising trade), nudges the mark partway down and withdraws the
+original shares (the dear symmetric sell, priced between the other two).
+"""
+
+from __future__ import annotations
+
+from .base import ScenarioOutcome, ScriptedAttackContract, run_flash_loan_attack
+from .common import imbalance_mark, world_for
+
+__all__ = ["build_yearn"]
+
+
+def build_yearn() -> ScenarioOutcome:
+    world = world_for("ethereum")
+    dai = world.new_token("DAI")
+    usdt = world.new_token("USDT3")
+    pool_size = 200_000_000 * dai.unit
+    curve = world.curve_pool({dai: pool_size, usdt: pool_size})
+    vault = world.vault(
+        dai,
+        "yDAI",
+        app="Yearn",
+        value_per_underlying=imbalance_mark(curve, 1.5),
+        seed_amount=300_000_000 * dai.unit,
+    )
+    vault.emits_trade_events = False
+
+    big_nudge = 40_000_000 * dai.unit  # mark ~0.7
+    small_nudge = 13_000_000 * dai.unit  # mark ~0.9
+    deposit = 50_000_000 * dai.unit
+    raise_deposit = 100_000 * dai.unit
+
+    def body(atk: ScriptedAttackContract) -> None:
+        # crush the mark and deposit cheap (t1)
+        got = atk.curve_swap(curve.address, 0, 1, big_nudge)
+        shares = atk.vault_deposit(vault.address, deposit)
+        atk.curve_swap(curve.address, 1, 0, got)
+        # small deposit at the restored (higher) share price (t2, the raise)
+        extra = atk.vault_deposit(vault.address, raise_deposit)
+        # nudge the mark partway down and sell t1's exact shares (t3)
+        got2 = atk.curve_swap(curve.address, 0, 1, small_nudge)
+        atk.vault_withdraw(vault.address, shares)
+        atk.curve_swap(curve.address, 1, 0, got2)
+        atk.vault_withdraw(vault.address, extra)
+
+    solo = world.dydx(funding={dai: 250_000_000 * dai.unit})
+    borrow = big_nudge + small_nudge + deposit + raise_deposit
+    return run_flash_loan_attack(
+        world, body, "dydx", solo.address, dai.address, borrow, name="yearn"
+    )

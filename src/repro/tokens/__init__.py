@@ -1,0 +1,8 @@
+"""Token layer: ERC20, Wrapped Ether and the token metadata registry."""
+
+from .deflationary import DeflationaryERC20
+from .erc20 import ERC20
+from .registry import TokenRegistry
+from .weth import WETH, WETH_APP_NAME
+
+__all__ = ["DeflationaryERC20", "ERC20", "TokenRegistry", "WETH", "WETH_APP_NAME"]

@@ -1,0 +1,69 @@
+"""Token metadata registry.
+
+Maps token addresses to their contract objects and symbols so reports,
+oracles and experiments can render human-readable token pairs
+(``"ETH-WBTC"``) the way the paper's Table I does.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..chain.types import Address, ETHER
+from .erc20 import ERC20
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..chain.chain import Chain
+
+__all__ = ["TokenRegistry"]
+
+
+class TokenRegistry:
+    """Symbol/decimals lookup for every token deployed on one chain."""
+
+    def __init__(self, native_symbol: str = "ETH") -> None:
+        self._tokens: dict[Address, ERC20] = {}
+        self._by_symbol: dict[str, Address] = {}
+        self.native_symbol = native_symbol
+
+    def register(self, token: ERC20) -> ERC20:
+        self._tokens[token.address] = token
+        self._by_symbol[token.symbol] = token.address
+        return token
+
+    def deploy(
+        self,
+        chain: "Chain",
+        deployer: Address,
+        symbol: str,
+        decimals: int = 18,
+        label: str | None = None,
+    ) -> ERC20:
+        """Deploy a fresh ERC20 and register it in one step."""
+        token = chain.deploy(deployer, ERC20, symbol, decimals, label=label, hint=symbol)
+        return self.register(token)
+
+    def get(self, address: Address) -> ERC20 | None:
+        return self._tokens.get(address)
+
+    def by_symbol(self, symbol: str) -> ERC20:
+        return self._tokens[self._by_symbol[symbol]]
+
+    def has_symbol(self, symbol: str) -> bool:
+        return symbol in self._by_symbol
+
+    def symbol_of(self, address: Address) -> str:
+        if address == ETHER:
+            return self.native_symbol
+        token = self._tokens.get(address)
+        return token.symbol if token is not None else address.short
+
+    def pair_name(self, token_a: Address, token_b: Address) -> str:
+        """Render a token pair the way Table I does, e.g. ``"ETH-WBTC"``."""
+        return f"{self.symbol_of(token_a)}-{self.symbol_of(token_b)}"
+
+    def __iter__(self) -> Iterator[ERC20]:
+        return iter(self._tokens.values())
+
+    def __len__(self) -> int:
+        return len(self._tokens)

@@ -1,0 +1,60 @@
+"""Wrapped Ether (WETH9-style).
+
+The contract exchanges ETH and WETH 1:1. Its transfers are what the
+paper's second simplification rule (*remove WETH related transfers*,
+Sec. V-B-2) strips out after unifying WETH and ETH into one asset.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..chain.contract import Msg, external
+from ..chain.types import Address
+from .erc20 import ERC20
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..chain.chain import Chain
+
+__all__ = ["WETH", "WETH_APP_NAME"]
+
+#: Etherscan-style application tag carried by the WETH contract.
+WETH_APP_NAME = "Wrapped Ether"
+
+
+class WETH(ERC20):
+    """Canonical wrapped-Ether contract."""
+
+    APP_NAME = WETH_APP_NAME
+
+    def __init__(self, chain: "Chain", address: Address) -> None:
+        super().__init__(chain, address, symbol="WETH", decimals=18)
+
+    @external
+    def deposit(self, msg: Msg) -> None:
+        """Wrap the attached Ether: the caller receives the same amount of WETH.
+
+        The incoming ETH transfer was already recorded by the call layer;
+        here we credit the contract's own WETH float and move it out, so the
+        trace shows exactly one WETH transfer *from* the WETH contract.
+        """
+        self.storage.add(("balance", self.address), msg.value)
+        self.storage.add("total_supply", msg.value)
+        self._move(self.address, msg.sender, msg.value)
+        self.emit("Deposit", dst=msg.sender, wad=msg.value)
+
+    @external
+    def withdraw(self, msg: Msg, amount: int) -> None:
+        """Unwrap: burn caller WETH, send back the same amount of ETH."""
+        self._move(msg.sender, self.address, amount)
+        self.storage.add(("balance", self.address), -amount)
+        self.storage.add("total_supply", -amount)
+        self.chain.send_ether(self.address, msg.sender, amount)
+        self.emit("Withdrawal", src=msg.sender, wad=amount)
+
+    def receive_ether(self, msg: Msg) -> None:
+        """Plain ETH sends auto-wrap, matching WETH9's fallback."""
+        self.storage.add(("balance", self.address), msg.value)
+        self.storage.add("total_supply", msg.value)
+        self._move(self.address, msg.sender, msg.value)
+        self.emit("Deposit", dst=msg.sender, wad=msg.value)

@@ -1,0 +1,68 @@
+"""ChainExplorer queries and TransactionTrace utilities."""
+
+import pytest
+
+from repro.chain import ChainExplorer, Contract, ETH, ETHER
+
+
+class Dummy(Contract):
+    pass
+
+
+class TestExplorer:
+    def test_labels_roundtrip(self, chain):
+        account = chain.create_eoa(label="Uniswap: Deployer")
+        explorer = ChainExplorer(chain)
+        assert explorer.label_of(account) == "Uniswap: Deployer"
+        explorer.remove_label(account)
+        assert explorer.label_of(account) is None
+
+    def test_creation_graph(self, chain):
+        root = chain.create_eoa()
+        a = chain.deploy(root, Dummy)
+        b = chain.deploy(a.address, Dummy)
+        explorer = ChainExplorer(chain)
+        assert explorer.creator_of(b.address) == a.address
+        assert explorer.creations_of(root) == [a.address]
+        assert explorer.creation_root(b.address) == root
+        forest = explorer.creation_forest()
+        assert forest[root] == [a.address]
+        assert forest[a.address] == [b.address]
+
+    def test_creation_root_of_eoa_is_itself(self, chain):
+        eoa = chain.create_eoa()
+        assert ChainExplorer(chain).creation_root(eoa) == eoa
+
+    def test_transactions_iteration(self, chain, registry, funded_accounts):
+        a, b, _ = funded_accounts
+        token = registry.deploy(chain, a, "EXP")
+        token.mint(a, 100)
+        chain.transact(a, token.address, "transfer", b, 10)
+        chain.mine()
+        chain.transact(a, token.address, "transfer", b, 10)
+        explorer = ChainExplorer(chain)
+        assert len(list(explorer.transactions())) == 2
+        first_block = chain.blocks[0].number
+        assert len(list(explorer.transactions_between(first_block, first_block))) == 1
+
+
+class TestTraceUtilities:
+    def test_net_flows(self, chain, registry, funded_accounts):
+        a, b, _ = funded_accounts
+        token = registry.deploy(chain, a, "NTF")
+        token.mint(a, 100)
+        trace = chain.transact(a, token.address, "transfer", b, 30)
+        assert trace.net_flows(a) == {token.address: -30}
+        assert trace.net_flows(b) == {token.address: 30}
+
+    def test_net_flows_omits_zero(self, bzx1_outcome):
+        flows = bzx1_outcome.trace.net_flows(bzx1_outcome.attack_contracts[0])
+        assert all(delta != 0 for delta in flows.values())
+
+    def test_tokens_touched(self, bzx1_outcome):
+        touched = bzx1_outcome.trace.tokens_touched()
+        assert len(touched) >= 2  # WETH + WBTC at minimum
+
+    def test_log_param_default(self, bzx1_outcome):
+        log = bzx1_outcome.trace.logs[0]
+        assert log.param("not-there", 42) == 42

@@ -1,0 +1,70 @@
+"""Address and unit primitives."""
+
+import pytest
+
+from repro.chain import Address, AddressFactory, BLACKHOLE, ETHER, ZERO_ADDRESS
+from repro.chain.types import from_wei, keccak_address, to_wei
+
+
+class TestAddress:
+    def test_normalizes_to_lowercase(self):
+        mixed = "0x" + "AbCd" * 10
+        assert Address(mixed) == "0x" + "abcd" * 10
+
+    def test_accepts_bare_hex(self):
+        assert Address("ab" * 20).startswith("0x")
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            Address("0x1234")
+
+    def test_rejects_non_hex(self):
+        with pytest.raises(ValueError):
+            Address("0x" + "zz" * 20)
+
+    def test_short_rendering(self):
+        address = Address("0x" + "b017" + "0" * 36)
+        assert address.short == "0xb017"
+
+    def test_usable_as_dict_key(self):
+        address = Address("0x" + "11" * 20)
+        assert {address: 1}[str(address)] == 1
+
+    def test_idempotent_construction(self):
+        address = Address("0x" + "22" * 20)
+        assert Address(address) is address
+
+    def test_zero_address_is_blackhole(self):
+        assert ZERO_ADDRESS == BLACKHOLE
+        assert int(ZERO_ADDRESS, 16) == 0
+
+    def test_ether_sentinel_distinct(self):
+        assert ETHER != ZERO_ADDRESS
+
+
+class TestUnits:
+    def test_to_wei_round_trip(self):
+        assert from_wei(to_wei(1.5)) == pytest.approx(1.5)
+
+    def test_to_wei_integer(self):
+        assert to_wei(2) == 2 * 10**18
+
+
+class TestAddressFactory:
+    def test_fresh_addresses_unique(self):
+        factory = AddressFactory()
+        seen = {factory.fresh() for _ in range(1000)}
+        assert len(seen) == 1000
+
+    def test_deterministic_across_instances(self):
+        a = AddressFactory("ns")
+        b = AddressFactory("ns")
+        assert [a.fresh() for _ in range(5)] == [b.fresh() for _ in range(5)]
+
+    def test_namespaces_disjoint(self):
+        assert AddressFactory("x").fresh() != AddressFactory("y").fresh()
+
+
+def test_keccak_address_deterministic():
+    assert keccak_address("a", "b") == keccak_address("a", "b")
+    assert keccak_address("a", "b") != keccak_address("a", "c")

@@ -1,0 +1,55 @@
+"""Shared test fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain import Chain, ETH
+from repro.tokens import TokenRegistry
+from repro.world import DeFiWorld
+
+
+@pytest.fixture()
+def chain() -> Chain:
+    return Chain()
+
+
+@pytest.fixture()
+def registry() -> TokenRegistry:
+    return TokenRegistry()
+
+
+@pytest.fixture()
+def world() -> DeFiWorld:
+    return DeFiWorld()
+
+
+@pytest.fixture()
+def funded_accounts(chain):
+    """Three EOAs with ETH balances."""
+    accounts = [chain.create_eoa(f"acct-{i}") for i in range(3)]
+    for account in accounts:
+        chain.faucet(account, 1_000 * ETH)
+    return accounts
+
+
+@pytest.fixture(scope="session")
+def bzx1_outcome():
+    from repro.study.scenarios import SCENARIO_BUILDERS
+
+    return SCENARIO_BUILDERS["bzx1"]()
+
+
+@pytest.fixture(scope="session")
+def harvest_outcome():
+    from repro.study.scenarios import SCENARIO_BUILDERS
+
+    return SCENARIO_BUILDERS["harvest"]()
+
+
+@pytest.fixture(scope="session")
+def all_outcomes():
+    """Every study scenario, built once per session (used by study tests)."""
+    from repro.study.scenarios import SCENARIO_BUILDERS
+
+    return {key: builder() for key, builder in SCENARIO_BUILDERS.items()}

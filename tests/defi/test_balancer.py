@@ -1,0 +1,97 @@
+"""Balancer weighted pool: records-based pricing, gulp, deflation drift."""
+
+import pytest
+
+from repro.chain import ETH, Revert
+from repro.tokens import DeflationaryERC20
+
+
+@pytest.fixture()
+def weighted(world):
+    weth = world.weth
+    tkn = world.new_token("BTK")
+    pool = world.balancer_pool({weth: 100 * ETH, tkn: 10_000 * tkn.unit})
+    return world, weth, tkn, pool
+
+
+class TestPricing:
+    def test_spot_price_by_weights(self, weighted):
+        world, weth, tkn, pool = weighted
+        assert pool.spot_price(tkn.address, weth.address) == pytest.approx(0.01)
+
+    def test_weighted_pool_spot(self, world):
+        weth = world.weth
+        tkn = world.new_token("W80")
+        pool = world.balancer_pool({weth: 100 * ETH, tkn: 10_000 * tkn.unit}, weights=[0.8, 0.2])
+        # price = (q/wq)/(b/wb) = (100/0.8)/(10000/0.2) = 0.0025
+        assert pool.spot_price(tkn.address, weth.address) == pytest.approx(0.0025)
+
+    def test_calc_out_given_in_monotonic(self, weighted):
+        *_, tkn, pool = weighted
+        world, weth = _[0], _[1]
+        small = pool.calc_out_given_in(weth.address, 1 * ETH, tkn.address)
+        big = pool.calc_out_given_in(weth.address, 10 * ETH, tkn.address)
+        assert big > small
+        assert big < 10 * small  # diminishing returns
+
+
+class TestSwap:
+    def test_swap_moves_records(self, weighted):
+        world, weth, tkn, pool = weighted
+        trader = world.create_attacker("t")
+        world.fund_weth(trader, 10 * ETH)
+        world.approve(trader, weth, pool.address)
+        before = pool.record_balance(tkn.address)
+        world.chain.transact(trader, pool.address, "swapExactAmountIn", weth.address, 1 * ETH, tkn.address)
+        assert pool.record_balance(tkn.address) < before
+
+    def test_unbound_token_rejected(self, weighted):
+        world, weth, *_ , pool = weighted
+        other = world.new_token("OTHER")
+        trader = world.create_attacker("t")
+        with pytest.raises(Revert, match="not bound"):
+            world.chain.transact(
+                trader, pool.address, "swapExactAmountIn", other.address, 1, weth.address
+            )
+
+
+class TestDeflationaryDrift:
+    def test_record_exceeds_actual_after_fee_on_transfer_in(self, world):
+        weth = world.weth
+        sta = world.deflationary_token("STA2", fee_bps=100)
+        pool = world.balancer_pool({weth: 100 * ETH, sta: 10_000 * sta.unit})
+        trader = world.create_attacker("t")
+        sta.mint(trader, 10_000 * sta.unit)
+        world.approve(trader, sta, pool.address)
+        world.chain.transact(
+            trader, pool.address, "swapExactAmountIn", sta.address, 1_000 * sta.unit, weth.address
+        )
+        assert pool.record_balance(sta.address) > pool.actual_balance(sta.address)
+
+    def test_gulp_resyncs(self, world):
+        weth = world.weth
+        sta = world.deflationary_token("STA3", fee_bps=100)
+        pool = world.balancer_pool({weth: 100 * ETH, sta: 10_000 * sta.unit})
+        trader = world.create_attacker("t")
+        sta.mint(trader, 10_000 * sta.unit)
+        world.approve(trader, sta, pool.address)
+        world.chain.transact(
+            trader, pool.address, "swapExactAmountIn", sta.address, 1_000 * sta.unit, weth.address
+        )
+        world.chain.transact(trader, pool.address, "gulp", sta.address)
+        assert pool.record_balance(sta.address) == pool.actual_balance(sta.address)
+
+
+class TestJoinExit:
+    def test_join_and_exit(self, weighted):
+        world, weth, tkn, pool = weighted
+        lp = world.create_attacker("lp")
+        world.fund_weth(lp, 50 * ETH)
+        tkn.mint(lp, 5_000 * tkn.unit)
+        world.approve(lp, weth, pool.address)
+        world.approve(lp, tkn, pool.address)
+        world.chain.transact(lp, pool.address, "joinPool", 10 * ETH)
+        assert pool.balance_of(lp) == 10 * ETH
+        world.chain.transact(lp, pool.address, "exitPool", 10 * ETH)
+        assert pool.balance_of(lp) == 0
+        assert weth.balance_of(lp) > 0

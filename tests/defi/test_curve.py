@@ -1,0 +1,94 @@
+"""StableSwap invariant math and trading."""
+
+import pytest
+
+from repro.chain import Revert
+
+
+@pytest.fixture()
+def pool(world):
+    usdc = world.new_token("USDC", 6)
+    usdt = world.new_token("USDT", 6)
+    pool = world.curve_pool({usdc: 10_000_000 * usdc.unit, usdt: 10_000_000 * usdt.unit})
+    return world, usdc, usdt, pool
+
+
+class TestInvariant:
+    def test_balanced_pool_D_equals_sum(self, pool):
+        _, usdc, usdt, p = pool
+        assert p.get_D() == pytest.approx(20_000_000 * 10**18, rel=1e-9)
+
+    def test_virtual_price_starts_at_one(self, pool):
+        *_, p = pool
+        assert p.virtual_price() == pytest.approx(10**18, rel=1e-6)
+
+    def test_low_slippage_near_balance(self, pool):
+        _, usdc, usdt, p = pool
+        dy = p.get_dy(0, 1, 100_000 * usdc.unit)
+        assert dy > 99_900 * usdt.unit  # < 0.1% total cost
+
+    def test_high_slippage_when_imbalanced(self, pool):
+        world, usdc, usdt, p = pool
+        whale = world.whale
+        world.approve(whale, usdc, p.address)
+        world.chain.transact(whale, p.address, "exchange", 0, 1, 8_000_000 * usdc.unit)
+        dy = p.get_dy(0, 1, 100_000 * usdc.unit)
+        assert dy < 99_000 * usdt.unit  # marginal rate degraded
+
+    def test_mixed_decimals_normalized(self, world):
+        six = world.new_token("SIX", 6)
+        eighteen = world.new_token("E18", 18)
+        p = world.curve_pool({six: 1_000_000 * six.unit, eighteen: 1_000_000 * eighteen.unit})
+        dy = p.get_dy(0, 1, 1_000 * six.unit)
+        assert dy == pytest.approx(1_000 * eighteen.unit, rel=2e-3)
+
+
+class TestExchange:
+    def test_exchange_moves_tokens(self, pool):
+        world, usdc, usdt, p = pool
+        trader = world.create_attacker("t")
+        usdc.mint(trader, 1_000 * usdc.unit)
+        world.approve(trader, usdc, p.address)
+        trace = world.chain.transact(trader, p.address, "exchange", 0, 1, 1_000 * usdc.unit)
+        assert usdt.balance_of(trader) > 0
+        assert "TokenExchange" in trace.emitted_events()
+
+    def test_bad_index_reverts(self, pool):
+        world, usdc, *_ , p = pool
+        trader = world.create_attacker("t")
+        with pytest.raises(Revert):
+            world.chain.transact(trader, p.address, "exchange", 0, 0, 100)
+
+    def test_slippage_guard(self, pool):
+        world, usdc, usdt, p = pool
+        trader = world.create_attacker("t")
+        usdc.mint(trader, 1_000 * usdc.unit)
+        world.approve(trader, usdc, p.address)
+        with pytest.raises(Revert, match="slippage"):
+            world.chain.transact(
+                trader, p.address, "exchange", 0, 1, 1_000 * usdc.unit, 2_000 * usdt.unit
+            )
+
+
+class TestLiquidity:
+    def test_add_then_remove_round_trip(self, pool):
+        world, usdc, usdt, p = pool
+        lp = world.create_attacker("lp")
+        usdc.mint(lp, 10_000 * usdc.unit)
+        usdt.mint(lp, 10_000 * usdt.unit)
+        world.approve(lp, usdc, p.address)
+        world.approve(lp, usdt, p.address)
+        world.chain.transact(lp, p.address, "add_liquidity", [10_000 * usdc.unit, 10_000 * usdt.unit])
+        minted = p.balance_of(lp)
+        assert minted > 0
+        world.chain.transact(lp, p.address, "remove_liquidity", minted)
+        assert usdc.balance_of(lp) == pytest.approx(10_000 * usdc.unit, rel=1e-3)
+
+    def test_one_sided_add_mints_less_than_balanced(self, pool):
+        world, usdc, usdt, p = pool
+        lp = world.create_attacker("lp2")
+        usdc.mint(lp, 20_000 * usdc.unit)
+        world.approve(lp, usdc, p.address)
+        world.chain.transact(lp, p.address, "add_liquidity", [20_000 * usdc.unit, 0])
+        one_sided = p.balance_of(lp)
+        assert 0 < one_sided < 20_000 * 10**18

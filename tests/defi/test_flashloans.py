@@ -1,0 +1,152 @@
+"""AAVE and dYdX flash-loan providers: fingerprints and repayment."""
+
+import pytest
+
+from repro.chain import Revert, external
+from repro.defi import (
+    AAVE_FLASHLOAN_FEE_BPS,
+    DYDX_FLASH_FEE_WEI,
+    FlashLoanReceiver,
+    call_action,
+    deposit_action,
+    withdraw_action,
+)
+
+
+@pytest.fixture()
+def funded(world):
+    token = world.new_token("USDX")
+    aave = world.aave(funding={token: 1_000_000 * token.unit})
+    solo = world.dydx(funding={token: 1_000_000 * token.unit})
+    return world, token, aave, solo
+
+
+class GoodBorrower(FlashLoanReceiver):
+    @external
+    def via_aave(self, msg, pool, token, amount):
+        self.chain.call(self.address, pool, "flashLoan", self.address, token, amount)
+
+    @external
+    def executeOperation(self, msg, token, amount, fee, params):
+        self.chain.call(self.address, token, "approve", msg.sender, amount + fee)
+
+    @external
+    def via_dydx(self, msg, solo, token, amount):
+        self.chain.call(self.address, token, "approve", solo, amount + 2)
+        self.chain.call(
+            self.address, solo, "operate",
+            [withdraw_action(token, amount), call_action(self.address),
+             deposit_action(token, amount + 2)],
+        )
+
+    @external
+    def callFunction(self, msg, sender, data):
+        pass
+
+
+class TestAave:
+    def test_loan_and_fee(self, funded):
+        world, token, aave, _ = funded
+        user = world.create_attacker("u")
+        borrower = world.chain.deploy(user, GoodBorrower)
+        amount = 100_000 * token.unit
+        fee = amount * AAVE_FLASHLOAN_FEE_BPS // 10_000
+        token.mint(borrower.address, fee)
+        liquidity_before = aave.storage.get(("liquidity", token.address))
+        trace = world.chain.transact(user, borrower.address, "via_aave", aave.address, token.address, amount)
+        assert trace.success
+        assert aave.storage.get(("liquidity", token.address)) == liquidity_before + fee
+
+    def test_emits_flashloan_event(self, funded):
+        world, token, aave, _ = funded
+        user = world.create_attacker("u")
+        borrower = world.chain.deploy(user, GoodBorrower)
+        token.mint(borrower.address, 1_000 * token.unit)
+        trace = world.chain.transact(
+            user, borrower.address, "via_aave", aave.address, token.address, 10_000 * token.unit
+        )
+        logs = [l for l in trace.logs if l.event == "FlashLoan"]
+        assert len(logs) == 1
+        assert logs[0].param("target") == borrower.address
+        assert logs[0].param("amount") == 10_000 * token.unit
+
+    def test_unpaid_loan_reverts(self, funded):
+        world, token, aave, _ = funded
+
+        class Deadbeat(FlashLoanReceiver):
+            @external
+            def go(self, msg, pool, tok, amount):
+                self.chain.call(self.address, pool, "flashLoan", self.address, tok, amount)
+
+            @external
+            def executeOperation(self, msg, token, amount, fee, params):
+                pass  # keep it
+
+        user = world.create_attacker("u")
+        deadbeat = world.chain.deploy(user, Deadbeat)
+        with pytest.raises(Revert):
+            world.chain.transact(user, deadbeat.address, "go", aave.address, token.address, 1000)
+        assert token.balance_of(deadbeat.address) == 0
+
+    def test_exceeding_liquidity_reverts(self, funded):
+        world, token, aave, _ = funded
+        user = world.create_attacker("u")
+        borrower = world.chain.deploy(user, GoodBorrower)
+        with pytest.raises(Revert):
+            world.chain.transact(
+                user, borrower.address, "via_aave", aave.address, token.address,
+                10**12 * token.unit,
+            )
+
+
+class TestDydx:
+    def test_loan_via_operate(self, funded):
+        world, token, _, solo = funded
+        user = world.create_attacker("u")
+        borrower = world.chain.deploy(user, GoodBorrower)
+        token.mint(borrower.address, DYDX_FLASH_FEE_WEI)
+        trace = world.chain.transact(
+            user, borrower.address, "via_dydx", solo.address, token.address, 50_000 * token.unit
+        )
+        assert trace.success
+        events = trace.emitted_events()
+        assert {"LogOperation", "LogWithdraw", "LogCall", "LogDeposit"} <= events
+
+    def test_insolvent_operate_reverts(self, funded):
+        world, token, _, solo = funded
+
+        class Insolvent(FlashLoanReceiver):
+            @external
+            def go(self, msg, solo_addr, tok, amount):
+                self.chain.call(self.address, tok, "approve", solo_addr, amount)
+                self.chain.call(
+                    self.address, solo_addr, "operate",
+                    [withdraw_action(tok, amount), call_action(self.address),
+                     deposit_action(tok, amount)],  # missing the 2 wei fee
+                )
+
+            @external
+            def callFunction(self, msg, sender, data):
+                pass
+
+        user = world.create_attacker("u")
+        insolvent = world.chain.deploy(user, Insolvent)
+        token.mint(insolvent.address, 10)
+        with pytest.raises(Revert, match="solvent"):
+            world.chain.transact(
+                user, insolvent.address, "go", solo.address, token.address, 1_000 * token.unit
+            )
+
+    def test_unknown_action_rejected(self, funded):
+        world, token, _, solo = funded
+        from repro.defi import Action
+
+        class Weird(FlashLoanReceiver):
+            @external
+            def go(self, msg, solo_addr):
+                self.chain.call(self.address, solo_addr, "operate", [Action(kind="dance")])
+
+        user = world.create_attacker("u")
+        weird = world.chain.deploy(user, Weird)
+        with pytest.raises(Revert):
+            world.chain.transact(user, weird.address, "go", solo.address)

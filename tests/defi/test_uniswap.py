@@ -1,0 +1,207 @@
+"""Uniswap V2 pair: swaps, liquidity, flash swaps, invariants."""
+
+import math
+
+import pytest
+
+from repro.chain import BLACKHOLE, ETH, InsufficientLiquidity, Revert, external
+from repro.defi import FlashLoanReceiver, UniswapV2Pair
+
+
+@pytest.fixture()
+def setup(world):
+    token = world.new_token("TKN")
+    pair = world.dex_pair(token, world.weth, 1_000_000 * token.unit, 10_000 * ETH)
+    trader = world.create_attacker("trader")
+    token.mint(trader, 10_000_000 * token.unit)
+    world.fund_weth(trader, 10_000 * ETH)
+    return world, token, pair, trader
+
+
+class TestPricing:
+    def test_spot_price(self, setup):
+        world, token, pair, _ = setup
+        assert pair.spot_price(token.address, world.weth.address) == pytest.approx(0.01)
+
+    def test_get_amount_out_charges_fee(self, setup):
+        world, token, pair, _ = setup
+        gross = 10_000 * ETH * 10**18 // (1_000_000 * 10**18 + 10**18)
+        out = pair.get_amount_out(token.unit, token.address)
+        assert out < gross  # fee reduces output
+
+    def test_get_amount_in_inverse_of_out(self, setup):
+        _, token, pair, _ = setup
+        out = pair.get_amount_out(5 * token.unit, token.address)
+        needed = pair.get_amount_in(out, pair.other_token(token.address))
+        assert abs(needed - 5 * token.unit) <= needed * 2 // 1000 + 2
+
+    def test_empty_pool_has_no_price(self, world):
+        a = world.new_token("A1")
+        b = world.new_token("B1")
+        factory = world.dex_factory()
+        pair = factory.create_pair(a.address, b.address)
+        with pytest.raises(InsufficientLiquidity):
+            pair.spot_price(a.address, b.address)
+
+
+class TestSwap:
+    def test_swap_updates_reserves_and_k(self, setup):
+        world, token, pair, trader = setup
+        r0, r1 = pair.get_reserves()
+        k_before = r0 * r1
+        amount = 100 * token.unit
+        out = pair.get_amount_out(amount, token.address)
+        world.chain.transact(trader, token.address, "transfer", pair.address, amount)
+        out0, out1 = (out, 0) if pair.other_token(token.address) == pair.token0 else (0, out)
+        world.chain.transact(trader, pair.address, "swap", out0, out1, trader)
+        r0b, r1b = pair.get_reserves()
+        assert r0b * r1b >= k_before  # fees only grow K
+
+    def test_swap_without_payment_reverts(self, setup):
+        world, token, pair, trader = setup
+        with pytest.raises(Revert):
+            world.chain.transact(trader, pair.address, "swap", 0, 10**18, trader)
+
+    def test_cannot_drain_reserves(self, setup):
+        world, token, pair, trader = setup
+        reserve = pair.reserve_of(world.weth.address)
+        out0, out1 = (reserve, 0) if pair.token0 == world.weth.address else (0, reserve)
+        with pytest.raises(InsufficientLiquidity):
+            world.chain.transact(trader, pair.address, "swap", out0, out1, trader)
+
+    def test_swap_emits_event(self, setup):
+        world, token, pair, trader = setup
+        amount = token.unit
+        out = pair.get_amount_out(amount, token.address)
+        world.chain.transact(trader, token.address, "transfer", pair.address, amount)
+        out0, out1 = (out, 0) if pair.other_token(token.address) == pair.token0 else (0, out)
+        trace = world.chain.transact(trader, pair.address, "swap", out0, out1, trader)
+        assert "Swap" in trace.emitted_events()
+
+    def test_no_events_when_disabled(self, setup):
+        world, token, pair, trader = setup
+        pair.emits_trade_events = False
+        amount = token.unit
+        out = pair.get_amount_out(amount, token.address)
+        world.chain.transact(trader, token.address, "transfer", pair.address, amount)
+        out0, out1 = (out, 0) if pair.other_token(token.address) == pair.token0 else (0, out)
+        trace = world.chain.transact(trader, pair.address, "swap", out0, out1, trader)
+        assert "Swap" not in trace.emitted_events()
+
+
+class TestLiquidity:
+    def test_mint_via_router(self, setup):
+        world, token, pair, trader = setup
+        router = world.dex_router()
+        world.approve(trader, token, router.address)
+        world.approve(trader, world.weth, router.address)
+        a0 = 1000 * token.unit if pair.token0 == token.address else 10 * ETH
+        a1 = 1000 * token.unit if pair.token1 == token.address else 10 * ETH
+        world.chain.transact(trader, router.address, "addLiquidity", pair.address, a0, a1)
+        assert pair.balance_of(trader) > 0
+
+    def test_burn_returns_proportional_assets(self, setup):
+        world, token, pair, trader = setup
+        router = world.dex_router()
+        world.approve(trader, token, router.address)
+        world.approve(trader, world.weth, router.address)
+        a0 = 1000 * token.unit if pair.token0 == token.address else 10 * ETH
+        a1 = 1000 * token.unit if pair.token1 == token.address else 10 * ETH
+        world.chain.transact(trader, router.address, "addLiquidity", pair.address, a0, a1)
+        lp = pair.balance_of(trader)
+        weth_before = world.weth.balance_of(trader)
+        world.approve(trader, pair, router.address)
+        world.chain.transact(trader, router.address, "removeLiquidity", pair.address, lp)
+        assert world.weth.balance_of(trader) > weth_before
+        assert pair.balance_of(trader) == 0
+
+    def test_minimum_liquidity_locked(self, world):
+        token = world.new_token("ML")
+        pair = world.dex_pair(token, world.weth, 1_000 * token.unit, 1_000 * ETH)
+        assert pair.balance_of(BLACKHOLE) == 10**3
+        assert pair.total_supply() >= math.isqrt(1_000 * token.unit * 1_000 * ETH) - 1
+
+
+class TestFlashSwap:
+    def test_flash_swap_repaid_succeeds(self, setup):
+        world, token, pair, trader = setup
+
+        class Borrower(FlashLoanReceiver):
+            @external
+            def go(self, msg, pair_addr, tok, amount):
+                p = self.chain.contract_of(pair_addr, UniswapV2Pair)
+                out0, out1 = (amount, 0) if tok == p.token0 else (0, amount)
+                self.chain.call(self.address, pair_addr, "swap", out0, out1, self.address, "x")
+
+            @external
+            def uniswapV2Call(self, msg, sender, amount0, amount1, data):
+                p = self.chain.contract_of(msg.sender, UniswapV2Pair)
+                amount = amount0 or amount1
+                tok = p.token0 if amount0 else p.token1
+                fee = amount * 3 // 997 + 1
+                self.chain.call(self.address, tok, "transfer", msg.sender, amount + fee)
+
+        borrower = world.chain.deploy(trader, Borrower)
+        token.mint(borrower.address, 10_000 * token.unit)
+        trace = world.chain.transact(
+            trader, borrower.address, "go", pair.address, token.address, 100_000 * token.unit
+        )
+        assert trace.success
+        assert {"swap", "uniswapV2Call"} <= trace.called_functions()
+
+    def test_flash_swap_unpaid_reverts_atomically(self, setup):
+        world, token, pair, trader = setup
+
+        class Thief(FlashLoanReceiver):
+            @external
+            def go(self, msg, pair_addr, tok, amount):
+                p = self.chain.contract_of(pair_addr, UniswapV2Pair)
+                out0, out1 = (amount, 0) if tok == p.token0 else (0, amount)
+                self.chain.call(self.address, pair_addr, "swap", out0, out1, self.address, "x")
+
+        thief = world.chain.deploy(trader, Thief)
+        reserves = pair.get_reserves()
+        with pytest.raises(Revert):
+            world.chain.transact(
+                trader, thief.address, "go", pair.address, token.address, 100_000 * token.unit
+            )
+        assert pair.get_reserves() == reserves
+        assert token.balance_of(thief.address) == 0
+
+    def test_underpaid_fee_reverts(self, setup):
+        world, token, pair, trader = setup
+
+        class Cheapskate(FlashLoanReceiver):
+            @external
+            def go(self, msg, pair_addr, tok, amount):
+                p = self.chain.contract_of(pair_addr, UniswapV2Pair)
+                out0, out1 = (amount, 0) if tok == p.token0 else (0, amount)
+                self.chain.call(self.address, pair_addr, "swap", out0, out1, self.address, "x")
+
+            @external
+            def uniswapV2Call(self, msg, sender, amount0, amount1, data):
+                amount = amount0 or amount1
+                p = self.chain.contract_of(msg.sender, UniswapV2Pair)
+                tok = p.token0 if amount0 else p.token1
+                self.chain.call(self.address, tok, "transfer", msg.sender, amount)  # no fee
+
+        cheapskate = world.chain.deploy(trader, Cheapskate)
+        token.mint(cheapskate.address, 10_000 * token.unit)
+        with pytest.raises(Revert, match="K invariant"):
+            world.chain.transact(
+                trader, cheapskate.address, "go", pair.address, token.address, 10_000 * token.unit
+            )
+
+
+class TestFactory:
+    def test_pairs_created_by_factory(self, world):
+        factory = world.dex_factory()
+        a, b = world.new_token("FA"), world.new_token("FB")
+        pair = factory.create_pair(a.address, b.address)
+        assert world.chain.created_by[pair.address] == factory.address
+
+    def test_identical_tokens_rejected(self, world):
+        factory = world.dex_factory()
+        a = world.new_token("FC")
+        with pytest.raises(ValueError):
+            factory.create_pair(a.address, a.address)

@@ -1,0 +1,33 @@
+"""Historical USD price oracle."""
+
+import pytest
+
+from repro.defi import UsdPriceOracle
+
+
+class TestUsdOracle:
+    def test_deterministic(self):
+        a = UsdPriceOracle()
+        b = UsdPriceOracle()
+        assert a.price("ETH", 123) == b.price("ETH", 123)
+
+    def test_daily_variation_bounded(self):
+        oracle = UsdPriceOracle()
+        prices = [oracle.price("ETH", day) for day in range(200)]
+        assert min(prices) >= 1500 * 0.8 - 1e-9
+        assert max(prices) <= 1500 * 1.2 + 1e-9
+        assert len(set(prices)) > 100  # actually varies
+
+    def test_unknown_symbol_defaults_to_one_dollar(self):
+        oracle = UsdPriceOracle()
+        assert 0.8 <= oracle.price("NOPE", 5) <= 1.2
+
+    def test_value_usd_uses_decimals(self):
+        oracle = UsdPriceOracle({"XX": 2.0})
+        value = oracle.value_usd("XX", 5 * 10**6, decimals=6, day=0)
+        assert value == pytest.approx(5 * oracle.price("XX", 0))
+
+    def test_set_price_overrides(self):
+        oracle = UsdPriceOracle()
+        oracle.set_price("ETH", 100.0)
+        assert oracle.price("ETH", 0) <= 120.0

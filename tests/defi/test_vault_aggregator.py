@@ -1,0 +1,138 @@
+"""Vaults (share pricing, deviation guard) and trade aggregators."""
+
+import pytest
+
+from repro.chain import ETH, Revert
+
+
+class TestVault:
+    def test_first_deposit_one_to_one(self, world):
+        usdc = world.new_token("VUSD", 6)
+        vault = world.vault(usdc, "fV", seed_amount=0)
+        user = world.create_attacker("u")
+        usdc.mint(user, 1_000 * usdc.unit)
+        world.approve(user, usdc, vault.address)
+        world.chain.transact(user, vault.address, "deposit", 1_000 * usdc.unit)
+        assert vault.balance_of(user) == 1_000 * usdc.unit
+
+    def test_share_price_tracks_mark(self, world):
+        usdc = world.new_token("VUSD2", 6)
+        mark = {"value": 1.0}
+        vault = world.vault(
+            usdc, "fV2", value_per_underlying=lambda: mark["value"],
+            seed_amount=100_000 * usdc.unit,
+        )
+        assert vault.price_per_share() == pytest.approx(1.0)
+        mark["value"] = 0.5
+        assert vault.price_per_share() == pytest.approx(0.5)
+
+    def test_cheap_deposit_dear_withdraw_is_profitable(self, world):
+        usdc = world.new_token("VUSD3", 6)
+        mark = {"value": 1.0}
+        vault = world.vault(
+            usdc, "fV3", value_per_underlying=lambda: mark["value"],
+            seed_amount=1_000_000 * usdc.unit,
+        )
+        user = world.create_attacker("u")
+        usdc.mint(user, 100_000 * usdc.unit)
+        world.approve(user, usdc, vault.address)
+        mark["value"] = 0.9
+        world.chain.transact(user, vault.address, "deposit", 100_000 * usdc.unit)
+        shares = vault.balance_of(user)
+        mark["value"] = 1.0
+        world.chain.transact(user, vault.address, "withdraw", shares)
+        assert usdc.balance_of(user) > 100_000 * usdc.unit
+
+    def test_deviation_guard_blocks_manipulated_deposits(self, world):
+        usdc = world.new_token("VUSD4", 6)
+        mark = {"value": 1.0}
+        vault = world.vault(
+            usdc, "fV4", value_per_underlying=lambda: mark["value"],
+            seed_amount=100_000 * usdc.unit, deviation_guard_bps=300,
+        )
+        user = world.create_attacker("u")
+        usdc.mint(user, 1_000 * usdc.unit)
+        world.approve(user, usdc, vault.address)
+        mark["value"] = 0.9  # 10% deviation > 3% guard
+        with pytest.raises(Revert, match="deviation guard"):
+            world.chain.transact(user, vault.address, "deposit", 1_000 * usdc.unit)
+        mark["value"] = 0.995  # 0.5% slips under, like the paper notes
+        world.chain.transact(user, vault.address, "deposit", 1_000 * usdc.unit)
+
+    def test_zero_amount_rejected(self, world):
+        usdc = world.new_token("VUSD5", 6)
+        vault = world.vault(usdc, "fV5", seed_amount=0)
+        user = world.create_attacker("u")
+        with pytest.raises(Revert):
+            world.chain.transact(user, vault.address, "deposit", 0)
+
+
+class TestAggregator:
+    def test_routes_through_uniswap(self, world):
+        weth = world.weth
+        tkn = world.new_token("AGG")
+        pool = world.dex_pair(tkn, weth, 1_000_000 * tkn.unit, 10_000 * ETH)
+        agg = world.aggregator("Kyber", fee_bps=0)
+        user = world.create_attacker("u")
+        world.fund_weth(user, 100 * ETH)
+        world.approve(user, weth, agg.address)
+        world.chain.transact(
+            user, agg.address, "trade", pool.address, weth.address, 10 * ETH, tkn.address
+        )
+        assert tkn.balance_of(user) > 0
+
+    def test_fee_skimmed_from_output(self, world):
+        weth = world.weth
+        tkn = world.new_token("AGF")
+        pool = world.dex_pair(tkn, weth, 1_000_000 * tkn.unit, 10_000 * ETH)
+        free = world.aggregator("Free", fee_bps=0)
+        pricey = world.aggregator("Pricey", fee_bps=8)
+        user = world.create_attacker("u")
+        world.fund_weth(user, 100 * ETH)
+        world.approve(user, weth, free.address)
+        world.approve(user, weth, pricey.address)
+        out_free = pool.get_amount_out(10 * ETH, weth.address)
+        world.chain.transact(user, pricey.address, "trade", pool.address, weth.address, 10 * ETH, tkn.address)
+        got = tkn.balance_of(user)
+        assert got < out_free
+        assert got == pytest.approx(out_free * (1 - 8 / 10_000), rel=1e-3)
+
+    def test_intermediary_transfer_shape(self, world):
+        """The aggregator must appear as the A -> agg -> B relay LeiShen merges."""
+        weth = world.weth
+        tkn = world.new_token("AGS")
+        pool = world.dex_pair(tkn, weth, 1_000_000 * tkn.unit, 10_000 * ETH)
+        agg = world.aggregator("Kyber")
+        user = world.create_attacker("u")
+        world.fund_weth(user, 100 * ETH)
+        world.approve(user, weth, agg.address)
+        trace = world.chain.transact(
+            user, agg.address, "trade", pool.address, weth.address, 10 * ETH, tkn.address
+        )
+        hops = [(t.sender, t.receiver) for t in trace.transfers if t.token == weth.address]
+        assert (user, agg.address) in hops
+        assert (agg.address, pool.address) in hops
+
+    def test_curve_and_balancer_venues(self, world):
+        usdc = world.new_token("AC1", 6)
+        usdt = world.new_token("AC2", 6)
+        curve = world.curve_pool({usdc: 10**6 * usdc.unit, usdt: 10**6 * usdt.unit})
+        bal = world.balancer_pool({usdc: 10**5 * usdc.unit, usdt: 10**5 * usdt.unit})
+        agg = world.aggregator("1inch")
+        user = world.create_attacker("u")
+        usdc.mint(user, 10_000 * usdc.unit)
+        world.approve(user, usdc, agg.address)
+        world.chain.transact(user, agg.address, "trade", curve.address, usdc.address, 1_000 * usdc.unit, usdt.address)
+        world.chain.transact(user, agg.address, "trade", bal.address, usdc.address, 1_000 * usdc.unit, usdt.address)
+        assert usdt.balance_of(user) > 1_900 * usdt.unit
+
+    def test_unsupported_venue_reverts(self, world):
+        agg = world.aggregator("1inch")
+        user = world.create_attacker("u")
+        tkn = world.new_token("AGX")
+        tkn.mint(user, 100)
+        world.approve(user, tkn, agg.address)
+        with pytest.raises(Revert, match="unsupported venue"):
+            world.chain.transact(
+                user, agg.address, "trade", tkn.address, tkn.address, 10, tkn.address
+            )

@@ -1,0 +1,67 @@
+"""Flash loan transaction identification (paper Table II)."""
+
+import pytest
+
+from repro.chain import ETH
+from repro.leishen import FlashLoanIdentifier
+from repro.study.scenarios import SCENARIO_BUILDERS
+
+
+@pytest.fixture(scope="module")
+def identifier():
+    return FlashLoanIdentifier()
+
+
+class TestProviderFingerprints:
+    def test_dydx_identified(self, identifier, bzx1_outcome):
+        loans = identifier.identify(bzx1_outcome.trace)
+        assert len(loans) == 1
+        loan = loans[0]
+        assert loan.provider == "dYdX"
+        assert loan.amount == 10_000 * ETH
+        assert loan.borrower in bzx1_outcome.attack_contracts
+
+    def test_uniswap_flash_swap_identified(self, identifier, harvest_outcome):
+        loans = identifier.identify(harvest_outcome.trace)
+        assert loans and loans[0].provider == "Uniswap"
+        assert loans[0].borrower in harvest_outcome.attack_contracts
+        assert loans[0].amount > 0
+
+    def test_aave_identified(self, identifier):
+        outcome = SCENARIO_BUILDERS["valuedefi"]()
+        loans = identifier.identify(outcome.trace)
+        assert loans and loans[0].provider == "AAVE"
+
+    def test_plain_swap_not_identified(self, identifier, world):
+        token = world.new_token("PLN")
+        pair = world.dex_pair(token, world.weth, 10**6 * token.unit, 10**4 * ETH)
+        trader = world.create_attacker("t")
+        token.mint(trader, 10**6 * token.unit)
+        router = world.dex_router()
+        world.approve(trader, token, router.address)
+        trace = world.chain.transact(
+            trader, router.address, "swapExactTokensForTokens",
+            100 * token.unit, 0, (pair.address,), token.address,
+        )
+        assert identifier.identify(trace) == []
+        assert not identifier.is_flash_loan_transaction(trace)
+
+    def test_plain_erc20_transfer_not_identified(self, identifier, world):
+        token = world.new_token("PL2")
+        a = world.create_attacker("a")
+        b = world.create_attacker("b")
+        token.mint(a, 100)
+        trace = world.chain.transact(a, token.address, "transfer", b, 10)
+        assert identifier.identify(trace) == []
+
+    def test_failed_transaction_yields_no_loans(self, identifier, world):
+        from repro.chain import Revert
+
+        token = world.new_token("PL3")
+        a = world.create_attacker("a")
+        b = world.create_attacker("b")
+        trace = world.chain.transact(
+            a, token.address, "transfer", b, 10, allow_failure=True
+        )
+        assert not trace.success
+        assert identifier.identify(trace) == []

@@ -1,0 +1,148 @@
+"""Trade action identification (paper Table III)."""
+
+import pytest
+
+from repro.chain import Address, ETHER
+from repro.leishen import AppTransfer, BLACKHOLE_TAG, TradeIdentifier, TradeKind
+
+T1 = Address("0x" + "11" * 20)
+T2 = Address("0x" + "22" * 20)
+T3 = Address("0x" + "33" * 20)
+
+
+def appt(seq, sender, receiver, amount, token):
+    return AppTransfer(seq=seq, sender=sender, receiver=receiver, amount=amount, token=token)
+
+
+@pytest.fixture()
+def identifier():
+    return TradeIdentifier()
+
+
+class TestSwap:
+    def test_two_transfer_swap(self, identifier):
+        trades = identifier.identify(
+            [appt(1, "A", "B", 100, T1), appt(2, "B", "A", 50, T2)]
+        )
+        assert len(trades) == 1
+        trade = trades[0]
+        assert trade.kind is TradeKind.SWAP
+        assert (trade.buyer, trade.seller) == ("A", "B")
+        assert (trade.amount_sell, trade.token_sell) == (100, T1)
+        assert (trade.amount_buy, trade.token_buy) == (50, T2)
+
+    def test_same_token_not_a_swap(self, identifier):
+        assert identifier.identify(
+            [appt(1, "A", "B", 100, T1), appt(2, "B", "A", 100, T1)]
+        ) == []
+
+    def test_three_transfer_swap_dual_output(self, identifier):
+        trades = identifier.identify(
+            [appt(1, "A", "B", 100, T1), appt(2, "B", "A", 50, T2), appt(3, "B", "A", 25, T3)]
+        )
+        assert len(trades) == 1
+        assert trades[0].extra_legs == ((T3, 25),)
+
+    def test_untagged_party_blocks_trade(self, identifier):
+        assert identifier.identify(
+            [appt(1, None, "B", 100, T1), appt(2, "B", None, 50, T2)]
+        ) == []
+
+
+class TestMintLiquidity:
+    def test_two_transfer_mint(self, identifier):
+        trades = identifier.identify(
+            [appt(1, "A", "Vault", 100, T1), appt(2, BLACKHOLE_TAG, "A", 80, T2)]
+        )
+        assert trades[0].kind is TradeKind.MINT_LIQUIDITY
+        assert trades[0].seller == "Vault"
+
+    def test_reversed_order_mint(self, identifier):
+        trades = identifier.identify(
+            [appt(1, BLACKHOLE_TAG, "A", 80, T2), appt(2, "A", "Vault", 100, T1)]
+        )
+        assert trades and trades[0].kind is TradeKind.MINT_LIQUIDITY
+
+    def test_three_transfer_mint(self, identifier):
+        trades = identifier.identify(
+            [
+                appt(1, "A", "Pool", 100, T1),
+                appt(2, "A", "Pool", 60, T2),
+                appt(3, BLACKHOLE_TAG, "A", 40, T3),
+            ]
+        )
+        assert len(trades) == 1
+        assert trades[0].kind is TradeKind.MINT_LIQUIDITY
+        assert trades[0].extra_legs == ((T2, 60),)
+
+
+class TestRemoveLiquidity:
+    def test_two_transfer_remove(self, identifier):
+        trades = identifier.identify(
+            [appt(1, "A", BLACKHOLE_TAG, 80, T2), appt(2, "Vault", "A", 100, T1)]
+        )
+        assert trades[0].kind is TradeKind.REMOVE_LIQUIDITY
+        assert trades[0].seller == "Vault"
+
+    def test_three_transfer_remove(self, identifier):
+        trades = identifier.identify(
+            [
+                appt(1, "A", BLACKHOLE_TAG, 40, T3),
+                appt(2, "Pool", "A", 100, T1),
+                appt(3, "Pool", "A", 60, T2),
+            ]
+        )
+        assert len(trades) == 1
+        assert trades[0].kind is TradeKind.REMOVE_LIQUIDITY
+
+
+class TestFeeBurnStripping:
+    def test_fee_burn_after_receipt_ignored(self, identifier):
+        """Deflationary fee burns must not pair into phantom removes."""
+        trades = identifier.identify(
+            [
+                appt(1, "A", "Pool", 100_000, T1),
+                appt(2, "Pool", "A", 99_000, T2),
+                appt(3, "Pool", BLACKHOLE_TAG, 1_000, T2),  # 1% burn
+                appt(4, "A", "Pool", 100_000, T1),
+                appt(5, "Pool", "A", 98_000, T2),
+            ]
+        )
+        assert len(trades) == 2
+        assert all(t.kind is TradeKind.SWAP for t in trades)
+
+    def test_large_burn_not_stripped(self, identifier):
+        """A burn comparable to its neighbour is a real remove-liquidity leg."""
+        trades = identifier.identify(
+            [appt(1, "Pool", "A", 100, T2), appt(2, "A", BLACKHOLE_TAG, 100, T3),
+             appt(3, "Vault", "A", 50, T1)]
+        )
+        kinds = {t.kind for t in trades}
+        assert TradeKind.REMOVE_LIQUIDITY in kinds
+
+
+class TestGreedyScan:
+    def test_consecutive_trades_all_found(self, identifier):
+        stream = []
+        for i in range(5):
+            stream.append(appt(2 * i, "A", "B", 100 + i, T1))
+            stream.append(appt(2 * i + 1, "B", "A", 50, T2))
+        trades = identifier.identify(stream)
+        assert len(trades) == 5
+
+    def test_unrelated_transfer_skipped(self, identifier):
+        trades = identifier.identify(
+            [
+                appt(1, "X", "Y", 7, T3),
+                appt(2, "A", "B", 100, T1),
+                appt(3, "B", "A", 50, T2),
+            ]
+        )
+        assert len(trades) == 1
+
+    def test_rates(self, identifier):
+        trades = identifier.identify(
+            [appt(1, "A", "B", 100, T1), appt(2, "B", "A", 50, T2)]
+        )
+        assert trades[0].sell_rate == 2.0
+        assert trades[0].buy_rate == 0.5

@@ -1,0 +1,106 @@
+"""Property tests: AMM invariants under random trading."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain import ETH, Revert
+from repro.world import DeFiWorld
+
+
+@pytest.fixture(scope="module")
+def amm_world():
+    world = DeFiWorld()
+    token = world.new_token("PAM")
+    pair = world.dex_pair(token, world.weth, 1_000_000 * token.unit, 10_000 * ETH)
+    trader = world.create_attacker("pt")
+    token.mint(trader, 10**9 * token.unit)
+    world.fund_weth(trader, 10**6 * ETH)
+    return world, token, pair, trader
+
+
+class TestConstantProduct:
+    @given(st.lists(st.tuples(st.booleans(), st.integers(1, 10_000)), min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_k_never_decreases_under_swaps(self, amm_world, trades):
+        world, token, pair, trader = amm_world
+        r0, r1 = pair.get_reserves()
+        k = r0 * r1
+        for sell_token, units in trades:
+            asset = token if sell_token else world.weth
+            amount = units * (token.unit if sell_token else ETH) // 100
+            if amount == 0:
+                continue
+            out = pair.get_amount_out(amount, asset.address)
+            if out <= 0:
+                continue
+            world.chain.transact(trader, asset.address, "transfer", pair.address, amount)
+            other = pair.other_token(asset.address)
+            out0, out1 = (out, 0) if other == pair.token0 else (0, out)
+            world.chain.transact(trader, pair.address, "swap", out0, out1, trader)
+            r0b, r1b = pair.get_reserves()
+            assert r0b * r1b >= k
+            k = r0b * r1b
+
+    @given(st.integers(1, 10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_quoted_output_always_accepted(self, amm_world, units):
+        """get_amount_out must never quote an amount the K check rejects."""
+        world, token, pair, trader = amm_world
+        amount = units * token.unit // 1000 + 1
+        out = pair.get_amount_out(amount, token.address)
+        if out <= 0:
+            return
+        world.chain.transact(trader, token.address, "transfer", pair.address, amount)
+        other = pair.other_token(token.address)
+        out0, out1 = (out, 0) if other == pair.token0 else (0, out)
+        world.chain.transact(trader, pair.address, "swap", out0, out1, trader)
+
+    @given(st.integers(2, 10**5))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_never_profits(self, amm_world, units):
+        world, token, pair, trader = amm_world
+        amount = units * token.unit
+        before = token.balance_of(trader)
+        got = pair.get_amount_out(amount, token.address)
+        if got <= 0:
+            return
+        world.chain.transact(trader, token.address, "transfer", pair.address, amount)
+        other = pair.other_token(token.address)
+        out0, out1 = (got, 0) if other == pair.token0 else (0, got)
+        world.chain.transact(trader, pair.address, "swap", out0, out1, trader)
+        back = pair.get_amount_out(got, other)
+        world.chain.transact(trader, world.weth.address, "transfer", pair.address, got)
+        out0, out1 = (back, 0) if token.address == pair.token0 else (0, back)
+        world.chain.transact(trader, pair.address, "swap", out0, out1, trader)
+        assert token.balance_of(trader) <= before
+
+
+class TestStableSwap:
+    @given(st.integers(1, 5_000_000), st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_d_never_decreases_on_exchange(self, units, direction):
+        world = DeFiWorld()
+        usdc = world.new_token("PSA", 6)
+        usdt = world.new_token("PSB", 6)
+        pool = world.curve_pool({usdc: 10**7 * usdc.unit, usdt: 10**7 * usdt.unit})
+        trader = world.create_attacker("ct")
+        src = usdc if direction else usdt
+        src.mint(trader, 10**8 * src.unit)
+        world.approve(trader, src, pool.address)
+        d_before = pool.get_D()
+        i, j = (0, 1) if direction else (1, 0)
+        world.chain.transact(trader, pool.address, "exchange", i, j, units * src.unit)
+        assert pool.get_D() >= d_before - 2  # integer rounding slack
+
+    @given(st.integers(1, 3_000_000))
+    @settings(max_examples=20, deadline=None)
+    def test_output_never_exceeds_input_value_much(self, units):
+        """Near-peg stableswap output can exceed input only by the pool's
+        imbalance bonus, never by more than the amplification allows."""
+        world = DeFiWorld()
+        usdc = world.new_token("PSC", 6)
+        usdt = world.new_token("PSD", 6)
+        pool = world.curve_pool({usdc: 10**7 * usdc.unit, usdt: 10**7 * usdt.unit})
+        dy = pool.get_dy(0, 1, units * usdc.unit)
+        assert dy <= units * usdt.unit * 1.01

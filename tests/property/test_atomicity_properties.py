@@ -1,0 +1,109 @@
+"""Property test: flash-loan atomicity under random interleavings.
+
+Whatever a borrower contract does inside the callback, a transaction that
+fails repayment must leave every balance and reserve exactly as before —
+the guarantee that makes flash loans safe for the lender (paper Sec. I).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain import ETH, Revert, external
+from repro.defi import FlashLoanReceiver, UniswapV2Pair
+from repro.world import DeFiWorld
+
+
+class ChaoticBorrower(FlashLoanReceiver):
+    """Executes a random action script inside the flash-loan callback,
+    then (optionally) fails to repay."""
+
+    def configure(self, script, repay, pair, token, weth):
+        self.script = script
+        self.repay = repay
+        self.pair = pair
+        self.token = token
+        self.weth = weth
+
+    @external
+    def go(self, msg, amount):
+        pool = self.chain.contract_of(self.pair, UniswapV2Pair)
+        out0, out1 = (amount, 0) if self.token == pool.token0 else (0, amount)
+        self.chain.call(self.address, self.pair, "swap", out0, out1, self.address, "x")
+
+    @external
+    def uniswapV2Call(self, msg, sender, amount0, amount1, data):
+        pool = self.chain.contract_of(self.pair, UniswapV2Pair)
+        for action, units in self.script:
+            balance = self.chain.contract_of(self.token, type(pool).__mro__[1]).balance_of(self.address)  # noqa: E501
+            amount = min(units * 10**15, balance // 2)
+            if amount <= 0:
+                continue
+            if action == "swap":
+                out = pool.get_amount_out(amount, self.token)
+                if out > 0:
+                    self.chain.call(self.address, self.token, "transfer", self.pair, amount)
+                    other = pool.other_token(self.token)
+                    o0, o1 = (out, 0) if other == pool.token0 else (0, out)
+                    self.chain.call(self.address, self.pair, "swap", o0, o1, self.address)
+            elif action == "burn_own":
+                self.chain.call(self.address, self.token, "transfer", self.pair, amount)
+        if self.repay:
+            borrowed = amount0 or amount1
+            fee = borrowed * 3 // 997 + 1
+            self.chain.call(self.address, self.token, "transfer", msg.sender, borrowed + fee)
+
+
+@pytest.fixture(scope="module")
+def chaos_world():
+    world = DeFiWorld()
+    token = world.new_token("CHA")
+    pair = world.dex_pair(token, world.weth, 10**7 * token.unit, 10**5 * ETH)
+    owner = world.create_attacker("chaos")
+    borrower = world.chain.deploy(owner, ChaoticBorrower)
+    token.mint(borrower.address, 10**6 * token.unit)
+    return world, token, pair, owner, borrower
+
+
+action = st.tuples(st.sampled_from(["swap", "burn_own"]), st.integers(1, 1000))
+
+
+class TestAtomicity:
+    @given(st.lists(action, max_size=6), st.integers(1, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_unpaid_loan_leaves_no_footprint(self, chaos_world, script, units):
+        """Either the pool is made whole (donations inside the script count
+        as repayment — that is real flash-swap semantics) or the revert
+        leaves zero footprint."""
+        world, token, pair, owner, borrower = chaos_world
+        borrower.configure(script, repay=False, pair=pair.address,
+                           token=token.address, weth=world.weth.address)
+        reserves = pair.get_reserves()
+        k_before = reserves[0] * reserves[1]
+        balance = token.balance_of(borrower.address)
+        supply = token.total_supply()
+        try:
+            world.chain.transact(owner, borrower.address, "go", units * token.unit)
+        except Revert:
+            assert pair.get_reserves() == reserves
+            assert token.balance_of(borrower.address) == balance
+            assert token.total_supply() == supply
+        else:
+            r0, r1 = pair.get_reserves()
+            assert r0 * r1 >= k_before  # accidental repayment made it whole
+        assert world.chain.state.depth == 0
+
+    @given(st.lists(action, max_size=4), st.integers(1, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_repaid_loan_keeps_pool_whole(self, chaos_world, script, units):
+        world, token, pair, owner, borrower = chaos_world
+        borrower.configure(script, repay=True, pair=pair.address,
+                           token=token.address, weth=world.weth.address)
+        r0, r1 = pair.get_reserves()
+        k_before = r0 * r1
+        try:
+            world.chain.transact(owner, borrower.address, "go", units * token.unit)
+        except Revert:
+            return  # ran out of float mid-script: fine, atomicity covered above
+        r0b, r1b = pair.get_reserves()
+        assert r0b * r1b >= k_before

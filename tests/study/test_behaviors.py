@@ -1,0 +1,132 @@
+"""Attacker post-attack behaviours (paper Sec. VI-D2)."""
+
+import pytest
+
+from repro.chain import NotAContract
+from repro.defi import Mixer, commitment_of
+from repro.study import (
+    launder_through_intermediaries,
+    launder_through_mixer,
+    simulate_selfdestruct,
+    trace_profit_exit,
+)
+from repro.study.scenarios import SCENARIO_BUILDERS
+
+
+@pytest.fixture()
+def finished_attack():
+    """A fresh bZx-1 replay whose attacker holds WETH profit."""
+    outcome = SCENARIO_BUILDERS["bzx1"]()
+    token = outcome.world.weth
+    assert token.balance_of(outcome.attacker) > 0
+    return outcome, token
+
+
+class TestSelfdestruct:
+    def test_code_removed_history_replayable(self, finished_attack):
+        outcome, token = finished_attack
+        report_before = outcome.world.detector().analyze(outcome.trace)
+        simulate_selfdestruct(outcome)
+        with pytest.raises(NotAContract):
+            outcome.chain.transact(outcome.attacker, outcome.attack_contracts[0], "run")
+        # "the contract code remains in the blockchain history and can be
+        # replayed exactly": detection on the recorded trace still works
+        report_after = outcome.world.detector().analyze(outcome.trace)
+        assert report_after.patterns == report_before.patterns
+
+    def test_tracer_flags_destroyed_contract(self, finished_attack):
+        outcome, token = finished_attack
+        simulate_selfdestruct(outcome)
+        report = trace_profit_exit(outcome, token)
+        assert report.contract_destroyed
+
+
+class TestIntermediaryLaundering:
+    def test_profit_moves_through_n_levels(self, finished_attack):
+        outcome, token = finished_attack
+        amount = token.balance_of(outcome.attacker)
+        hops = launder_through_intermediaries(outcome, token, depth=4)
+        assert len(hops) == 4
+        assert token.balance_of(outcome.attacker) == 0
+        assert token.balance_of(hops[-1]) == amount
+
+    def test_tracer_recovers_full_path(self, finished_attack):
+        outcome, token = finished_attack
+        hops = launder_through_intermediaries(outcome, token, depth=3)
+        report = trace_profit_exit(outcome, token)
+        assert report.hops == hops
+        assert report.terminal == hops[-1]
+        assert not report.entered_mixer
+        assert report.laundering_depth == 3
+
+    def test_no_profit_raises(self, finished_attack):
+        outcome, _ = finished_attack
+        other = outcome.world.new_token("NOPE")
+        with pytest.raises(ValueError):
+            launder_through_intermediaries(outcome, other)
+
+
+class TestMixer:
+    @pytest.fixture()
+    def mixer(self, finished_attack):
+        outcome, token = finished_attack
+        deployer = outcome.world.deployer_of("Tornado Cash")
+        denomination = 100 * 10**18
+        mixer = outcome.chain.deploy(
+            deployer, Mixer, token.address, denomination, label="Tornado Cash: 100 WETH"
+        )
+        # honest users populate the anonymity set
+        for i in range(3):
+            honest = outcome.world.create_attacker(f"honest-{i}")
+            outcome.world.fund_weth(honest, denomination)
+            outcome.world.approve(honest, token, mixer.address)
+            outcome.chain.transact(honest, mixer.address, "deposit", commitment_of(f"h{i}"))
+        return mixer
+
+    def test_deposit_withdraw_unlinkable_recipient(self, finished_attack, mixer):
+        outcome, token = finished_attack
+        clean = launder_through_mixer(outcome, token, mixer)
+        assert token.balance_of(clean) >= mixer.denomination
+        assert clean != outcome.attacker
+
+    def test_tracer_stops_at_mixer(self, finished_attack, mixer):
+        outcome, token = finished_attack
+        launder_through_mixer(outcome, token, mixer)
+        report = trace_profit_exit(outcome, token)
+        assert report.entered_mixer
+        assert report.hops[-1] == mixer.address
+
+    def test_double_spend_rejected(self, finished_attack, mixer):
+        from repro.chain import Revert
+
+        outcome, token = finished_attack
+        user = outcome.world.create_attacker("ds")
+        outcome.world.fund_weth(user, mixer.denomination)
+        outcome.world.approve(user, token, mixer.address)
+        outcome.chain.transact(user, mixer.address, "deposit", commitment_of("sec"))
+        other = outcome.world.create_attacker("o")
+        outcome.chain.transact(user, mixer.address, "withdraw", "sec", other)
+        with pytest.raises(Revert, match="already spent"):
+            outcome.chain.transact(user, mixer.address, "withdraw", "sec", other)
+
+    def test_unknown_note_rejected(self, finished_attack, mixer):
+        from repro.chain import Revert
+
+        outcome, _ = finished_attack
+        user = outcome.world.create_attacker("un")
+        with pytest.raises(Revert, match="unknown note"):
+            outcome.chain.transact(user, mixer.address, "withdraw", "never", user)
+
+    def test_commitment_reuse_rejected(self, finished_attack, mixer):
+        from repro.chain import Revert
+
+        outcome, token = finished_attack
+        user = outcome.world.create_attacker("cr")
+        outcome.world.fund_weth(user, 2 * mixer.denomination)
+        outcome.world.approve(user, token, mixer.address)
+        outcome.chain.transact(user, mixer.address, "deposit", commitment_of("dup"))
+        with pytest.raises(Revert, match="reused"):
+            outcome.chain.transact(user, mixer.address, "deposit", commitment_of("dup"))
+
+    def test_anonymity_set_tracking(self, finished_attack, mixer):
+        assert mixer.anonymity_set() == 3  # the honest users

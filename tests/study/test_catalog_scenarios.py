@@ -1,0 +1,143 @@
+"""The empirical study: catalog invariants and all 22 scenario replays."""
+
+import pytest
+
+from repro.baselines import DeFiRanger, ExplorerLeiShen
+from repro.leishen import AttackPattern
+from repro.study import FLP_ATTACKS, NON_PRICE_ATTACKS, flp_attack, patterned_attacks
+
+
+class TestCatalogInvariants:
+    def test_counts_match_paper(self):
+        assert len(FLP_ATTACKS) == 22
+        assert len(NON_PRICE_ATTACKS) == 22
+
+    def test_pattern_distribution(self):
+        krp = [m for m in FLP_ATTACKS if AttackPattern.KRP in m.patterns]
+        sbs = [m for m in FLP_ATTACKS if AttackPattern.SBS in m.patterns]
+        mbs = [m for m in FLP_ATTACKS if AttackPattern.MBS in m.patterns]
+        assert (len(krp), len(sbs), len(mbs)) == (4, 8, 6)
+
+    def test_saddle_is_the_only_dual_pattern(self):
+        dual = [m for m in FLP_ATTACKS if len(m.patterns) == 2]
+        assert [m.key for m in dual] == ["saddle"]
+
+    def test_five_attacks_without_pattern(self):
+        assert sum(1 for m in FLP_ATTACKS if not m.patterns) == 5
+
+    def test_seventeen_patterned(self):
+        assert len(patterned_attacks()) == 17
+
+    def test_leishen_misses_exactly_julswap_and_pancakehunny(self):
+        missed = [m.key for m in patterned_attacks() if not m.expect_leishen]
+        assert sorted(missed) == ["julswap", "pancakehunny"]
+        for key in missed:
+            assert flp_attack(key).miss_reason
+
+    def test_defiranger_detects_nine(self):
+        assert sum(1 for m in FLP_ATTACKS if m.expect_defiranger) == 9
+
+    def test_explorer_detects_four(self):
+        assert sum(1 for m in FLP_ATTACKS if m.expect_explorer) == 4
+
+    def test_chain_split(self):
+        ethereum = [m for m in FLP_ATTACKS if m.chain == "ethereum"]
+        bsc = [m for m in FLP_ATTACKS if m.chain == "bsc"]
+        assert len(ethereum) + len(bsc) == 22
+        assert len(ethereum) >= 8 and len(bsc) >= 8
+
+
+class TestScenarioReplays:
+    def test_all_scenarios_execute_successfully(self, all_outcomes):
+        assert len(all_outcomes) == 22
+        for key, outcome in all_outcomes.items():
+            assert outcome.trace.success, key
+
+    def test_every_scenario_takes_a_flash_loan(self, all_outcomes):
+        from repro.leishen import FlashLoanIdentifier
+
+        identifier = FlashLoanIdentifier()
+        for key, outcome in all_outcomes.items():
+            assert identifier.identify(outcome.trace), key
+
+    def test_attacks_are_profitable_for_the_attacker(self, all_outcomes):
+        """Every replay must leave the attacker with a positive net flow
+        in some asset (the study's attacks all made money)."""
+        for key, outcome in all_outcomes.items():
+            accounts = {outcome.attacker, *outcome.attack_contracts}
+            gains = {}
+            for transfer in outcome.trace.transfers:
+                into = transfer.receiver in accounts
+                outof = transfer.sender in accounts
+                if into == outof:
+                    continue
+                delta = transfer.amount if into else -transfer.amount
+                gains[transfer.token] = gains.get(transfer.token, 0) + delta
+            assert any(v > 0 for v in gains.values()), key
+
+    @pytest.mark.parametrize("meta", FLP_ATTACKS, ids=lambda m: m.key)
+    def test_leishen_matches_table_iv(self, meta, all_outcomes):
+        outcome = all_outcomes[meta.key]
+        report = outcome.world.detector().analyze(outcome.trace)
+        detected = report is not None and report.is_attack
+        assert detected == meta.expect_leishen
+        if detected and meta.patterns:
+            assert {p.name for p in meta.patterns} <= {
+                p.name for p in report.patterns
+            } or {p.name for p in report.patterns} & {p.name for p in meta.patterns}
+
+    @pytest.mark.parametrize("meta", FLP_ATTACKS, ids=lambda m: m.key)
+    def test_defiranger_matches_table_iv(self, meta, all_outcomes):
+        outcome = all_outcomes[meta.key]
+        assert DeFiRanger(outcome.world.chain).detect(outcome.trace) == meta.expect_defiranger
+
+    @pytest.mark.parametrize("meta", FLP_ATTACKS, ids=lambda m: m.key)
+    def test_explorer_matches_table_iv(self, meta, all_outcomes):
+        outcome = all_outcomes[meta.key]
+        assert (
+            ExplorerLeiShen(outcome.world.chain).detect(outcome.trace)
+            == meta.expect_explorer
+        )
+
+    def test_saddle_detected_with_both_patterns(self, all_outcomes):
+        outcome = all_outcomes["saddle"]
+        report = outcome.world.detector().analyze(outcome.trace)
+        assert report.patterns == {AttackPattern.SBS, AttackPattern.MBS}
+
+
+class TestStudyAnalysis:
+    def test_harvest_volatility_near_paper(self, harvest_outcome):
+        from repro.study import analyze_scenario
+
+        row = analyze_scenario(harvest_outcome)
+        assert 0.2 < row.max_volatility_pct < 3.0  # paper: 0.5%
+
+    def test_balancer_volatility_astronomical(self, all_outcomes):
+        from repro.study import analyze_scenario
+
+        row = analyze_scenario(all_outcomes["balancer"])
+        assert row.max_volatility_pct > 1e5  # paper: 6.5e28 %
+
+    def test_borrowed_value_over_one_million_usd(self, all_outcomes):
+        """Sec. III-B: borrowed assets in price manipulation attacks are
+        worth more than 1M USD."""
+        from repro.study import analyze_scenario
+
+        row = analyze_scenario(all_outcomes["harvest"])
+        assert row.borrowed_usd > 1_000_000
+
+
+class TestFlashLoanAnalysis:
+    def test_sec3b_aggregates(self, all_outcomes):
+        """Sec. III-B: flpAttacks borrow >1M USD; providers are the three
+        the paper fingerprints (PancakeSwap sharing Uniswap's fork shape)."""
+        from repro.study import analyze_scenario, flash_loan_analysis
+        from repro.study.catalog import FLP_ATTACKS
+
+        rows = [analyze_scenario(all_outcomes[m.key], m) for m in FLP_ATTACKS]
+        stats = flash_loan_analysis(rows)
+        assert stats["attacks"] == 22
+        assert set(stats["providers"]) <= {"Uniswap", "dYdX", "AAVE", "PancakeSwap"}
+        # the paper: borrowed assets in price manipulation attacks exceed 1M USD
+        assert stats["over_one_million_usd"] >= 15
+        assert stats["max_borrowed_usd"] > 10_000_000

@@ -1,0 +1,68 @@
+"""Multi-provider flash loans (paper Sec. III-B: seven attacks borrowed
+from more than one provider in a single transaction, e.g. Beanstalk)."""
+
+import pytest
+
+from repro.chain import ETH
+from repro.leishen import FlashLoanIdentifier
+from repro.study.scenarios import ScriptedAttackContract
+from repro.study.scenarios.common import world_for
+
+
+@pytest.fixture()
+def multi_loan_outcome():
+    """dYdX WETH loan that nests an AAVE DAI loan and a Uniswap flash swap."""
+    world = world_for("ethereum")
+    weth = world.weth
+    dai = world.new_token("DAI")
+    usdc = world.new_token("USDC", 6)
+    solo = world.dydx(funding={weth: 100_000 * ETH})
+    aave = world.aave(funding={dai: 10_000_000 * dai.unit})
+    flash_pair = world.dex_pair(usdc, dai, 10**7 * usdc.unit, 10**7 * dai.unit)
+
+    def innermost(atk: ScriptedAttackContract) -> None:
+        pass  # all three loans are now held simultaneously
+
+    def after_aave(atk: ScriptedAttackContract) -> None:
+        atk.flash_uniswap_then(flash_pair.address, usdc.address, 10**6 * usdc.unit, innermost)
+
+    def body(atk: ScriptedAttackContract) -> None:
+        atk.flash_aave_then(aave.address, dai.address, 10**6 * dai.unit, after_aave)
+
+    attacker = world.create_attacker("beanstalk-eoa")
+    contract = world.chain.deploy(attacker, ScriptedAttackContract, body)
+    # float covering the nested loans' fees (0.09% AAVE + 0.3% Uniswap)
+    dai.mint(contract.address, 10_000 * dai.unit)
+    usdc.mint(contract.address, 10_000 * usdc.unit)
+    weth.mint(contract.address, ETH)  # covers dYdX's 2-wei premium
+    trace = world.chain.transact(
+        attacker, contract.address, "run_dydx", solo.address, weth.address, 10_000 * ETH
+    )
+    from repro.study.scenarios import ScenarioOutcome
+
+    outcome = ScenarioOutcome(
+        name="beanstalk-like", world=world, trace=trace,
+        attacker=attacker, attack_contracts=[contract.address],
+    )
+    return world, outcome, dai, usdc
+
+
+def test_all_three_providers_identified(multi_loan_outcome):
+    world, outcome, dai, usdc = multi_loan_outcome
+    loans = FlashLoanIdentifier().identify(outcome.trace)
+    providers = {loan.provider for loan in loans}
+    assert providers == {"dYdX", "AAVE", "Uniswap"}
+
+
+def test_amounts_per_provider(multi_loan_outcome):
+    world, outcome, dai, usdc = multi_loan_outcome
+    loans = {l.provider: l for l in FlashLoanIdentifier().identify(outcome.trace)}
+    assert loans["dYdX"].amount == 10_000 * ETH
+    assert loans["AAVE"].amount == 10**6 * dai.unit
+    assert loans["Uniswap"].amount == 10**6 * usdc.unit
+
+
+def test_borrower_consistent_across_providers(multi_loan_outcome):
+    world, outcome, *_ = multi_loan_outcome
+    loans = FlashLoanIdentifier().identify(outcome.trace)
+    assert {l.borrower for l in loans} == {outcome.attack_contracts[0]}

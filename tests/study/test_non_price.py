@@ -1,0 +1,75 @@
+"""Non-price flash loan attacks are out of scope and must not be flagged."""
+
+import pytest
+
+from repro.baselines import DeFiRanger
+from repro.study.non_price import build_governance, build_reentrancy
+
+
+@pytest.fixture(scope="module")
+def reentrancy():
+    return build_reentrancy()
+
+
+@pytest.fixture(scope="module")
+def governance():
+    return build_governance()
+
+
+class TestReentrancy:
+    def test_attack_succeeds_and_profits(self, reentrancy):
+        assert reentrancy.trace.success
+        dai = reentrancy.world.token("DAI")
+        profit = dai.balance_of(reentrancy.attacker) + dai.balance_of(
+            reentrancy.attack_contracts[0]
+        )
+        assert profit > 19 * 10**5 * dai.unit  # withdrew twice (minus the 2-wei fee)
+
+    def test_is_flash_loan_but_not_flpattack(self, reentrancy):
+        report = reentrancy.world.detector().analyze(reentrancy.trace)
+        assert report is not None  # flash loan tx
+        assert not report.is_attack  # no price pattern: out of scope
+
+    def test_defiranger_also_silent(self, reentrancy):
+        assert not DeFiRanger(reentrancy.world.chain).detect(reentrancy.trace)
+
+    def test_bank_invariant_broken(self, reentrancy):
+        """The bug's signature: the attacker's ledger went negative."""
+        from repro.study.non_price import ReentrantBank
+
+        bank = next(
+            c for c in reentrancy.world.chain.contracts.values()
+            if isinstance(c, ReentrantBank)
+        )
+        dai = reentrancy.world.token("DAI")
+        assert bank.deposit_of(reentrancy.attack_contracts[0], dai.address) < 0
+
+
+class TestGovernance:
+    def test_treasury_drained(self, governance):
+        bean = governance.world.token("BEAN")
+        total = bean.balance_of(governance.attacker) + bean.balance_of(
+            governance.attack_contracts[0]
+        )
+        assert total > 4 * 10**7 * bean.unit
+
+    def test_not_flagged_as_flpattack(self, governance):
+        report = governance.world.detector().analyze(governance.trace)
+        assert report is not None
+        assert not report.is_attack
+
+    def test_majority_required(self, governance):
+        from repro.chain import Revert
+
+        world = governance.world
+        outsider = world.create_attacker("outsider")
+        treasury = governance.trace.to  # not the treasury; find it properly
+        from repro.study.non_price import GovernanceTreasury
+
+        treasury = next(
+            c for c in world.chain.contracts.values()
+            if isinstance(c, GovernanceTreasury)
+        )
+        proposal = None
+        with pytest.raises(Revert, match="majority"):
+            world.chain.transact(outsider, treasury.address, "emergency_execute", 1)

@@ -1,0 +1,53 @@
+"""DeFiWorld builder: profiles, deployments, labels."""
+
+import pytest
+
+from repro.chain import ETH
+from repro.world import BSC_PROFILE, DeFiWorld
+
+
+class TestProfiles:
+    def test_ethereum_default(self, world):
+        assert world.chain.name == "ethereum"
+        assert world.weth.symbol == "WETH"
+        assert world.registry.native_symbol == "ETH"
+
+    def test_bsc_profile(self):
+        world = DeFiWorld(profile=BSC_PROFILE)
+        assert world.chain.name == "bsc"
+        assert world.weth.symbol == "WBNB"
+        assert world.dex_factory().app_name == "PancakeSwap"
+
+
+class TestDeployments:
+    def test_deployers_labeled(self, world):
+        deployer = world.deployer_of("Uniswap")
+        assert world.chain.labels[deployer] == "Uniswap: Deployer 1"
+        assert world.deployer_of("Uniswap") == deployer  # cached
+
+    def test_dex_pair_seeded(self, world):
+        token = world.new_token("WT")
+        pair = world.dex_pair(token, world.weth, 1_000 * token.unit, 10 * ETH)
+        r0, r1 = pair.get_reserves()
+        assert r0 > 0 and r1 > 0
+
+    def test_factory_created_pairs_tag_to_dex_app(self, world):
+        from repro.leishen import AccountTagger
+
+        token = world.new_token("WT2")
+        pair = world.dex_pair(token, world.weth, 1_000 * token.unit, 10 * ETH)
+        tagger = AccountTagger(world.chain)
+        assert tagger.tag_of(pair.address) == "Uniswap"
+
+    def test_flash_providers_singletons(self, world):
+        assert world.aave() is world.aave()
+        assert world.dydx() is world.dydx()
+
+    def test_detector_wired_to_weth(self, world):
+        detector = world.detector()
+        assert world.weth.address in detector.config.simplifier.weth_tokens
+
+    def test_fund_weth(self, world):
+        user = world.create_attacker("u")
+        world.fund_weth(user, 5 * ETH)
+        assert world.weth.balance_of(user) == 5 * ETH

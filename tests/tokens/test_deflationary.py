@@ -1,0 +1,45 @@
+"""Fee-on-transfer token (the Balancer attack's STA)."""
+
+import pytest
+
+from repro.chain import BLACKHOLE
+from repro.tokens import DeflationaryERC20
+
+
+@pytest.fixture()
+def sta(chain):
+    token = chain.deploy(chain.create_eoa("d"), DeflationaryERC20, "STA", 18, 100)
+    return token
+
+
+class TestBurnOnTransfer:
+    def test_receiver_gets_99_percent(self, chain, sta):
+        a, b = chain.create_eoa(), chain.create_eoa()
+        sta.mint(a, 10_000)
+        chain.transact(a, sta.address, "transfer", b, 10_000)
+        assert sta.balance_of(b) == 9_900
+        assert sta.balance_of(a) == 0
+
+    def test_supply_shrinks(self, chain, sta):
+        a, b = chain.create_eoa(), chain.create_eoa()
+        sta.mint(a, 10_000)
+        chain.transact(a, sta.address, "transfer", b, 10_000)
+        assert sta.total_supply() == 9_900
+
+    def test_burn_recorded_to_blackhole(self, chain, sta):
+        a, b = chain.create_eoa(), chain.create_eoa()
+        sta.mint(a, 10_000)
+        trace = chain.transact(a, sta.address, "transfer", b, 10_000)
+        burns = [t for t in trace.transfers if t.receiver == BLACKHOLE]
+        assert len(burns) == 1 and burns[0].amount == 100
+
+    def test_zero_fee_token_behaves_like_erc20(self, chain):
+        token = chain.deploy(chain.create_eoa(), DeflationaryERC20, "T", 18, 0)
+        a, b = chain.create_eoa(), chain.create_eoa()
+        token.mint(a, 100)
+        chain.transact(a, token.address, "transfer", b, 100)
+        assert token.balance_of(b) == 100
+
+    def test_invalid_fee_rejected(self, chain):
+        with pytest.raises(ValueError):
+            chain.deploy(chain.create_eoa(), DeflationaryERC20, "T", 18, 10_000)

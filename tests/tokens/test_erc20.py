@@ -1,0 +1,110 @@
+"""ERC20 semantics: transfers, allowances, mint/burn via BlackHole."""
+
+import pytest
+
+from repro.chain import BLACKHOLE, InsufficientAllowance, InsufficientBalance, Revert
+
+
+@pytest.fixture()
+def token(chain, registry):
+    deployer = chain.create_eoa("deployer")
+    return registry.deploy(chain, deployer, "TKN", 18)
+
+
+@pytest.fixture()
+def holders(chain):
+    return chain.create_eoa("h1"), chain.create_eoa("h2")
+
+
+class TestTransfer:
+    def test_moves_balance(self, chain, token, holders):
+        a, b = holders
+        token.mint(a, 100)
+        chain.transact(a, token.address, "transfer", b, 40)
+        assert token.balance_of(a) == 60
+        assert token.balance_of(b) == 40
+
+    def test_insufficient_reverts(self, chain, token, holders):
+        a, b = holders
+        with pytest.raises(InsufficientBalance):
+            chain.transact(a, token.address, "transfer", b, 1)
+
+    def test_negative_reverts(self, chain, token, holders):
+        a, b = holders
+        token.mint(a, 10)
+        with pytest.raises(Revert):
+            chain.transact(a, token.address, "transfer", b, -5)
+
+    def test_records_trace_transfer(self, chain, token, holders):
+        a, b = holders
+        token.mint(a, 10)
+        trace = chain.transact(a, token.address, "transfer", b, 10)
+        assert len(trace.transfers) == 1
+        record = trace.transfers[0]
+        assert (record.sender, record.receiver, record.amount) == (a, b, 10)
+        assert record.token == token.address
+
+
+class TestAllowances:
+    def test_approve_and_transfer_from(self, chain, token, holders):
+        a, b = holders
+        token.mint(a, 100)
+        chain.transact(a, token.address, "approve", b, 70)
+        chain.transact(b, token.address, "transferFrom", a, b, 70)
+        assert token.balance_of(b) == 70
+        assert token.allowance(a, b) == 0
+
+    def test_exceeding_allowance_reverts(self, chain, token, holders):
+        a, b = holders
+        token.mint(a, 100)
+        chain.transact(a, token.address, "approve", b, 10)
+        with pytest.raises(InsufficientAllowance):
+            chain.transact(b, token.address, "transferFrom", a, b, 11)
+
+    def test_allowance_decrements(self, chain, token, holders):
+        a, b = holders
+        token.mint(a, 100)
+        chain.transact(a, token.address, "approve", b, 50)
+        chain.transact(b, token.address, "transferFrom", a, b, 20)
+        assert token.allowance(a, b) == 30
+
+
+class TestSupply:
+    def test_mint_from_blackhole(self, chain, token, holders):
+        a, _ = holders
+        trace = chain.transact(a, token.address, "approve", a, 0)  # open trace ctx
+        token.mint(a, 5)  # outside tx: no trace, but balances/supply move
+        assert token.total_supply() == 5
+        assert trace.success
+
+    def test_mint_inside_tx_records_blackhole_sender(self, chain, registry, holders):
+        from repro.chain import Contract, Msg, external
+
+        a, _ = holders
+        deployer = chain.create_eoa()
+        token = registry.deploy(chain, deployer, "M")
+
+        class Minter(Contract):
+            @external
+            def go(self, msg: Msg):
+                token.mint(msg.sender, 9)
+
+        minter = chain.deploy(deployer, Minter)
+        trace = chain.transact(a, minter.address, "go")
+        assert trace.transfers[0].sender == BLACKHOLE
+
+    def test_burn_reduces_supply(self, chain, token, holders):
+        a, _ = holders
+        token.mint(a, 10)
+        token.burn(a, 4)
+        assert token.total_supply() == 6
+        assert token.balance_of(a) == 6
+
+    def test_burn_more_than_balance_reverts(self, token, holders):
+        a, _ = holders
+        token.mint(a, 3)
+        with pytest.raises(InsufficientBalance):
+            token.burn(a, 4)
+
+    def test_unit_property(self, token):
+        assert token.unit == 10**18

@@ -1,0 +1,34 @@
+"""Token registry lookups and pair rendering."""
+
+from repro.chain import ETHER
+
+
+class TestRegistry:
+    def test_deploy_and_lookup(self, chain, registry):
+        token = registry.deploy(chain, chain.create_eoa(), "ABC", 6)
+        assert registry.get(token.address) is token
+        assert registry.by_symbol("ABC") is token
+        assert registry.has_symbol("ABC")
+        assert len(registry) == 1
+
+    def test_symbol_of_native(self, registry):
+        assert registry.symbol_of(ETHER) == "ETH"
+
+    def test_symbol_of_unknown_address_is_short_form(self, registry, chain):
+        stranger = chain.create_eoa()
+        assert registry.symbol_of(stranger) == stranger.short
+
+    def test_pair_name(self, chain, registry):
+        a = registry.deploy(chain, chain.create_eoa(), "AAA")
+        assert registry.pair_name(ETHER, a.address) == "ETH-AAA"
+
+    def test_bsc_native_symbol(self, chain):
+        from repro.tokens import TokenRegistry
+
+        registry = TokenRegistry(native_symbol="BNB")
+        assert registry.symbol_of(ETHER) == "BNB"
+
+    def test_iteration(self, chain, registry):
+        registry.deploy(chain, chain.create_eoa(), "X")
+        registry.deploy(chain, chain.create_eoa(), "Y")
+        assert {t.symbol for t in registry} == {"X", "Y"}

@@ -1,0 +1,55 @@
+"""WETH wrap/unwrap semantics."""
+
+import pytest
+
+from repro.chain import ETH, ETHER, Revert
+from repro.tokens import WETH
+
+
+@pytest.fixture()
+def weth(chain):
+    return chain.deploy(chain.create_eoa("d"), WETH, label="Wrapped Ether")
+
+
+class TestDeposit:
+    def test_mints_one_to_one(self, chain, weth, funded_accounts):
+        a = funded_accounts[0]
+        chain.transact(a, weth.address, "deposit", value=3 * ETH)
+        assert weth.balance_of(a) == 3 * ETH
+        assert chain.balance(a) == 997 * ETH
+
+    def test_trace_shows_eth_in_weth_out(self, chain, weth, funded_accounts):
+        a = funded_accounts[0]
+        trace = chain.transact(a, weth.address, "deposit", value=1 * ETH)
+        tokens = [t.token for t in trace.transfers]
+        assert ETHER in tokens and weth.address in tokens
+
+    def test_plain_send_autowraps(self, chain, weth, funded_accounts):
+        a = funded_accounts[0]
+        chain.send_ether(a, weth.address, 2 * ETH)
+        assert weth.balance_of(a) == 2 * ETH
+
+
+class TestWithdraw:
+    def test_returns_ether(self, chain, weth, funded_accounts):
+        a = funded_accounts[0]
+        chain.transact(a, weth.address, "deposit", value=5 * ETH)
+        chain.transact(a, weth.address, "withdraw", 2 * ETH)
+        assert weth.balance_of(a) == 3 * ETH
+        assert chain.balance(a) == 997 * ETH
+
+    def test_cannot_withdraw_more_than_held(self, chain, weth, funded_accounts):
+        a = funded_accounts[0]
+        with pytest.raises(Revert):
+            chain.transact(a, weth.address, "withdraw", 1)
+
+    def test_round_trip_conserves_value(self, chain, weth, funded_accounts):
+        a = funded_accounts[0]
+        before = chain.balance(a)
+        chain.transact(a, weth.address, "deposit", value=7 * ETH)
+        chain.transact(a, weth.address, "withdraw", 7 * ETH)
+        assert chain.balance(a) == before
+        assert weth.total_supply() == 0
+
+    def test_app_name_is_wrapped_ether(self, weth):
+        assert weth.app_name == "Wrapped Ether"

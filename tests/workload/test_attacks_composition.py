@@ -1,0 +1,62 @@
+"""Attack-cluster composition: the Table V/VI arithmetic."""
+
+from repro.workload import ATTACK_CLUSTERS, FULL_SCALE_ATTACKS
+
+
+def n_attacks(predicate):
+    return sum(c.n_attacks for c in ATTACK_CLUSTERS if predicate(c))
+
+
+class TestClusterArithmetic:
+    def test_total_attacks_142(self):
+        assert FULL_SCALE_ATTACKS == 142
+
+    def test_known_33_unknown_109(self):
+        assert n_attacks(lambda c: c.known) == 33
+        assert n_attacks(lambda c: not c.known) == 109
+
+    def test_pattern_truth_totals(self):
+        assert n_attacks(lambda c: "KRP" in c.truth_patterns) == 21
+        assert n_attacks(lambda c: "SBS" in c.truth_patterns) == 68
+        assert n_attacks(lambda c: "MBS" in c.truth_patterns) == 60
+
+    def test_dual_truth_attacks_seven(self):
+        assert n_attacks(lambda c: len(c.truth_patterns) == 2) == 7
+
+    def test_spurious_mbs_inside_sbs_attacks(self):
+        """15 dual-shape attacks whose ground truth is SBS-only: their MBS
+        detections are the paper's pattern-level FPs inside true attacks."""
+        assert n_attacks(
+            lambda c: c.shape == "dual" and c.truth_patterns == ("SBS",)
+        ) == 15
+
+    def test_spurious_sbs_inside_mbs_attacks(self):
+        assert n_attacks(
+            lambda c: c.shape == "dual" and c.truth_patterns == ("MBS",)
+        ) == 5
+
+    def test_table6_top_three(self):
+        def cluster_stats(app):
+            clusters = [c for c in ATTACK_CLUSTERS if c.app == app and not c.known]
+            return (
+                sum(c.n_attacks for c in clusters),
+                max(c.n_attackers for c in clusters),
+                max(c.n_contracts for c in clusters),
+                max(c.n_assets for c in clusters),
+            )
+
+        assert cluster_stats("Balancer") == (31, 5, 14, 13)
+        assert cluster_stats("Uniswap") == (16, 6, 8, 5)
+        assert cluster_stats("Yearn") == (11, 1, 1, 1)
+
+    def test_severest_attack_profit(self):
+        assert max(c.profit_usd for c in ATTACK_CLUSTERS) > 6_000_000
+
+    def test_expected_pattern_pair_counts(self):
+        """Full-scale detections should land on the paper's Table V rows."""
+        krp = n_attacks(lambda c: c.shape == "krp")
+        sbs_like = n_attacks(lambda c: c.shape in ("sbs", "dual"))
+        mbs_like = n_attacks(lambda c: c.shape in ("mbs", "dual"))
+        assert krp == 21
+        assert sbs_like + 6 == 79   # + 6 migration FPs
+        assert mbs_like + 32 == 107  # + 32 aggregator-strategy FPs

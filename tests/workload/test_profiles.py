@@ -1,0 +1,54 @@
+"""Each benign profile must execute and carry its intended detector verdict."""
+
+import random
+
+import pytest
+
+from repro.world import DeFiWorld
+from repro.workload.profiles import (
+    BENIGN_PROFILES,
+    WildMarket,
+    profile_migration,
+    profile_yield_strategy,
+)
+
+
+@pytest.fixture(scope="module")
+def market():
+    world = DeFiWorld()
+    return WildMarket(world, random.Random(99)), world.detector()
+
+
+@pytest.mark.parametrize("name,weight,runner", BENIGN_PROFILES, ids=lambda p: str(p)[:16])
+def test_benign_profiles_execute_and_stay_clean(market, name, weight, runner):
+    wild, detector = market
+    for _ in range(3):
+        labeled = runner(wild)
+        assert labeled.trace.success
+        assert not labeled.truth.is_attack
+        report = detector.analyze(labeled.trace)
+        assert report is not None, "every profile must be a flash loan tx"
+        assert not report.is_attack, f"profile {name} false-positived"
+
+
+def test_migration_is_an_sbs_false_positive(market):
+    wild, detector = market
+    labeled = profile_migration(wild)
+    report = detector.analyze(labeled.trace)
+    assert report is not None and report.is_attack
+    assert {p.name for p in report.patterns} == {"SBS"}
+    assert not labeled.truth.is_attack  # ground truth: operator migration
+
+
+def test_yield_strategy_is_an_mbs_false_positive(market):
+    wild, detector = market
+    labeled = profile_yield_strategy(wild, aggregator_initiated=True)
+    report = detector.analyze(labeled.trace)
+    assert report is not None and report.is_attack
+    assert "MBS" in {p.name for p in report.patterns}
+    assert labeled.truth.aggregator_initiated
+
+
+def test_profile_weights_normalized():
+    total = sum(weight for _, weight, _ in BENIGN_PROFILES)
+    assert total == pytest.approx(1.0)

@@ -1,0 +1,73 @@
+"""Calibrated time series (Fig. 1 / Fig. 8)."""
+
+from repro.workload import (
+    PROVIDER_TOTALS,
+    TOTAL_FLASH_LOAN_TXS,
+    UNKNOWN_ATTACK_TOTAL,
+    month_label,
+    monthly_attack_weights,
+    weekly_flash_loan_series,
+)
+
+
+class TestFig1Series:
+    def test_provider_totals_exact(self):
+        points = weekly_flash_loan_series()
+        for provider, target in PROVIDER_TOTALS.items():
+            assert sum(p.counts[provider] for p in points) == target
+
+    def test_aave_first(self):
+        points = weekly_flash_loan_series()
+        first_week = {p: None for p in PROVIDER_TOTALS}
+        for point in points:
+            for provider, count in point.counts.items():
+                if count and first_week[provider] is None:
+                    first_week[provider] = point.week
+        assert first_week["AAVE"] < first_week["dYdX"] < first_week["Uniswap"]
+
+    def test_uniswap_dominates_after_launch(self):
+        points = weekly_flash_loan_series()
+        late = points[40:90]
+        assert all(p.counts["Uniswap"] > p.counts["dYdX"] for p in late)
+
+    def test_decline_after_oct_2021(self):
+        points = weekly_flash_loan_series()
+        peak_era = sum(p.total for p in points[80:92]) / 12
+        tail = sum(p.total for p in points[110:]) / len(points[110:])
+        assert tail < peak_era
+
+    def test_deterministic(self):
+        a = weekly_flash_loan_series()
+        b = weekly_flash_loan_series()
+        assert [p.counts for p in a] == [p.counts for p in b]
+
+
+class TestFig8Weights:
+    def test_total_109(self):
+        assert sum(monthly_attack_weights()) == UNKNOWN_ATTACK_TOTAL
+
+    def test_first_attack_june_2020(self):
+        weights = monthly_attack_weights()
+        assert all(w == 0 for w in weights[:5])
+        assert weights[5] > 0  # Jun 2020
+
+    def test_surge_aug_2020_to_feb_2021(self):
+        weights = monthly_attack_weights()
+        surge = weights[7:14]
+        rest = weights[14:]
+        assert min(surge) >= max(rest) - 1
+
+    def test_yearly_averages_match_paper(self):
+        weights = monthly_attack_weights()
+        avg_2020 = sum(weights[5:12]) / 7
+        avg_2021 = sum(weights[12:24]) / 12
+        assert abs(avg_2020 - 6.5) < 0.3
+        assert abs(avg_2021 - 4.3) < 0.3
+
+    def test_month_labels(self):
+        assert month_label(0) == "Jan 2020"
+        assert month_label(13) == "Feb 2021"
+        assert month_label(27) == "Apr 2022"
+
+    def test_total_flash_loan_count_consistent(self):
+        assert TOTAL_FLASH_LOAN_TXS == 272_984
