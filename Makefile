@@ -1,0 +1,16 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test bench bench-smoke
+
+## tier-1 test suite (what CI gates on)
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+## full benchmark suite (pytest-benchmark timings + wild-scan throughput)
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q
+
+## tiny-scale wild-scan bench; regenerates BENCH_wildscan.json in seconds
+bench-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_smoke.py

@@ -1,0 +1,53 @@
+"""Tiny-scale wild-scan bench smoke: regenerate ``BENCH_wildscan.json``.
+
+Runs in a few seconds, so it doubles as the determinism check for the
+sharded engine (it raises if ``jobs`` changes any detection)::
+
+    PYTHONPATH=src python benchmarks/run_smoke.py
+    PYTHONPATH=src python benchmarks/run_smoke.py --scale 0.02 --repeats 3
+
+or via ``make bench-smoke``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine.bench import DEFAULT_ARTIFACT, run_wildscan_bench, write_artifact
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.01,
+                        help="population scale (1.0 = the paper's 272,984 txs)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--jobs", type=int, nargs="+", default=[1, 4],
+                        help="jobs values to time (default: 1 4)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="pin the shard count (default: automatic)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="repetitions per jobs value (best is kept)")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent / DEFAULT_ARTIFACT)
+    args = parser.parse_args(argv)
+
+    report = run_wildscan_bench(
+        scale=args.scale,
+        seed=args.seed,
+        jobs_values=tuple(args.jobs),
+        shards=args.shards,
+        repeats=args.repeats,
+    )
+    path = write_artifact(report, args.output)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Wild-scan throughput benchmark: sequential vs. sharded engine.
+
+Measures end-to-end wild-scan txs/sec (generate + execute + detect) at
+``jobs=1`` and ``jobs=4`` and writes the ``BENCH_wildscan.json``
+artifact at the repo root. The ≥2x speedup assertion only applies on
+machines with at least 4 CPUs — on smaller runners the numbers are still
+recorded, but process-pool overhead makes a speedup impossible.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.engine.bench import run_wildscan_bench, write_artifact
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_bench_wildscan_throughput():
+    report = run_wildscan_bench(scale=0.01, seed=7, jobs_values=(1, 4))
+    write_artifact(report, REPO_ROOT / "BENCH_wildscan.json")
+
+    by_jobs = {run["jobs"]: run for run in report["runs"]}
+    assert by_jobs[1]["total_transactions"] == by_jobs[4]["total_transactions"]
+    assert by_jobs[1]["detected"] == by_jobs[4]["detected"]
+    assert all(run["txs_per_s"] > 0 for run in report["runs"])
+
+    if (os.cpu_count() or 1) >= 4:
+        speedup = report["speedup_best_parallel_vs_sequential"]
+        assert speedup is not None and speedup >= 2.0, (
+            f"expected >=2x speedup at jobs=4 on a {os.cpu_count()}-core "
+            f"runner, measured {speedup}x"
+        )
+
+
+def test_bench_wildscan_sequential(benchmark):
+    """Baseline txs/sec for the classic single-process scan."""
+    from repro.workload.generator import WildScanConfig, WildScanner
+
+    result = benchmark(WildScanner(WildScanConfig(scale=0.005, seed=7, jobs=1)).run)
+    assert result.total_transactions > 0

@@ -2,10 +2,12 @@
 
 Run::
 
-    python examples/wild_scan.py [scale]
+    python examples/wild_scan.py [scale] [jobs]
 
 ``scale`` defaults to 0.05 (about 13,600 transactions, a few seconds);
 ``1.0`` regenerates the paper's full 272,984-transaction population.
+``jobs`` fans the scan out over worker processes (results are
+byte-identical for any value).
 """
 
 from __future__ import annotations
@@ -19,9 +21,11 @@ from repro.workload import WildScanConfig, WildScanner
 
 def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
-    print(f"generating and scanning a scale-{scale} flash loan population...")
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    print(f"generating and scanning a scale-{scale} flash loan population "
+          f"(jobs={jobs})...")
     start = time.perf_counter()
-    result = WildScanner(WildScanConfig(scale=scale, seed=7)).run()
+    result = WildScanner(WildScanConfig(scale=scale, seed=7, jobs=jobs)).run()
     elapsed = time.perf_counter() - start
     print(f"scanned {result.total_transactions:,} transactions in {elapsed:.1f}s\n")
 
@@ -35,7 +39,7 @@ def main() -> None:
 
     print("\nwith the yield-aggregator heuristic (paper Sec. VI-C):")
     heuristic_result = WildScanner(
-        WildScanConfig(scale=scale, seed=7, with_heuristic=True)
+        WildScanConfig(scale=scale, seed=7, with_heuristic=True, jobs=jobs)
     ).run()
     mbs = heuristic_result.rows["MBS"]
     print(f"  MBS: N={mbs.n} TP={mbs.tp} FP={mbs.fp} precision={mbs.precision:.1%} "

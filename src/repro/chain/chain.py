@@ -45,6 +45,47 @@ _ETH_BALANCE = "eth_balance"
 _CHAIN_OWNER = Address("0x" + "c" * 40)
 
 
+class _LabelMap(dict):
+    """Label store that bumps the owning chain's generation counters.
+
+    Tests and callers mutate ``chain.labels`` directly, so the dict itself
+    must advance the counters consumers (``AccountTagger``) key their
+    cache invalidation on.
+    """
+
+    __slots__ = ("_chain",)
+
+    def __init__(self, chain: "Chain") -> None:
+        super().__init__()
+        self._chain = chain
+
+    def _bump(self) -> None:
+        chain = self._chain
+        chain.version += 1
+        chain.labels_version += 1
+
+    def __setitem__(self, key: Address, value: str) -> None:
+        super().__setitem__(key, value)
+        self._bump()
+
+    def __delitem__(self, key: Address) -> None:
+        super().__delitem__(key)
+        self._bump()
+
+    def pop(self, *args):
+        result = super().pop(*args)
+        self._bump()
+        return result
+
+    def update(self, *args, **kwargs) -> None:
+        super().update(*args, **kwargs)
+        self._bump()
+
+    def clear(self) -> None:
+        super().clear()
+        self._bump()
+
+
 @dataclass(slots=True)
 class Block:
     """A mined block: a number, a timestamp and the included traces."""
@@ -77,8 +118,14 @@ class Chain:
         #: creator -> list of created contracts, and the reverse edge.
         self.created_by: dict[Address, Address] = {}
         self.creations: list[CreationRecord] = []
+        #: generation counters: ``version`` advances on any creation-graph
+        #: or label change, ``labels_version`` on label changes only.
+        #: Consumers (account tagging) compare one int instead of
+        #: re-scanning the creation/label stores on every lookup.
+        self.version = 0
+        self.labels_version = 0
         #: Etherscan-style labels seeded at deployment time.
-        self.labels: dict[Address, str] = {}
+        self.labels: dict[Address, str] = _LabelMap(self)
         self.blocks: list[Block] = [Block(number=0, timestamp=GENESIS_TIMESTAMP)]
         self._seq = itertools.count(1)
         self._tx_counter = itertools.count(1)
@@ -89,9 +136,20 @@ class Chain:
     # accounts
     # ------------------------------------------------------------------
 
-    def create_eoa(self, hint: str = "eoa", label: str | None = None) -> Address:
-        """Create a fresh externally-owned account."""
-        address = self.addresses.fresh(hint)
+    def create_eoa(
+        self,
+        hint: str = "eoa",
+        label: str | None = None,
+        address: Address | None = None,
+    ) -> Address:
+        """Create a fresh externally-owned account.
+
+        ``address`` pins the account to a caller-chosen deterministic
+        address (the sharded wild scan uses this so the same logical
+        actor resolves to the same address in every shard).
+        """
+        if address is None:
+            address = self.addresses.fresh(hint)
         self.eoas.add(address)
         if label is not None:
             self.labels[address] = label
@@ -308,6 +366,7 @@ class Chain:
         *args: Any,
         label: str | None = None,
         hint: str | None = None,
+        address: Address | None = None,
         **kwargs: Any,
     ) -> C:
         """Deploy a contract, recording the creation relationship.
@@ -315,13 +374,17 @@ class Chain:
         ``label`` seeds the Etherscan-style label database. Creation
         relationships are recorded globally (the XBlock-ETH dataset the
         paper imports) and also in the current trace if one is open.
+        ``address`` pins the contract to a caller-chosen deterministic
+        address (see :meth:`create_eoa`).
         """
-        address = self.addresses.fresh(hint or contract_cls.__name__)
+        if address is None:
+            address = self.addresses.fresh(hint or contract_cls.__name__)
         contract = contract_cls(self, address, *args, **kwargs)
         self.contracts[address] = contract
         self.created_by[address] = creator
         record = CreationRecord(self._next_seq(), creator, address)
         self.creations.append(record)
+        self.version += 1
         if self._trace is not None:
             self._trace.creations.append(record)
         if label is not None:

@@ -1,0 +1,32 @@
+"""Sharded parallel scan engine for the wild-scan workload.
+
+Splits the deterministic wild-scan schedule across worker processes and
+merges the per-shard results; the merged output is byte-identical for
+any worker count (see :mod:`repro.engine.scan` for the contract).
+"""
+
+from .bench import run_wildscan_bench, write_artifact
+from .plan import (
+    DEFAULT_SHARD_COUNT,
+    MIN_SHARDED_POPULATION,
+    build_schedule,
+    population_size,
+    resolve_shard_count,
+    shard_schedule,
+    shard_seed,
+)
+from .scan import ScanEngine, ShardResult
+
+__all__ = [
+    "ScanEngine",
+    "ShardResult",
+    "build_schedule",
+    "population_size",
+    "resolve_shard_count",
+    "shard_schedule",
+    "shard_seed",
+    "run_wildscan_bench",
+    "write_artifact",
+    "DEFAULT_SHARD_COUNT",
+    "MIN_SHARDED_POPULATION",
+]

@@ -1,0 +1,97 @@
+"""Wild-scan throughput benchmark: sequential vs. sharded txs/sec.
+
+Produces the ``BENCH_wildscan.json`` artifact that tracks the scan
+engine's performance trajectory from PR 1 onward. Library-first so the
+tier-1 suite, ``benchmarks/test_bench_wildscan.py`` and
+``benchmarks/run_smoke.py`` all share one implementation::
+
+    from repro.engine.bench import run_wildscan_bench, write_artifact
+
+    report = run_wildscan_bench(scale=0.01, jobs_values=(1, 4))
+    write_artifact(report, "BENCH_wildscan.json")
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+__all__ = ["run_wildscan_bench", "write_artifact", "DEFAULT_ARTIFACT"]
+
+#: canonical artifact location (repo root, tracked across PRs).
+DEFAULT_ARTIFACT = "BENCH_wildscan.json"
+
+
+def run_wildscan_bench(
+    scale: float = 0.01,
+    seed: int = 7,
+    jobs_values: tuple[int, ...] = (1, 4),
+    shards: int | None = None,
+    repeats: int = 1,
+) -> dict:
+    """Time full wild scans (generate + execute + detect) per jobs value.
+
+    Every run uses the same ``(seed, scale, shards)`` so the engine's
+    determinism contract guarantees identical results — only wall-clock
+    differs. ``shards`` defaults to the engine's auto rule; pass an
+    explicit value (e.g. 8) to force sharding at tiny benchmark scales.
+    Returns the report dict (see ``write_artifact`` for the schema).
+    """
+    from ..workload.generator import WildScanConfig, WildScanner
+
+    runs = []
+    reference_hashes: list[str] | None = None
+    for jobs in jobs_values:
+        config = WildScanConfig(scale=scale, seed=seed, jobs=jobs, shards=shards)
+        best = None
+        total = detected = 0
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            result = WildScanner(config).run()
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+            total, detected = result.total_transactions, result.detected_count
+            hashes = [d.tx_hash for d in result.detections]
+            if reference_hashes is None:
+                reference_hashes = hashes
+            elif hashes != reference_hashes:
+                raise AssertionError(
+                    f"determinism violation: jobs={jobs} changed the detections"
+                )
+        runs.append(
+            {
+                "jobs": jobs,
+                "elapsed_s": round(best, 4),
+                "txs_per_s": round(total / best, 1) if best else 0.0,
+                "total_transactions": total,
+                "detected": detected,
+            }
+        )
+    by_jobs = {run["jobs"]: run for run in runs}
+    speedup = None
+    if 1 in by_jobs and len(by_jobs) > 1:
+        fastest_parallel = min(
+            (run for run in runs if run["jobs"] != 1), key=lambda run: run["elapsed_s"]
+        )
+        if fastest_parallel["elapsed_s"]:
+            speedup = round(
+                by_jobs[1]["elapsed_s"] / fastest_parallel["elapsed_s"], 2
+            )
+    return {
+        "benchmark": "wildscan_throughput",
+        "scale": scale,
+        "seed": seed,
+        "shards": shards,
+        "cpu_count": os.cpu_count(),
+        "runs": runs,
+        "speedup_best_parallel_vs_sequential": speedup,
+    }
+
+
+def write_artifact(report: dict, path: str | Path = DEFAULT_ARTIFACT) -> Path:
+    """Write the benchmark report as a stable, diff-friendly JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

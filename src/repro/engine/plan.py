@@ -1,0 +1,117 @@
+"""Deterministic wild-scan scheduling and sharding.
+
+The paper's Sec. VI-C evaluation is embarrassingly parallel: detecting
+one flash-loan transaction never depends on another transaction's
+detection result. The engine exploits that by computing one *canonical
+schedule* — a seeded, shuffled list of pure-data task descriptors — and
+partitioning it round-robin into shards. Each shard is later executed
+against its own freshly built ``DeFiWorld``, so:
+
+- the schedule (and therefore the partition) depends only on
+  ``(seed, scale)``, never on the worker count;
+- ``jobs=N`` only decides how many processes *consume* the shards, which
+  is what makes ``jobs=1`` and ``jobs=8`` byte-identical.
+
+Task descriptors are plain tuples so they pickle cheaply across process
+boundaries:
+
+- ``("attack", cluster_index, attacker_id, contract_id, asset_id, month)``
+- ``("migration",)``
+- ``("strategy",)``
+- ``("benign", profile_index)``
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..workload.attacks import (
+    ATTACK_CLUSTERS,
+    FULL_SCALE_MIGRATIONS,
+    FULL_SCALE_STRATEGIES,
+    plan_attacks,
+)
+from ..workload.profiles import BENIGN_PROFILES
+from ..workload.timeline import TOTAL_FLASH_LOAN_TXS
+
+__all__ = [
+    "Task",
+    "build_schedule",
+    "shard_schedule",
+    "resolve_shard_count",
+    "shard_seed",
+    "DEFAULT_SHARD_COUNT",
+    "MIN_SHARDED_POPULATION",
+]
+
+#: One schedule entry (see module docstring for the four shapes).
+Task = tuple
+
+#: shard count used when ``WildScanConfig.shards`` is left unset and the
+#: population is large enough to be worth splitting.
+DEFAULT_SHARD_COUNT = 8
+
+#: below this population size auto-sharding stays at one shard: tiny test
+#: scans keep a single world and the per-shard setup cost stays amortized.
+MIN_SHARDED_POPULATION = 512
+
+_CLUSTER_INDEX = {id(cluster): i for i, cluster in enumerate(ATTACK_CLUSTERS)}
+
+
+def population_size(scale: float) -> int:
+    """Total wild-scan transactions at ``scale`` (1.0 = paper's 272,984)."""
+    return max(50, round(TOTAL_FLASH_LOAN_TXS * scale))
+
+
+def build_schedule(scale: float, seed: int) -> list[Task]:
+    """The canonical seeded schedule: attacks + FP sources + benign mix.
+
+    Mirrors the composition arithmetic of the original sequential
+    ``WildScanner._schedule`` exactly (same counts, same RNG draw order,
+    same shuffle), but emits pure-data descriptors instead of closures
+    bound to a live market.
+    """
+    rng = random.Random(seed)
+    tasks: list[Task] = [
+        ("attack", _CLUSTER_INDEX[id(cluster)], attacker_id, contract_id, asset_id, month)
+        for cluster, attacker_id, contract_id, asset_id, month in plan_attacks(scale)
+    ]
+    n_migrations = max(1, round(FULL_SCALE_MIGRATIONS * scale))
+    tasks.extend([("migration",)] * n_migrations)
+    n_strategies = max(1, round(FULL_SCALE_STRATEGIES * scale))
+    tasks.extend([("strategy",)] * n_strategies)
+    total = population_size(scale)
+    indices = range(len(BENIGN_PROFILES))
+    weights = [weight for _, weight, _ in BENIGN_PROFILES]
+    for _ in range(max(0, total - len(tasks))):
+        tasks.append(("benign", rng.choices(indices, weights)[0]))
+    rng.shuffle(tasks)
+    return tasks
+
+
+def shard_schedule(tasks: list[Task], shards: int) -> list[list[Task]]:
+    """Round-robin partition preserving within-shard schedule order."""
+    if shards <= 1:
+        return [list(tasks)]
+    return [tasks[i::shards] for i in range(shards)]
+
+
+def resolve_shard_count(shards: int | None, total: int) -> int:
+    """Effective shard count; NEVER a function of the worker count.
+
+    Explicit ``shards`` wins; otherwise populations below
+    ``MIN_SHARDED_POPULATION`` stay single-shard and larger ones split
+    into ``DEFAULT_SHARD_COUNT``.
+    """
+    if shards is not None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        return min(shards, max(1, total))
+    if total < MIN_SHARDED_POPULATION:
+        return 1
+    return DEFAULT_SHARD_COUNT
+
+
+def shard_seed(seed: int, shard_index: int) -> str:
+    """Execution-time RNG seed for one shard (string: stable across runs)."""
+    return f"wild-scan:{seed}:{shard_index}"

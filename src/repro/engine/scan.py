@@ -1,0 +1,222 @@
+"""Sharded parallel execution of the wild scan.
+
+``ScanEngine`` turns one :class:`~repro.workload.generator.WildScanConfig`
+into a merged :class:`~repro.workload.generator.WildScanResult`:
+
+1. build the canonical seeded schedule (:mod:`repro.engine.plan`);
+2. partition it round-robin into ``shards`` shards — a function of
+   ``(seed, scale, shards)`` only, never of ``jobs``;
+3. execute each shard in its own freshly built ``DeFiWorld`` (its chain
+   is namespaced by shard index so addresses and tx hashes cannot
+   collide across shards), sequentially in-process at ``jobs=1`` or on a
+   process pool at ``jobs>1``;
+4. merge the shard results in shard-index order.
+
+Because each shard's world, RNG stream and task list are derived purely
+from ``(seed, shard_index)``, the merged result is byte-identical for
+any ``jobs`` value — parallelism is an execution detail, not part of the
+result's identity. When process pools are unavailable (sandboxed
+environments), the engine silently degrades to in-process execution with
+identical output.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from ..chain.errors import ChainError
+from ..world import DeFiWorld, ETHEREUM_PROFILE
+from .plan import (
+    Task,
+    build_schedule,
+    resolve_shard_count,
+    shard_schedule,
+    shard_seed,
+)
+
+__all__ = ["ScanEngine", "ShardResult"]
+
+
+@dataclass(slots=True)
+class ShardResult:
+    """One shard's share of the scan, ready to merge (picklable)."""
+
+    shard_index: int
+    total_transactions: int = 0
+    detections: list = field(default_factory=list)
+    #: pattern name -> (n, tp, fp)
+    row_counts: dict = field(default_factory=dict)
+
+
+def _shard_profile(shard_index: int, shard_count: int):
+    """The chain profile for one shard's world.
+
+    Multi-shard runs namespace the chain (and therefore every generated
+    address and tx hash) by shard index; a single-shard run keeps the
+    plain profile so it is indistinguishable from a classic sequential
+    scan.
+    """
+    if shard_count == 1:
+        return ETHEREUM_PROFILE
+    return replace(
+        ETHEREUM_PROFILE, chain_name=f"{ETHEREUM_PROFILE.chain_name}-s{shard_index}"
+    )
+
+
+def run_shard(args: tuple) -> ShardResult:
+    """Worker entry point: build one shard's world and scan its tasks.
+
+    Module-level (not a method) so it pickles under every multiprocessing
+    start method.
+    """
+    cfg, shard_index, shard_count, tasks = args
+    # local imports keep worker startup lean under the spawn start method
+    from ..leishen.heuristics import YieldAggregatorHeuristic
+    from ..leishen.profit import ProfitAnalyzer
+    from ..workload.attacks import ATTACK_CLUSTERS, WildAttackInjector
+    from ..workload.generator import PatternRow
+    from ..workload.profiles import (
+        BENIGN_PROFILES,
+        WildMarket,
+        profile_migration,
+        profile_yield_strategy,
+    )
+
+    rng = random.Random(shard_seed(cfg.seed, shard_index))
+    world = DeFiWorld(profile=_shard_profile(shard_index, shard_count))
+    world.chain.keep_history = cfg.keep_history
+    market = WildMarket(world, rng)
+    injector = WildAttackInjector(market, rng, cfg.scale)
+    if cfg.pattern_config is not None:
+        detector = world.detector(patterns=cfg.pattern_config)
+    else:
+        detector = world.detector()
+    heuristic = YieldAggregatorHeuristic(detector.tagger)
+    analyzer = ProfitAnalyzer(world.registry)
+
+    result = ShardResult(shard_index=shard_index)
+    rows = {name: PatternRow(name) for name in ("KRP", "SBS", "MBS")}
+    for task in tasks:
+        kind = task[0]
+        try:
+            if kind == "attack":
+                _, cluster_index, attacker_id, contract_id, asset_id, month = task
+                labeled = injector.execute(
+                    ATTACK_CLUSTERS[cluster_index], attacker_id, contract_id,
+                    asset_id, month,
+                )
+            elif kind == "migration":
+                labeled = profile_migration(market)
+            elif kind == "strategy":
+                labeled = profile_yield_strategy(market, aggregator_initiated=True)
+            else:  # benign
+                labeled = BENIGN_PROFILES[task[1]][2](market)
+        except ChainError:
+            # a reverted transaction still counts toward the population;
+            # LeiShen skips failed transactions, as on the real chain.
+            result.total_transactions += 1
+            continue
+        result.total_transactions += 1
+        detect_into(cfg, labeled, detector, heuristic, analyzer,
+                    result.detections, rows)
+    result.row_counts = {
+        name: [row.n, row.tp, row.fp] for name, row in rows.items()
+    }
+    return result
+
+
+def detect_into(cfg, labeled, detector, heuristic, analyzer, detections, rows) -> None:
+    """Run detection + paper-style manual verification on one transaction,
+    appending to ``detections`` and updating the Table V ``rows``."""
+    from ..workload.generator import Detection
+
+    report = detector.analyze(labeled.trace)
+    if report is None:
+        return  # not identified as a flash loan transaction
+    if cfg.with_heuristic:
+        report = heuristic.apply(labeled.trace, report)
+    if not report.is_attack:
+        return
+    patterns = tuple(sorted(p.name for p in report.patterns))
+    truth = labeled.truth
+    profit_usd = borrowed_usd = 0.0
+    if truth.is_attack:
+        accounts = [a for a in (truth.attacker, truth.attack_contract) if a is not None]
+        breakdown = analyzer.breakdown(labeled.trace, report.flash_loans, accounts)
+        profit_usd, borrowed_usd = breakdown.profit_usd, breakdown.borrowed_usd
+    detections.append(
+        Detection(
+            tx_hash=labeled.trace.tx_hash,
+            patterns=patterns,
+            truth=truth,
+            profit_usd=profit_usd,
+            borrowed_usd=borrowed_usd,
+        )
+    )
+    for name in patterns:
+        row = rows[name]
+        row.n += 1
+        if truth.is_attack and name in truth.patterns:
+            row.tp += 1
+        else:
+            row.fp += 1
+
+
+class ScanEngine:
+    """Shards the wild scan across worker processes and merges the results."""
+
+    def __init__(self, config) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+
+    def run(self):
+        cfg = self.config
+        tasks = build_schedule(cfg.scale, cfg.seed)
+        shard_count = resolve_shard_count(cfg.shards, len(tasks))
+        parts = shard_schedule(tasks, shard_count)
+        payloads = [(cfg, index, shard_count, part) for index, part in enumerate(parts)]
+        jobs = max(1, cfg.jobs)
+        if jobs == 1 or shard_count == 1:
+            outcomes = [run_shard(payload) for payload in payloads]
+        else:
+            outcomes = self._run_parallel(payloads, min(jobs, shard_count))
+        return self._merge(outcomes)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _run_parallel(payloads: list[tuple], workers: int) -> list[ShardResult]:
+        import multiprocessing
+
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        try:
+            with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+                outcomes = list(pool.map(run_shard, payloads))
+        except (OSError, PermissionError, BrokenProcessPool):
+            # restricted environments (no process spawning): same results,
+            # computed in-process.
+            outcomes = [run_shard(payload) for payload in payloads]
+        return sorted(outcomes, key=lambda outcome: outcome.shard_index)
+
+    def _merge(self, outcomes: list[ShardResult]):
+        from ..workload.generator import PatternRow, WildScanResult
+
+        result = WildScanResult(
+            config=self.config,
+            rows={name: PatternRow(name) for name in ("KRP", "SBS", "MBS")},
+        )
+        for outcome in outcomes:
+            result.total_transactions += outcome.total_transactions
+            result.detections.extend(outcome.detections)
+            for name, (n, tp, fp) in outcome.row_counts.items():
+                row = result.rows[name]
+                row.n += n
+                row.tp += tp
+                row.fp += fp
+        return result

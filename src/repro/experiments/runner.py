@@ -21,7 +21,7 @@ _EXPERIMENTS = ("fig1", "table1", "table4", "table5", "table6", "table7", "fig8"
                 "perf", "ablations")
 
 
-def _run_one(name: str, scale: float) -> str:
+def _run_one(name: str, scale: float, jobs: int = 1, shards: int | None = None) -> str:
     if name == "fig1":
         return fig1.render()
     if name == "table1":
@@ -29,13 +29,13 @@ def _run_one(name: str, scale: float) -> str:
     if name == "table4":
         return table4.render()
     if name == "table5":
-        return table5.render(scale=scale)
+        return table5.render(scale=scale, jobs=jobs, shards=shards)
     if name == "table6":
-        return table6.render(scale=scale)
+        return table6.render(scale=scale, jobs=jobs, shards=shards)
     if name == "table7":
-        return table7.render(scale=scale)
+        return table7.render(scale=scale, jobs=jobs, shards=shards)
     if name == "fig8":
-        return fig8.render(scale=scale)
+        return fig8.render(scale=scale, jobs=jobs, shards=shards)
     if name == "perf":
         return perf.render()
     if name == "ablations":
@@ -60,13 +60,31 @@ def main(argv: list[str] | None = None) -> int:
         help="wild-scan population scale (1.0 = the paper's 272,984 txs)",
     )
     parser.add_argument("--full", action="store_true", help="shorthand for --scale 1.0")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the wild-scan experiments (table5/6/7, fig8); "
+        "results are byte-identical for any value",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="pin the wild-scan shard count (default: automatic; the shard "
+        "count, not --jobs, defines the deterministic partition)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.shards is not None and args.shards < 1:
+        parser.error(f"--shards must be >= 1, got {args.shards}")
     scale = 1.0 if args.full else args.scale
 
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         start = time.perf_counter()
-        output = _run_one(name, scale)
+        output = _run_one(name, scale, jobs=args.jobs, shards=args.shards)
         elapsed = time.perf_counter() - start
         print(f"=== {name} ({elapsed:.1f}s) ===")
         print(output)

@@ -14,12 +14,19 @@ PAPER_ROWS = (
 )
 
 
-def run(scale: float = 0.1, seed: int = 7) -> WildScanResult:
-    return run_scan(scale=scale, seed=seed)
+def run(
+    scale: float = 0.1, seed: int = 7, jobs: int = 1, shards: int | None = None
+) -> WildScanResult:
+    return run_scan(scale=scale, seed=seed, jobs=jobs, shards=shards)
 
 
-def render(result: WildScanResult | None = None, scale: float = 0.1) -> str:
-    result = result if result is not None else run(scale=scale)
+def render(
+    result: WildScanResult | None = None,
+    scale: float = 0.1,
+    jobs: int = 1,
+    shards: int | None = None,
+) -> str:
+    result = result if result is not None else run(scale=scale, jobs=jobs, shards=shards)
     lines = [
         "Table VI — top attacked applications (unknown attacks)",
         f"{'App':<18}{'Attacks':>8}{'Attackers':>10}{'Contracts':>10}{'Assets':>8}",

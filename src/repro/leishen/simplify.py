@@ -60,21 +60,29 @@ class TransferSimplifier:
         self.config = config or SimplifierConfig()
 
     def simplify(self, tagged: Sequence[TaggedTransfer]) -> list[AppTransfer]:
-        transfers = [
-            AppTransfer(
-                seq=t.seq,
-                sender=t.tag_sender,
-                receiver=t.tag_receiver,
-                amount=t.amount,
-                token=t.token,
-            )
-            for t in tagged
-        ]
-        if self.config.remove_intra_app:
-            transfers = self._remove_intra_app(transfers)
-        if self.config.remove_weth:
-            transfers = self._remove_weth(transfers)
-        if self.config.merge_inter_app:
+        # Rules 1 and 2 are per-item filters applied in order, so they are
+        # fused into the lifting pass: one output list instead of three
+        # intermediate ones (this path runs once per scanned transaction).
+        cfg = self.config
+        remove_intra = cfg.remove_intra_app
+        remove_weth = cfg.remove_weth
+        weth_tag = cfg.weth_tag
+        weth_tokens = cfg.weth_tokens
+        transfers: list[AppTransfer] = []
+        append = transfers.append
+        for t in tagged:
+            sender = t.tag_sender
+            receiver = t.tag_receiver
+            if remove_intra and sender is not None and sender == receiver:
+                continue
+            if remove_weth:
+                if sender == weth_tag or receiver == weth_tag:
+                    continue
+                token = ETHER if t.token in weth_tokens else t.token
+            else:
+                token = t.token
+            append(AppTransfer(t.seq, sender, receiver, t.amount, token))
+        if cfg.merge_inter_app:
             transfers = self._merge_inter_app(transfers)
         return transfers
 

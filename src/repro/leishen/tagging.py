@@ -25,6 +25,7 @@ with no creations and no label are tagged with their own address.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 from typing import TYPE_CHECKING, Iterable
 
 from ..chain.trace import TransferRecord
@@ -58,8 +59,19 @@ class TaggedTransfer:
     receiver: Address
 
 
+_MISSING = object()
+
+
 class AccountTagger:
-    """Resolves account tags against one chain's creation graph."""
+    """Resolves account tags against one chain's creation graph.
+
+    Cache invalidation is generation-counter based: every ``tag_of`` call
+    compares one integer (``chain.version``) against the last synced
+    generation instead of re-scanning the creation and label stores. When
+    the chain did grow, the label database and children index are synced
+    *incrementally* (only the new records are visited); the tag cache is
+    dropped only when something actually changed.
+    """
 
     def __init__(self, chain: "Chain", labels: LabelDatabase | None = None) -> None:
         self._chain = chain
@@ -67,20 +79,30 @@ class AccountTagger:
         #: and are re-synced whenever the chain gains labels (contracts get
         #: labelled mid-scan in long-running detections).
         self._auto_labels = labels is None
-        self._labels = labels if labels is not None else LabelDatabase.from_chain(chain)
-        self._synced_labels = len(chain.labels)
-        self._children: dict[Address, list[Address]] | None = None
-        self._indexed_creations = -1
+        self._labels = labels if labels is not None else LabelDatabase()
+        self._synced_labels = 0
+        self._synced_labels_version = -1
+        self._children: dict[Address, list[Address]] = {}
+        self._indexed_creations = 0
         self._cache: dict[Address, Tag] = {}
+        self._synced_version = -1
+        self._refresh()
 
     @property
     def labels(self) -> LabelDatabase:
         return self._labels
 
     def invalidate(self) -> None:
-        """Drop caches after the chain gained new contracts or labels."""
-        self._children = None
+        """Drop caches after the chain gained new contracts or labels.
+
+        The label database is kept as-is (so explicit removals, e.g.
+        stripping attacker tags, survive); the creation index and tag
+        cache are rebuilt on the next lookup.
+        """
+        self._children.clear()
+        self._indexed_creations = 0
         self._cache.clear()
+        self._synced_version = -1
 
     # -- tag resolution -----------------------------------------------------
 
@@ -88,10 +110,11 @@ class AccountTagger:
         """Resolve one account's tag (cached)."""
         if address == ZERO_ADDRESS:
             return BLACKHOLE_TAG
-        self._children_index()  # refresh (and drop caches) if the chain grew
-        cached = self._cache.get(address)
-        if cached is not None or address in self._cache:
-            return cached
+        if self._synced_version != self._chain.version:
+            self._refresh()
+        tag = self._cache.get(address, _MISSING)
+        if tag is not _MISSING:
+            return tag
         tag = self._resolve(address)
         self._cache[address] = tag
         return tag
@@ -139,35 +162,69 @@ class AccountTagger:
             current = parent
 
     def _children_index(self) -> dict[Address, list[Address]]:
-        # Auto-invalidate when the chain gained contracts since the index
-        # was built (long-running scans deploy mid-stream).
-        if self._auto_labels and len(self._chain.labels) != self._synced_labels:
-            self._labels = LabelDatabase.from_chain(self._chain)
-            self._synced_labels = len(self._chain.labels)
-            self._cache.clear()
-        creation_count = len(self._chain.creations)
-        if self._children is None or creation_count != self._indexed_creations:
-            index: dict[Address, list[Address]] = {}
-            for record in self._chain.creations:
-                index.setdefault(record.creator, []).append(record.created)
-            self._children = index
-            self._indexed_creations = creation_count
-            self._cache.clear()
+        if self._synced_version != self._chain.version:
+            self._refresh()
         return self._children
+
+    # -- incremental cache maintenance -------------------------------------
+
+    def _refresh(self) -> None:
+        """Bring label/creation views up to the chain's current generation."""
+        changed = self._sync_creations()
+        if self._auto_labels:
+            changed = self._sync_labels() or changed
+        if changed:
+            self._cache.clear()
+        self._synced_version = self._chain.version
+
+    def _sync_creations(self) -> bool:
+        creations = self._chain.creations
+        count = len(creations)
+        if count == self._indexed_creations:
+            return False
+        index = self._children
+        for record in creations[self._indexed_creations:]:
+            index.setdefault(record.creator, []).append(record.created)
+        self._indexed_creations = count
+        return True
+
+    def _sync_labels(self) -> bool:
+        chain = self._chain
+        version = chain.labels_version
+        if self._synced_labels_version == version:
+            return False
+        chain_labels = chain.labels
+        count = len(chain_labels)
+        if (
+            count > self._synced_labels
+            and version - self._synced_labels_version == count - self._synced_labels
+        ):
+            # pure appends since the last sync (the overwhelmingly common
+            # case): merge only the new tail — dicts preserve insertion
+            # order, so the tail is exactly the new labels.
+            for address, label in islice(chain_labels.items(), self._synced_labels, None):
+                self._labels.add(address, label)
+        else:
+            # removals or in-place re-labels: rebuild from scratch.
+            self._labels = LabelDatabase.from_chain(chain)
+        self._synced_labels = count
+        self._synced_labels_version = version
+        return True
 
     # -- transfer lifting --------------------------------------------------------
 
     def tag_transfers(self, transfers: Iterable[TransferRecord]) -> list[TaggedTransfer]:
         """Lift account-level transfers to tagged transfers."""
+        tag_of = self.tag_of
         return [
             TaggedTransfer(
-                seq=t.seq,
-                tag_sender=self.tag_of(t.sender),
-                tag_receiver=self.tag_of(t.receiver),
-                amount=t.amount,
-                token=t.token,
-                sender=t.sender,
-                receiver=t.receiver,
+                t.seq,
+                tag_of(t.sender),
+                tag_of(t.receiver),
+                t.amount,
+                t.token,
+                t.sender,
+                t.receiver,
             )
             for t in transfers
         ]

@@ -25,13 +25,22 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from ..chain.types import Address, ETH
+from ..chain.types import Address, ETH, keccak_address
 from ..study.scenarios.base import ScriptedAttackContract
 from ..tokens.erc20 import ERC20
 from .profiles import GroundTruth, LabeledTrace, WildMarket
 from .timeline import monthly_attack_weights
 
-__all__ = ["AttackCluster", "ATTACK_CLUSTERS", "WildAttackInjector", "FULL_SCALE_ATTACKS"]
+__all__ = [
+    "AttackCluster",
+    "ATTACK_CLUSTERS",
+    "WildAttackInjector",
+    "FULL_SCALE_ATTACKS",
+    "FULL_SCALE_MIGRATIONS",
+    "FULL_SCALE_STRATEGIES",
+    "AttackPlan",
+    "plan_attacks",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -89,6 +98,52 @@ ATTACK_CLUSTERS: tuple[AttackCluster, ...] = (
 )
 
 FULL_SCALE_ATTACKS = sum(c.n_attacks for c in ATTACK_CLUSTERS)
+
+#: full-scale counts of the two false-positive sources (see the module
+#: docstring for the Table V arithmetic these reproduce). Kept next to
+#: the attack composition so the scan engine's scheduler and the
+#: sequential generator share one source of truth.
+FULL_SCALE_MIGRATIONS = 6
+FULL_SCALE_STRATEGIES = 32
+
+#: One planned wild attack: (cluster, attacker_id, contract_id, asset_id,
+#: month). Pure data — the scan engine ships plans to worker processes.
+AttackPlan = tuple[AttackCluster, int, int, int, "int | None"]
+
+
+def _expand_months() -> list[int]:
+    months: list[int] = []
+    for month, weight in enumerate(monthly_attack_weights()):
+        months.extend([month] * weight)
+    return months
+
+
+def plan_attacks(scale: float) -> list[AttackPlan]:
+    """Scaled, deterministic attack schedule (market-independent).
+
+    The plan depends only on ``scale`` — no chain, market or RNG state —
+    which is what lets the scan engine compute one canonical schedule and
+    shard it across worker processes.
+    """
+    unknown_months = _expand_months()
+    plans: list[AttackPlan] = []
+    unknown_index = 0
+    for cluster in ATTACK_CLUSTERS:
+        count = max(1, round(cluster.n_attacks * scale)) if scale < 1 else cluster.n_attacks
+        for i in range(count):
+            attacker_id = i % cluster.n_attackers
+            contract_id = i % cluster.n_contracts
+            asset_id = i % cluster.n_assets
+            month: int | None = None
+            if not cluster.known:
+                # jump through the chronological month list with a stride
+                # coprime to its length, so scaled-down runs still sample
+                # the whole Fig. 8 shape rather than its first months.
+                slot = (unknown_index * 37) % len(unknown_months)
+                month = unknown_months[slot]
+                unknown_index += 1
+            plans.append((cluster, attacker_id, contract_id, asset_id, month))
+    return plans
 
 
 class _MiniMarket:
@@ -233,34 +288,10 @@ class WildAttackInjector:
         self._mini_markets: dict[tuple[str, str, int], _MiniMarket] = {}
         self._attackers: dict[tuple[str, int], Address] = {}
         self._contracts: dict[tuple[str, int], ScriptedAttackContract] = {}
-        self._unknown_months = self._expand_months()
 
-    def _expand_months(self) -> list[int]:
-        months: list[int] = []
-        for month, weight in enumerate(monthly_attack_weights()):
-            months.extend([month] * weight)
-        return months
-
-    def plan(self) -> list[tuple[AttackCluster, int, int, int, int | None]]:
+    def plan(self) -> list[AttackPlan]:
         """Scaled list of (cluster, attacker_id, contract_id, asset_id, month)."""
-        plans: list[tuple[AttackCluster, int, int, int, int | None]] = []
-        unknown_index = 0
-        for cluster in ATTACK_CLUSTERS:
-            count = max(1, round(cluster.n_attacks * self.scale)) if self.scale < 1 else cluster.n_attacks
-            for i in range(count):
-                attacker_id = i % cluster.n_attackers
-                contract_id = i % cluster.n_contracts
-                asset_id = i % cluster.n_assets
-                month: int | None = None
-                if not cluster.known:
-                    # jump through the chronological month list with a stride
-                    # coprime to its length, so scaled-down runs still sample
-                    # the whole Fig. 8 shape rather than its first months.
-                    slot = (unknown_index * 37) % len(self._unknown_months)
-                    month = self._unknown_months[slot]
-                    unknown_index += 1
-                plans.append((cluster, attacker_id, contract_id, asset_id, month))
-        return plans
+        return plan_attacks(self.scale)
 
     def execute(self, cluster: AttackCluster, attacker_id: int, contract_id: int,
                 asset_id: int, month: int | None) -> LabeledTrace:
@@ -308,8 +339,12 @@ class WildAttackInjector:
     def _attacker(self, cluster: AttackCluster, attacker_id: int) -> Address:
         key = (cluster.app, attacker_id)
         if key not in self._attackers:
+            # canonical address: the same logical attacker resolves to the
+            # same address in every shard of a sharded scan, keeping the
+            # Table VI attacker/contract counts partition-invariant.
             self._attackers[key] = self.market.world.chain.create_eoa(
-                f"wild-attacker-{cluster.app}-{attacker_id}"
+                f"wild-attacker-{cluster.app}-{attacker_id}",
+                address=keccak_address("wild-attacker", cluster.app, str(attacker_id)),
             )
         return self._attackers[key]
 
@@ -321,5 +356,6 @@ class WildAttackInjector:
             self._contracts[key] = self.market.world.chain.deploy(
                 attacker, ScriptedAttackContract, _plan_body,
                 hint=f"wild-attack-{cluster.app}-{contract_id}",
+                address=keccak_address("wild-attack-contract", cluster.app, str(contract_id)),
             )
         return self._contracts[key]

@@ -8,37 +8,20 @@ against ground truth the way the paper's manual inspection verified them.
 
 ``scale`` controls population size: 1.0 means the paper's full 272,984
 transactions (minutes of runtime); the default 0.02 keeps benches fast
-while preserving every ratio.
+while preserving every ratio. ``jobs`` fans the scan out over worker
+processes via the sharded engine (:mod:`repro.engine`) without changing
+any result byte.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 
-from ..chain.errors import ChainError
 from ..leishen.patterns import PatternConfig
-
-from ..leishen.heuristics import YieldAggregatorHeuristic
-from ..leishen.profit import ProfitAnalyzer
-from ..world import DeFiWorld, ETHEREUM_PROFILE
-from .attacks import WildAttackInjector
-from .profiles import (
-    BENIGN_PROFILES,
-    GroundTruth,
-    LabeledTrace,
-    WildMarket,
-    profile_migration,
-    profile_yield_strategy,
-)
-from .timeline import TOTAL_FLASH_LOAN_TXS
+from .attacks import FULL_SCALE_MIGRATIONS, FULL_SCALE_STRATEGIES  # noqa: F401 (re-export)
+from .profiles import GroundTruth
 
 __all__ = ["WildScanConfig", "PatternRow", "Detection", "WildScanResult", "WildScanner"]
-
-#: full-scale counts of the false-positive sources (see attacks.py for the
-#: Table V arithmetic these reproduce).
-FULL_SCALE_MIGRATIONS = 6
-FULL_SCALE_STRATEGIES = 32
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,6 +34,15 @@ class WildScanConfig:
     keep_history: bool = False
     #: pattern thresholds (ablation sweeps override the paper defaults).
     pattern_config: PatternConfig | None = None
+    #: worker processes consuming the shards. Purely an execution knob:
+    #: the result is byte-identical for any value (the schedule partition
+    #: is a function of seed/scale/shards only, never of jobs).
+    jobs: int = 1
+    #: shard count for the scan engine. ``None`` resolves automatically
+    #: (1 shard for tiny populations, 8 beyond ~512 transactions); set
+    #: explicitly to pin the partition (and therefore the exact result)
+    #: across scales.
+    shards: int | None = None
 
 
 @dataclass(slots=True)
@@ -147,94 +139,18 @@ class WildScanResult:
 
 
 class WildScanner:
-    """Builds the wild world and runs the scan."""
+    """Builds the wild world and runs the scan.
+
+    Execution is delegated to :class:`repro.engine.scan.ScanEngine`, which
+    shards the deterministic schedule across ``config.jobs`` worker
+    processes. The result is byte-identical for any ``jobs`` value.
+    """
 
     def __init__(self, config: WildScanConfig | None = None) -> None:
         self.config = config or WildScanConfig()
 
     def run(self) -> WildScanResult:
-        cfg = self.config
-        rng = random.Random(cfg.seed)
-        world = DeFiWorld(profile=ETHEREUM_PROFILE)
-        world.chain.keep_history = cfg.keep_history
-        market = WildMarket(world, rng)
-        injector = WildAttackInjector(market, rng, cfg.scale)
-        if cfg.pattern_config is not None:
-            detector = world.detector(patterns=cfg.pattern_config)
-        else:
-            detector = world.detector()
-        heuristic = YieldAggregatorHeuristic(detector.tagger)
-        analyzer = ProfitAnalyzer(world.registry)
+        from ..engine import ScanEngine  # lazy: engine imports this module
 
-        schedule = self._schedule(market, injector, rng)
-        result = WildScanResult(config=cfg, rows={
-            "KRP": PatternRow("KRP"), "SBS": PatternRow("SBS"), "MBS": PatternRow("MBS"),
-        })
-        for produce in schedule:
-            try:
-                labeled = produce()
-            except ChainError:
-                # a reverted transaction still counts toward the population;
-                # LeiShen skips failed transactions, as on the real chain.
-                result.total_transactions += 1
-                continue
-            result.total_transactions += 1
-            self._detect(labeled, detector, heuristic, analyzer, result)
-        return result
-
-    # ------------------------------------------------------------------
-
-    def _schedule(self, market: WildMarket, injector: WildAttackInjector, rng: random.Random):
-        cfg = self.config
-        total = max(50, round(TOTAL_FLASH_LOAN_TXS * cfg.scale))
-        thunks = []
-        attack_plans = injector.plan()
-        for plan in attack_plans:
-            thunks.append(lambda p=plan: injector.execute(*p))
-        n_migrations = max(1, round(FULL_SCALE_MIGRATIONS * cfg.scale))
-        for _ in range(n_migrations):
-            thunks.append(lambda: profile_migration(market))
-        n_strategies = max(1, round(FULL_SCALE_STRATEGIES * cfg.scale))
-        for _ in range(n_strategies):
-            thunks.append(lambda: profile_yield_strategy(market, aggregator_initiated=True))
-        n_benign = max(0, total - len(thunks))
-        runners = [runner for _, _, runner in BENIGN_PROFILES]
-        weights = [weight for _, weight, _ in BENIGN_PROFILES]
-        for _ in range(n_benign):
-            runner = rng.choices(runners, weights)[0]
-            thunks.append(lambda r=runner: r(market))
-        rng.shuffle(thunks)
-        return thunks
-
-    def _detect(self, labeled: LabeledTrace, detector, heuristic, analyzer, result: WildScanResult) -> None:
-        report = detector.analyze(labeled.trace)
-        if report is None:
-            return  # not identified as a flash loan transaction
-        if self.config.with_heuristic:
-            report = heuristic.apply(labeled.trace, report)
-        if not report.is_attack:
-            return
-        patterns = tuple(sorted(p.name for p in report.patterns))
-        truth = labeled.truth
-        profit_usd = borrowed_usd = 0.0
-        if truth.is_attack:
-            accounts = [a for a in (truth.attacker, truth.attack_contract) if a is not None]
-            breakdown = analyzer.breakdown(labeled.trace, report.flash_loans, accounts)
-            profit_usd, borrowed_usd = breakdown.profit_usd, breakdown.borrowed_usd
-        result.detections.append(
-            Detection(
-                tx_hash=labeled.trace.tx_hash,
-                patterns=patterns,
-                truth=truth,
-                profit_usd=profit_usd,
-                borrowed_usd=borrowed_usd,
-            )
-        )
-        for name in patterns:
-            row = result.rows[name]
-            row.n += 1
-            if truth.is_attack and name in truth.patterns:
-                row.tp += 1
-            else:
-                row.fp += 1
+        return ScanEngine(self.config).run()
 

@@ -1,0 +1,119 @@
+"""The sharded scan engine's determinism contract and plumbing.
+
+The load-bearing guarantee: ``jobs`` is an execution knob only. For a
+fixed ``(seed, scale, shards)`` every published result — Table V rows,
+Table VI rows, detections, the Fig. 8 histogram, even the rendered
+experiment text — is byte-identical at ``jobs=1`` and ``jobs=4``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    DEFAULT_SHARD_COUNT,
+    MIN_SHARDED_POPULATION,
+    build_schedule,
+    population_size,
+    resolve_shard_count,
+    shard_schedule,
+    shard_seed,
+)
+from repro.workload.generator import WildScanConfig, WildScanner
+
+SCALE = 0.005
+SEED = 7
+
+
+def _snapshot(result):
+    return {
+        "total": result.total_transactions,
+        "hashes": [d.tx_hash for d in result.detections],
+        "table5": [(r.pattern, r.n, r.tp, r.fp) for r in result.table5()],
+        "table6": result.table6(),
+        "table7": result.table7(),
+        "fig8": result.fig8_months(),
+    }
+
+
+@pytest.fixture(scope="module")
+def sequential_result():
+    return WildScanner(WildScanConfig(scale=SCALE, seed=SEED, jobs=1, shards=4)).run()
+
+
+@pytest.fixture(scope="module")
+def parallel_result():
+    return WildScanner(WildScanConfig(scale=SCALE, seed=SEED, jobs=4, shards=4)).run()
+
+
+class TestJobsDeterminism:
+    def test_results_identical_across_jobs(self, sequential_result, parallel_result):
+        assert _snapshot(sequential_result) == _snapshot(parallel_result)
+
+    def test_detection_hashes_unique_across_shards(self, parallel_result):
+        hashes = [d.tx_hash for d in parallel_result.detections]
+        assert len(hashes) == len(set(hashes))
+
+    def test_rendered_experiments_byte_identical(self):
+        from repro.experiments import fig8, table5, table6
+
+        kw = dict(scale=SCALE, shards=4)
+        assert table5.render(jobs=1, **kw) == table5.render(jobs=4, **kw)
+        assert table6.render(jobs=1, **kw) == table6.render(jobs=4, **kw)
+        assert fig8.render(jobs=1, **kw) == fig8.render(jobs=4, **kw)
+
+    def test_jobs_capped_by_shard_count(self):
+        # more workers than shards is fine — still identical
+        one = WildScanner(WildScanConfig(scale=SCALE, seed=SEED, jobs=1, shards=2)).run()
+        many = WildScanner(WildScanConfig(scale=SCALE, seed=SEED, jobs=16, shards=2)).run()
+        assert _snapshot(one) == _snapshot(many)
+
+
+class TestShardPlumbing:
+    def test_schedule_is_deterministic(self):
+        assert build_schedule(SCALE, SEED) == build_schedule(SCALE, SEED)
+        assert build_schedule(SCALE, SEED) != build_schedule(SCALE, SEED + 1)
+
+    def test_schedule_covers_population(self):
+        assert len(build_schedule(SCALE, SEED)) == population_size(SCALE)
+
+    def test_partition_is_lossless(self):
+        tasks = build_schedule(SCALE, SEED)
+        parts = shard_schedule(tasks, 4)
+        assert len(parts) == 4
+        assert sorted(map(tuple, tasks)) == sorted(
+            tuple(t) for part in parts for t in part
+        )
+
+    def test_partition_independent_of_jobs(self):
+        # the partition is a pure function of the task list and shard count
+        tasks = build_schedule(SCALE, SEED)
+        assert shard_schedule(tasks, 4) == shard_schedule(list(tasks), 4)
+
+    def test_resolve_shard_count_rules(self):
+        assert resolve_shard_count(None, MIN_SHARDED_POPULATION - 1) == 1
+        assert resolve_shard_count(None, MIN_SHARDED_POPULATION) == DEFAULT_SHARD_COUNT
+        assert resolve_shard_count(6, 10_000) == 6
+        assert resolve_shard_count(8, 3) == 3  # never more shards than tasks
+        with pytest.raises(ValueError):
+            resolve_shard_count(0, 100)
+
+    def test_shard_seed_distinct_per_shard(self):
+        seeds = {shard_seed(SEED, i) for i in range(8)}
+        assert len(seeds) == 8
+        assert shard_seed(SEED, 0) != shard_seed(SEED + 1, 0)
+
+
+class TestBenchSmoke:
+    def test_bench_artifact_roundtrip(self, tmp_path):
+        import json
+
+        from repro.engine.bench import run_wildscan_bench, write_artifact
+
+        report = run_wildscan_bench(scale=0.002, seed=SEED, jobs_values=(1, 2), shards=2)
+        path = write_artifact(report, tmp_path / "BENCH_wildscan.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["benchmark"] == "wildscan_throughput"
+        assert {run["jobs"] for run in loaded["runs"]} == {1, 2}
+        totals = {run["total_transactions"] for run in loaded["runs"]}
+        assert len(totals) == 1  # jobs never changes the population
