@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-smoke
+.PHONY: test bench bench-smoke stream-smoke
 
 ## tier-1 test suite (what CI gates on)
 test:
@@ -14,3 +14,8 @@ bench:
 ## tiny-scale wild-scan bench; regenerates BENCH_wildscan.json in seconds
 bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_smoke.py
+
+## tiny-scale streaming scan bench; regenerates BENCH_stream.json and
+## asserts stream == batch detections (the identity contract)
+stream-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_smoke.py --stream

@@ -6,7 +6,12 @@ sharded engine (it raises if ``jobs`` changes any detection)::
     PYTHONPATH=src python benchmarks/run_smoke.py
     PYTHONPATH=src python benchmarks/run_smoke.py --scale 0.02 --repeats 3
 
-or via ``make bench-smoke``.
+``--stream`` benches the streaming pipeline instead (and asserts its
+batch-identity contract), regenerating ``BENCH_stream.json``::
+
+    PYTHONPATH=src python benchmarks/run_smoke.py --stream
+
+or via ``make bench-smoke`` / ``make stream-smoke``.
 """
 
 from __future__ import annotations
@@ -18,7 +23,13 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.engine.bench import DEFAULT_ARTIFACT, run_wildscan_bench, write_artifact
+from repro.engine.bench import (
+    DEFAULT_ARTIFACT,
+    DEFAULT_STREAM_ARTIFACT,
+    run_stream_bench,
+    run_wildscan_bench,
+    write_artifact,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -32,18 +43,37 @@ def main(argv: list[str] | None = None) -> int:
                         help="pin the shard count (default: automatic)")
     parser.add_argument("--repeats", type=int, default=1,
                         help="repetitions per jobs value (best is kept)")
-    parser.add_argument("--output", type=Path,
-                        default=Path(__file__).resolve().parent.parent / DEFAULT_ARTIFACT)
+    parser.add_argument("--stream", action="store_true",
+                        help="bench the streaming pipeline (BENCH_stream.json) "
+                        "instead of the batch engine")
+    parser.add_argument("--queue-depth", type=int, default=None,
+                        help="stream only: per-worker bounded queue size")
+    parser.add_argument("--block-size", type=int, default=None,
+                        help="stream only: transactions per simulated block")
+    parser.add_argument("--output", type=Path, default=None)
     args = parser.parse_args(argv)
 
-    report = run_wildscan_bench(
-        scale=args.scale,
-        seed=args.seed,
-        jobs_values=tuple(args.jobs),
-        shards=args.shards,
-        repeats=args.repeats,
-    )
-    path = write_artifact(report, args.output)
+    repo_root = Path(__file__).resolve().parent.parent
+    if args.stream:
+        report = run_stream_bench(
+            scale=args.scale,
+            seed=args.seed,
+            jobs_values=tuple(args.jobs),
+            shards=args.shards,
+            queue_depth=args.queue_depth,
+            block_size=args.block_size,
+        )
+        output = args.output or repo_root / DEFAULT_STREAM_ARTIFACT
+    else:
+        report = run_wildscan_bench(
+            scale=args.scale,
+            seed=args.seed,
+            jobs_values=tuple(args.jobs),
+            shards=args.shards,
+            repeats=args.repeats,
+        )
+        output = args.output or repo_root / DEFAULT_ARTIFACT
+    path = write_artifact(report, output)
     print(json.dumps(report, indent=2, sort_keys=True))
     print(f"wrote {path}", file=sys.stderr)
     return 0

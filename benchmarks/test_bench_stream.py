@@ -1,0 +1,62 @@
+"""Streaming-pipeline benchmark: block latency, throughput, identity.
+
+Runs the streaming engine against the batch engine at a small scale,
+writes the ``BENCH_stream.json`` artifact at the repo root and records
+per-block latency percentiles. The hard latency budget only arms with
+``REPRO_BENCH_STRICT=1``, like the detection-latency benches — shared CI
+runners report timings without flaking the suite.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.engine.bench import DEFAULT_STREAM_ARTIFACT, run_stream_bench, write_artifact
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+STRICT = os.environ.get("REPRO_BENCH_STRICT") == "1"
+
+#: a 16-tx block must clear the pipeline well inside one 13 s block time;
+#: the budget is generous because block latency includes workload
+#: *generation*, not just detection.
+STRICT_BLOCK_P95_MS = 2_000.0
+
+
+def test_bench_stream_throughput_and_identity():
+    report = run_stream_bench(
+        scale=0.01, seed=7, jobs_values=(1, 4), block_size=16
+    )
+    write_artifact(report, REPO_ROOT / DEFAULT_STREAM_ARTIFACT)
+
+    by_jobs = {run["jobs"]: run for run in report["runs"]}
+    assert by_jobs[1]["total_transactions"] == by_jobs[4]["total_transactions"]
+    # run_stream_bench already raised on any stream-vs-batch divergence;
+    # double-check the recorded counts agree with the batch reference.
+    assert all(run["detected"] == report["batch_detected"] for run in report["runs"])
+    assert all(run["txs_per_s"] > 0 for run in report["runs"])
+    assert all(run["blocks"] > 0 for run in report["runs"])
+
+    if not STRICT:
+        return  # timings recorded; budget enforced only under REPRO_BENCH_STRICT=1
+    for run in report["runs"]:
+        assert run["block_latency_ms_p95"] < STRICT_BLOCK_P95_MS, (
+            f"jobs={run['jobs']}: p95 block latency "
+            f"{run['block_latency_ms_p95']}ms exceeds {STRICT_BLOCK_P95_MS}ms"
+        )
+
+
+def test_bench_stream_single_run(benchmark):
+    """Wall-clock of one streaming pass at jobs=2 (pytest-benchmark timing)."""
+    from repro.engine.stream import StreamEngine
+    from repro.workload.generator import WildScanConfig
+
+    config = WildScanConfig(scale=0.005, seed=7, jobs=2, shards=4)
+
+    def run():
+        return StreamEngine(config, block_size=16).run()
+
+    streamed = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert streamed.total_transactions > 0
+    assert streamed.max_queue_depth <= streamed.queue_depth

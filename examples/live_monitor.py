@@ -7,14 +7,17 @@ Run::
 Simulates the deployment mode the paper motivates: a detector subscribed
 to new blocks, screening every flash loan transaction within its 10 ms
 budget and alerting on pattern matches. Here the "chain" is a simulated
-world where benign traffic is interleaved with two injected attacks.
+world where benign traffic is interleaved with two injected attacks; the
+subscription is :func:`repro.engine.stream.screen_blocks` replaying the
+explorer's block feed in block order.
 """
 
 from __future__ import annotations
 
 import random
-import time
 
+from repro.chain.explorer import ChainExplorer
+from repro.engine.stream import screen_blocks
 from repro.workload.attacks import ATTACK_CLUSTERS, WildAttackInjector
 from repro.workload.profiles import BENIGN_PROFILES, WildMarket
 from repro.world import DeFiWorld
@@ -27,7 +30,7 @@ def main() -> None:
     injector = WildAttackInjector(market, rng, scale=0.01)
     detector = world.detector()
 
-    # a block stream: mostly benign traffic, two attacks hidden inside
+    # produce on-chain traffic: mostly benign, two attacks hidden inside
     attack_clusters = [c for c in ATTACK_CLUSTERS if c.shape in ("sbs", "mbs")][:2]
     schedule: list = []
     runners = [runner for _, _, runner in BENIGN_PROFILES]
@@ -38,30 +41,35 @@ def main() -> None:
     for cluster in attack_clusters:
         schedule.insert(rng.randint(10, 50), lambda c=cluster: injector.execute(c, 0, 0, 0, None))
 
-    print("monitoring incoming flash loan transactions...\n")
-    alerts = 0
-    for height, produce in enumerate(schedule):
+    first_block = world.chain.block_number + 1
+    for produce in schedule:
         world.chain.mine()
-        labeled = produce()
-        start = time.perf_counter()
-        report = detector.analyze(labeled.trace)
-        latency_ms = (time.perf_counter() - start) * 1e3
-        if report is None:
-            continue  # not a flash loan transaction
-        if report.is_attack:
+        produce()
+
+    # subscribe: replay the explorer's block feed through the detector
+    print("monitoring incoming flash loan transactions...\n")
+    explorer = ChainExplorer(world.chain)
+    blocks = explorer.blocks_between(first_block, world.chain.block_number)
+    alerts = 0
+    screened = 0
+    for tx in screen_blocks(detector, blocks):
+        screened += 1
+        report = tx.report
+        if tx.is_attack:
             alerts += 1
             patterns = ",".join(sorted(p.name for p in report.patterns))
             print(
-                f"block {world.chain.block_number}: ALERT {patterns} "
+                f"block {tx.block_number}: ALERT {patterns} "
                 f"tx={report.tx_hash[:12]} volatility={report.volatility():.2%} "
-                f"({latency_ms:.2f} ms)"
+                f"({tx.latency_ms:.2f} ms)"
             )
-        elif height % 20 == 0:
-            print(f"block {world.chain.block_number}: flash loan tx screened "
-                  f"({latency_ms:.2f} ms) — clean")
+        elif screened % 20 == 1:
+            print(f"block {tx.block_number}: flash loan tx screened "
+                  f"({tx.latency_ms:.2f} ms) — clean")
 
-    truth = sum(1 for c in attack_clusters for _ in range(1))
-    print(f"\n{alerts} alerts raised; {truth} attacks were injected")
+    truth = len(attack_clusters)
+    print(f"\n{alerts} alerts raised on {screened} flash loan txs; "
+          f"{truth} attacks were injected")
 
 
 if __name__ == "__main__":

@@ -72,3 +72,15 @@ class ChainExplorer:
         for block in self._chain.blocks:
             if first_block <= block.number <= last_block:
                 yield from block.traces
+
+    def blocks_between(
+        self, first_block: int, last_block: int
+    ) -> Iterator[tuple[int, list[TransactionTrace]]]:
+        """Blocks in the range as ``(number, traces)`` pairs, in chain order.
+
+        The block-granular view :mod:`repro.engine.stream` consumes when
+        replaying recorded history through a detector.
+        """
+        for block in self._chain.blocks:
+            if first_block <= block.number <= last_block:
+                yield block.number, list(block.traces)

@@ -2,31 +2,54 @@
 
 Splits the deterministic wild-scan schedule across worker processes and
 merges the per-shard results; the merged output is byte-identical for
-any worker count (see :mod:`repro.engine.scan` for the contract).
+any worker count (see :mod:`repro.engine.scan` for the contract). The
+same shard machinery also runs as a streaming pipeline over a live block
+stream (:mod:`repro.engine.stream`) with the identical-results guarantee.
 """
 
-from .bench import run_wildscan_bench, write_artifact
+from .bench import run_stream_bench, run_wildscan_bench, write_artifact
 from .plan import (
     DEFAULT_SHARD_COUNT,
     MIN_SHARDED_POPULATION,
     build_schedule,
     population_size,
     resolve_shard_count,
+    shard_of,
     shard_schedule,
     shard_seed,
 )
 from .scan import ScanEngine, ShardResult
+from .stream import (
+    DEFAULT_BLOCK_SIZE,
+    DEFAULT_QUEUE_DEPTH,
+    BlockStats,
+    StreamBlock,
+    StreamEngine,
+    StreamResult,
+    schedule_block_stream,
+    screen_blocks,
+)
 
 __all__ = [
     "ScanEngine",
     "ShardResult",
+    "StreamBlock",
+    "StreamEngine",
+    "StreamResult",
+    "BlockStats",
     "build_schedule",
     "population_size",
     "resolve_shard_count",
+    "shard_of",
     "shard_schedule",
     "shard_seed",
+    "schedule_block_stream",
+    "screen_blocks",
     "run_wildscan_bench",
+    "run_stream_bench",
     "write_artifact",
     "DEFAULT_SHARD_COUNT",
+    "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_QUEUE_DEPTH",
     "MIN_SHARDED_POPULATION",
 ]

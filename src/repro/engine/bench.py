@@ -18,10 +18,19 @@ import os
 import time
 from pathlib import Path
 
-__all__ = ["run_wildscan_bench", "write_artifact", "DEFAULT_ARTIFACT"]
+__all__ = [
+    "run_wildscan_bench",
+    "run_stream_bench",
+    "write_artifact",
+    "DEFAULT_ARTIFACT",
+    "DEFAULT_STREAM_ARTIFACT",
+]
 
 #: canonical artifact location (repo root, tracked across PRs).
 DEFAULT_ARTIFACT = "BENCH_wildscan.json"
+
+#: streaming-pipeline artifact (repo root, tracked across PRs).
+DEFAULT_STREAM_ARTIFACT = "BENCH_stream.json"
 
 
 def run_wildscan_bench(
@@ -87,6 +96,72 @@ def run_wildscan_bench(
         "cpu_count": os.cpu_count(),
         "runs": runs,
         "speedup_best_parallel_vs_sequential": speedup,
+    }
+
+
+def run_stream_bench(
+    scale: float = 0.01,
+    seed: int = 7,
+    jobs_values: tuple[int, ...] = (1, 4),
+    shards: int | None = None,
+    queue_depth: int | None = None,
+    block_size: int | None = None,
+) -> dict:
+    """Time the streaming pipeline against the batch engine it must match.
+
+    Runs the batch scan once as the reference, then a streaming run per
+    ``jobs`` value with the same ``(seed, scale, shards)``; raises if any
+    streaming run's detections differ from the batch result (the engine's
+    identity contract), and records per-block latency percentiles,
+    throughput and the queue high-watermark for ``BENCH_stream.json``.
+    """
+    from ..workload.generator import WildScanConfig, WildScanner
+    from .stream import DEFAULT_BLOCK_SIZE, DEFAULT_QUEUE_DEPTH, StreamEngine
+
+    queue_depth = queue_depth if queue_depth is not None else DEFAULT_QUEUE_DEPTH
+    block_size = block_size if block_size is not None else DEFAULT_BLOCK_SIZE
+
+    batch_config = WildScanConfig(scale=scale, seed=seed, jobs=1, shards=shards)
+    start = time.perf_counter()
+    batch = WildScanner(batch_config).run()
+    batch_elapsed = time.perf_counter() - start
+    reference_hashes = [d.tx_hash for d in batch.detections]
+
+    runs = []
+    for jobs in jobs_values:
+        config = WildScanConfig(scale=scale, seed=seed, jobs=jobs, shards=shards)
+        engine = StreamEngine(config, queue_depth=queue_depth, block_size=block_size)
+        streamed = engine.run()
+        hashes = [d.tx_hash for d in streamed.result.detections]
+        if hashes != reference_hashes:
+            raise AssertionError(
+                f"identity violation: streaming at jobs={jobs} changed the "
+                f"detections relative to the batch engine"
+            )
+        runs.append(
+            {
+                "jobs": jobs,
+                "elapsed_s": round(streamed.elapsed_s, 4),
+                "txs_per_s": round(streamed.txs_per_s, 1),
+                "blocks": len(streamed.blocks),
+                "block_latency_ms_p50": round(streamed.latency_percentile(0.50), 3),
+                "block_latency_ms_p95": round(streamed.latency_percentile(0.95), 3),
+                "max_queue_depth": streamed.max_queue_depth,
+                "detected": streamed.result.detected_count,
+                "total_transactions": streamed.total_transactions,
+            }
+        )
+    return {
+        "benchmark": "stream_throughput",
+        "scale": scale,
+        "seed": seed,
+        "shards": shards,
+        "queue_depth": queue_depth,
+        "block_size": block_size,
+        "cpu_count": os.cpu_count(),
+        "batch_elapsed_s": round(batch_elapsed, 4),
+        "batch_detected": batch.detected_count,
+        "runs": runs,
     }
 
 

@@ -38,6 +38,7 @@ __all__ = [
     "Task",
     "build_schedule",
     "shard_schedule",
+    "shard_of",
     "resolve_shard_count",
     "shard_seed",
     "DEFAULT_SHARD_COUNT",
@@ -94,6 +95,18 @@ def shard_schedule(tasks: list[Task], shards: int) -> list[list[Task]]:
     if shards <= 1:
         return [list(tasks)]
     return [tasks[i::shards] for i in range(shards)]
+
+
+def shard_of(position: int, shards: int) -> int:
+    """Owning shard of one schedule position.
+
+    Inverse view of :func:`shard_schedule`'s round-robin partition
+    (``tasks[i::shards]``): feeding positions ``0..N-1`` in order and
+    routing each to ``shard_of(position, shards)`` reproduces every
+    shard's task list in its exact batch order — the property the
+    streaming engine's determinism contract rests on.
+    """
+    return position % shards
 
 
 def resolve_shard_count(shards: int | None, total: int) -> int:

@@ -35,7 +35,16 @@ from .plan import (
     shard_seed,
 )
 
-__all__ = ["ScanEngine", "ShardResult"]
+__all__ = [
+    "ScanEngine",
+    "ShardContext",
+    "ShardResult",
+    "build_shard_context",
+    "detect_task",
+    "execute_task",
+    "finalize_shard",
+    "run_shard",
+]
 
 
 @dataclass(slots=True)
@@ -64,24 +73,36 @@ def _shard_profile(shard_index: int, shard_count: int):
     )
 
 
-def run_shard(args: tuple) -> ShardResult:
-    """Worker entry point: build one shard's world and scan its tasks.
+@dataclass(slots=True)
+class ShardContext:
+    """One shard's live execution state: its world, detector stack and
+    accumulating result. Shared by the batch path (:func:`run_shard`) and
+    the streaming path (:mod:`repro.engine.stream`), so both execute a
+    shard's tasks byte-identically."""
 
-    Module-level (not a method) so it pickles under every multiprocessing
-    start method.
+    cfg: object
+    shard_index: int
+    market: object
+    injector: object
+    detector: object
+    heuristic: object
+    analyzer: object
+    result: ShardResult
+    rows: dict
+
+
+def build_shard_context(cfg, shard_index: int, shard_count: int) -> ShardContext:
+    """Build one shard's world and detector stack from ``(cfg, shard)``.
+
+    Everything downstream is a pure function of these inputs, which is
+    what makes batch and streaming execution interchangeable.
     """
-    cfg, shard_index, shard_count, tasks = args
     # local imports keep worker startup lean under the spawn start method
     from ..leishen.heuristics import YieldAggregatorHeuristic
     from ..leishen.profit import ProfitAnalyzer
-    from ..workload.attacks import ATTACK_CLUSTERS, WildAttackInjector
+    from ..workload.attacks import WildAttackInjector
     from ..workload.generator import PatternRow
-    from ..workload.profiles import (
-        BENIGN_PROFILES,
-        WildMarket,
-        profile_migration,
-        profile_yield_strategy,
-    )
+    from ..workload.profiles import WildMarket
 
     rng = random.Random(shard_seed(cfg.seed, shard_index))
     world = DeFiWorld(profile=_shard_profile(shard_index, shard_count))
@@ -92,38 +113,82 @@ def run_shard(args: tuple) -> ShardResult:
         detector = world.detector(patterns=cfg.pattern_config)
     else:
         detector = world.detector()
-    heuristic = YieldAggregatorHeuristic(detector.tagger)
-    analyzer = ProfitAnalyzer(world.registry)
+    return ShardContext(
+        cfg=cfg,
+        shard_index=shard_index,
+        market=market,
+        injector=injector,
+        detector=detector,
+        heuristic=YieldAggregatorHeuristic(detector.tagger),
+        analyzer=ProfitAnalyzer(world.registry),
+        result=ShardResult(shard_index=shard_index),
+        rows={name: PatternRow(name) for name in ("KRP", "SBS", "MBS")},
+    )
 
-    result = ShardResult(shard_index=shard_index)
-    rows = {name: PatternRow(name) for name in ("KRP", "SBS", "MBS")}
-    for task in tasks:
-        kind = task[0]
-        try:
-            if kind == "attack":
-                _, cluster_index, attacker_id, contract_id, asset_id, month = task
-                labeled = injector.execute(
-                    ATTACK_CLUSTERS[cluster_index], attacker_id, contract_id,
-                    asset_id, month,
-                )
-            elif kind == "migration":
-                labeled = profile_migration(market)
-            elif kind == "strategy":
-                labeled = profile_yield_strategy(market, aggregator_initiated=True)
-            else:  # benign
-                labeled = BENIGN_PROFILES[task[1]][2](market)
-        except ChainError:
-            # a reverted transaction still counts toward the population;
-            # LeiShen skips failed transactions, as on the real chain.
-            result.total_transactions += 1
-            continue
-        result.total_transactions += 1
-        detect_into(cfg, labeled, detector, heuristic, analyzer,
-                    result.detections, rows)
-    result.row_counts = {
-        name: [row.n, row.tp, row.fp] for name, row in rows.items()
+
+def execute_task(ctx: ShardContext, task: Task):
+    """Execute one schedule task against the shard's world.
+
+    Returns the labeled transaction, or ``None`` when it reverted; either
+    way the transaction counts toward the shard's population.
+    """
+    from ..workload.attacks import ATTACK_CLUSTERS
+    from ..workload.profiles import (
+        BENIGN_PROFILES,
+        profile_migration,
+        profile_yield_strategy,
+    )
+
+    kind = task[0]
+    try:
+        if kind == "attack":
+            _, cluster_index, attacker_id, contract_id, asset_id, month = task
+            labeled = ctx.injector.execute(
+                ATTACK_CLUSTERS[cluster_index], attacker_id, contract_id,
+                asset_id, month,
+            )
+        elif kind == "migration":
+            labeled = profile_migration(ctx.market)
+        elif kind == "strategy":
+            labeled = profile_yield_strategy(ctx.market, aggregator_initiated=True)
+        else:  # benign
+            labeled = BENIGN_PROFILES[task[1]][2](ctx.market)
+    except ChainError:
+        # a reverted transaction still counts toward the population;
+        # LeiShen skips failed transactions, as on the real chain.
+        ctx.result.total_transactions += 1
+        return None
+    ctx.result.total_transactions += 1
+    return labeled
+
+
+def detect_task(ctx: ShardContext, labeled) -> None:
+    """Run detection on one executed transaction, into the shard result."""
+    detect_into(ctx.cfg, labeled, ctx.detector, ctx.heuristic, ctx.analyzer,
+                ctx.result.detections, ctx.rows)
+
+
+def finalize_shard(ctx: ShardContext) -> ShardResult:
+    """Freeze the shard's Table V counters and return its result."""
+    ctx.result.row_counts = {
+        name: [row.n, row.tp, row.fp] for name, row in ctx.rows.items()
     }
-    return result
+    return ctx.result
+
+
+def run_shard(args: tuple) -> ShardResult:
+    """Worker entry point: build one shard's world and scan its tasks.
+
+    Module-level (not a method) so it pickles under every multiprocessing
+    start method.
+    """
+    cfg, shard_index, shard_count, tasks = args
+    ctx = build_shard_context(cfg, shard_index, shard_count)
+    for task in tasks:
+        labeled = execute_task(ctx, task)
+        if labeled is not None:
+            detect_task(ctx, labeled)
+    return finalize_shard(ctx)
 
 
 def detect_into(cfg, labeled, detector, heuristic, analyzer, detections, rows) -> None:
@@ -177,7 +242,7 @@ class ScanEngine:
         shard_count = resolve_shard_count(cfg.shards, len(tasks))
         parts = shard_schedule(tasks, shard_count)
         payloads = [(cfg, index, shard_count, part) for index, part in enumerate(parts)]
-        jobs = max(1, cfg.jobs)
+        jobs = cfg.jobs  # validated >= 1 by WildScanConfig
         if jobs == 1 or shard_count == 1:
             outcomes = [run_shard(payload) for payload in payloads]
         else:
@@ -188,6 +253,13 @@ class ScanEngine:
 
     @staticmethod
     def _run_parallel(payloads: list[tuple], workers: int) -> list[ShardResult]:
+        """Fan the shard payloads over a process pool.
+
+        Pool breakage (restricted environments, OOM-killed workers) falls
+        back to in-process execution — but only for the shards that did
+        not complete; finished shard results are kept. A genuine exception
+        raised *inside* a worker is not pool breakage and propagates.
+        """
         import multiprocessing
 
         from concurrent.futures import ProcessPoolExecutor
@@ -195,13 +267,26 @@ class ScanEngine:
 
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        completed: dict[int, ShardResult] = {}
         try:
             with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-                outcomes = list(pool.map(run_shard, payloads))
+                futures: dict[int, object] = {}
+                try:
+                    for index, payload in enumerate(payloads):
+                        futures[index] = pool.submit(run_shard, payload)
+                except (OSError, PermissionError):
+                    futures.clear()  # process spawning denied outright
+                for index, future in futures.items():
+                    try:
+                        completed[index] = future.result()
+                    except BrokenProcessPool:
+                        break  # pool died; the rest re-runs in-process below
         except (OSError, PermissionError, BrokenProcessPool):
-            # restricted environments (no process spawning): same results,
-            # computed in-process.
-            outcomes = [run_shard(payload) for payload in payloads]
+            pass  # pool setup/teardown failure; completed shards are kept
+        outcomes = [
+            completed[index] if index in completed else run_shard(payload)
+            for index, payload in enumerate(payloads)
+        ]
         return sorted(outcomes, key=lambda outcome: outcome.shard_index)
 
     def _merge(self, outcomes: list[ShardResult]):

@@ -1,0 +1,382 @@
+"""Streaming detection through the sharded engine.
+
+The batch :class:`~repro.engine.scan.ScanEngine` consumes a precomputed
+schedule shard by shard. This module feeds the *same* schedule through
+the same per-shard machinery as a live block stream, so detection keeps
+up with blocks as they arrive instead of waiting for a batch boundary:
+
+1. a **block source** yields :class:`StreamBlock`\\ s — groups of
+   ``(position, task)`` pairs stamped with simulated mainnet heights
+   (:func:`~repro.workload.timeline.study_block_height`);
+2. a **feeder** routes each transaction to its owning shard's worker
+   (:func:`~repro.engine.plan.shard_of` — the same round-robin partition
+   the batch engine uses) through a bounded queue; a full queue blocks
+   the feeder, which is the backpressure bound on in-flight memory;
+3. **shard workers** (``jobs`` threads, each owning one or more shard
+   contexts from :func:`~repro.engine.scan.build_shard_context`) execute
+   and detect transactions exactly as :func:`~repro.engine.scan.run_shard`
+   does;
+4. a **watermark merger** buffers out-of-order completions and emits each
+   block — its detections in schedule order plus latency counters — only
+   once every transaction at or before it has been processed.
+
+Because every shard executes its batch task sequence unchanged, the
+merged :class:`~repro.workload.generator.WildScanResult` is byte-identical
+to ``ScanEngine.run()`` for the same ``(seed, scale, shards)``; streaming
+only changes *when* results become visible, never *what* they are.
+
+Replay of recorded history (the live-monitor deployment mode) uses
+:func:`screen_blocks` over :meth:`~repro.chain.explorer.ChainExplorer.blocks_between`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..workload.timeline import study_block_height
+from .plan import Task, build_schedule, resolve_shard_count, shard_of
+from .scan import (
+    ScanEngine,
+    ShardResult,
+    build_shard_context,
+    detect_task,
+    execute_task,
+    finalize_shard,
+)
+
+__all__ = [
+    "BlockStats",
+    "StreamBlock",
+    "StreamEngine",
+    "StreamResult",
+    "ScreenedTransaction",
+    "schedule_block_stream",
+    "screen_blocks",
+    "DEFAULT_QUEUE_DEPTH",
+    "DEFAULT_BLOCK_SIZE",
+]
+
+#: per-worker bound on queued transactions; the backpressure knob.
+DEFAULT_QUEUE_DEPTH = 64
+
+#: transactions per simulated block in the generated stream.
+DEFAULT_BLOCK_SIZE = 32
+
+_SENTINEL = object()
+
+
+@dataclass(frozen=True, slots=True)
+class StreamBlock:
+    """One block of the incoming stream: a simulated mainnet height and
+    the schedule entries it carries as ``(position, task)`` pairs.
+    Positions must be contiguous and globally increasing across blocks —
+    the watermark merger's ordering invariant."""
+
+    number: int
+    entries: tuple[tuple[int, Task], ...]
+
+
+@dataclass(slots=True)
+class BlockStats:
+    """Per-block streaming counters emitted by the merger."""
+
+    number: int
+    transactions: int
+    detections: int
+    #: wall-clock from the block entering the queue to its watermark pass.
+    latency_ms: float
+    #: summed execute+detect time of the block's transactions.
+    detect_ms: float
+
+
+@dataclass(slots=True)
+class StreamResult:
+    """A finished streaming run: the batch-identical scan result plus the
+    stream's per-block latency/throughput counters."""
+
+    result: object  # WildScanResult
+    blocks: list[BlockStats]
+    elapsed_s: float
+    jobs: int
+    shard_count: int
+    queue_depth: int
+    block_size: int
+    max_queue_depth: int = 0
+
+    @property
+    def total_transactions(self) -> int:
+        return self.result.total_transactions
+
+    @property
+    def txs_per_s(self) -> float:
+        return self.total_transactions / self.elapsed_s if self.elapsed_s else 0.0
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Block-latency percentile in milliseconds (e.g. ``0.95``)."""
+        if not self.blocks:
+            return 0.0
+        ordered = sorted(stats.latency_ms for stats in self.blocks)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+
+def schedule_block_stream(
+    tasks: Sequence[Task], block_size: int = DEFAULT_BLOCK_SIZE
+) -> Iterator[StreamBlock]:
+    """The canonical schedule as a block stream.
+
+    Groups consecutive schedule positions into blocks of ``block_size``
+    and stamps each with a height from the paper's study window, giving a
+    generator-driven timeline that stands in for a live node's feed.
+    """
+    total = len(tasks)
+    for start in range(0, total, block_size):
+        entries = tuple(
+            (position, tasks[position])
+            for position in range(start, min(start + block_size, total))
+        )
+        yield StreamBlock(number=study_block_height(start, total), entries=entries)
+
+
+# ---------------------------------------------------------------------------
+# merger bookkeeping
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class _OpenBlock:
+    number: int
+    first_position: int
+    last_position: int
+    remaining: int
+    fed_at: float
+    completions: list = field(default_factory=list)
+
+
+class StreamEngine:
+    """Runs the wild scan as a stream with bounded in-flight memory.
+
+    ``config`` is a :class:`~repro.workload.generator.WildScanConfig`;
+    its ``jobs`` becomes the worker-thread count and its ``shards`` pins
+    the deterministic partition exactly as in the batch engine.
+    """
+
+    def __init__(
+        self,
+        config,
+        *,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        self.config = config
+        self.queue_depth = queue_depth
+        self.block_size = block_size
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        source: Iterable[StreamBlock] | None = None,
+        on_block: Callable[[BlockStats, list], None] | None = None,
+    ) -> StreamResult:
+        """Consume the block stream; return the merged result and counters.
+
+        ``on_block`` (called on the merger thread) observes each block the
+        moment its watermark passes: ``on_block(stats, detections)`` with
+        the block's detections in schedule order — the live alerting hook.
+        """
+        cfg = self.config
+        tasks = build_schedule(cfg.scale, cfg.seed)
+        shard_count = resolve_shard_count(cfg.shards, len(tasks))
+        if source is None:
+            source = schedule_block_stream(tasks, self.block_size)
+        workers = min(cfg.jobs, shard_count)
+
+        in_queues: list[queue.Queue] = [
+            queue.Queue(maxsize=self.queue_depth) for _ in range(workers)
+        ]
+        out_queue: queue.Queue = queue.Queue(maxsize=self.queue_depth * workers)
+        shard_results: dict[int, ShardResult] = {}
+        errors: list[BaseException] = []
+        stats_out: list[BlockStats] = []
+        max_depth = 0
+
+        def worker(worker_index: int) -> None:
+            contexts: dict[int, object] = {}
+            inbox = in_queues[worker_index]
+            failed = False
+            while True:
+                item = inbox.get()
+                if item is _SENTINEL:
+                    break
+                if failed:
+                    continue  # drain so the feeder never blocks on us
+                position, task = item
+                shard = shard_of(position, shard_count)
+                try:
+                    ctx = contexts.get(shard)
+                    if ctx is None:
+                        ctx = contexts[shard] = build_shard_context(
+                            cfg, shard, shard_count
+                        )
+                    started = time.perf_counter()
+                    before = len(ctx.result.detections)
+                    labeled = execute_task(ctx, task)
+                    if labeled is not None:
+                        detect_task(ctx, labeled)
+                    elapsed = time.perf_counter() - started
+                    fresh = tuple(ctx.result.detections[before:])
+                except BaseException as exc:  # propagate via the merger
+                    failed = True
+                    out_queue.put(("error", exc))
+                    continue
+                out_queue.put(("done", position, fresh, elapsed))
+            for shard, ctx in contexts.items():
+                shard_results[shard] = finalize_shard(ctx)
+
+        def merger() -> None:
+            open_blocks: deque[_OpenBlock] = deque()
+            while True:
+                event = out_queue.get()
+                kind = event[0]
+                if kind == "eof":
+                    break
+                if kind == "error":
+                    errors.append(event[1])
+                    continue
+                if kind == "fed":
+                    _, number, first, last, fed_at = event
+                    open_blocks.append(
+                        _OpenBlock(number, first, last, last - first + 1, fed_at)
+                    )
+                    continue
+                _, position, fresh, elapsed = event
+                for block in open_blocks:
+                    if block.first_position <= position <= block.last_position:
+                        block.remaining -= 1
+                        block.completions.append((position, fresh, elapsed))
+                        break
+                while open_blocks and open_blocks[0].remaining == 0:
+                    self._emit(open_blocks.popleft(), stats_out, on_block)
+            # a worker failure can leave blocks permanently open; emit only
+            # the complete prefix so stats stay truthful.
+            while open_blocks and open_blocks[0].remaining == 0:
+                self._emit(open_blocks.popleft(), stats_out, on_block)
+
+        worker_threads = [
+            threading.Thread(target=worker, args=(i,), name=f"stream-shard-{i}")
+            for i in range(workers)
+        ]
+        merger_thread = threading.Thread(target=merger, name="stream-merger")
+        started = time.perf_counter()
+        for thread in (*worker_threads, merger_thread):
+            thread.start()
+        try:
+            for block in source:
+                if not block.entries:
+                    continue
+                first = block.entries[0][0]
+                last = block.entries[-1][0]
+                out_queue.put(("fed", block.number, first, last, time.perf_counter()))
+                for position, task in block.entries:
+                    inbox = in_queues[shard_of(position, shard_count) % workers]
+                    inbox.put((position, task))  # blocks when full: backpressure
+                    depth = inbox.qsize()
+                    if depth > max_depth:
+                        max_depth = depth
+        finally:
+            for inbox in in_queues:
+                inbox.put(_SENTINEL)
+            for thread in worker_threads:
+                thread.join()
+            out_queue.put(("eof",))
+            merger_thread.join()
+        elapsed = time.perf_counter() - started
+        if errors:
+            raise errors[0]
+
+        ordered = [shard_results[index] for index in sorted(shard_results)]
+        result = ScanEngine(cfg)._merge(ordered)
+        return StreamResult(
+            result=result,
+            blocks=stats_out,
+            elapsed_s=elapsed,
+            jobs=workers,
+            shard_count=shard_count,
+            queue_depth=self.queue_depth,
+            block_size=self.block_size,
+            max_queue_depth=max_depth,
+        )
+
+    @staticmethod
+    def _emit(
+        block: _OpenBlock,
+        stats_out: list[BlockStats],
+        on_block: Callable[[BlockStats, list], None] | None,
+    ) -> None:
+        block.completions.sort(key=lambda completion: completion[0])
+        detections = [
+            detection
+            for _, fresh, _ in block.completions
+            for detection in fresh
+        ]
+        stats = BlockStats(
+            number=block.number,
+            transactions=len(block.completions),
+            detections=len(detections),
+            latency_ms=(time.perf_counter() - block.fed_at) * 1e3,
+            detect_ms=sum(elapsed for _, _, elapsed in block.completions) * 1e3,
+        )
+        stats_out.append(stats)
+        if on_block is not None:
+            on_block(stats, detections)
+
+
+# ---------------------------------------------------------------------------
+# replay streaming: recorded chain history through one detector
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ScreenedTransaction:
+    """One screened flash-loan transaction from a replayed block stream."""
+
+    block_number: int
+    report: object  # AttackReport
+    latency_ms: float
+
+    @property
+    def is_attack(self) -> bool:
+        return self.report.is_attack
+
+
+def screen_blocks(
+    detector,
+    blocks: Iterable[tuple[int, Sequence]],
+    on_alert: Callable[[ScreenedTransaction], None] | None = None,
+) -> Iterator[ScreenedTransaction]:
+    """Screen recorded blocks — ``(number, traces)`` pairs, e.g. from
+    :meth:`~repro.chain.explorer.ChainExplorer.blocks_between` — through a
+    detector, yielding every flash-loan transaction in block order with
+    its per-transaction detection latency. Non-flash-loan transactions
+    are skipped, as in the paper's deployment mode."""
+    for number, traces in blocks:
+        for trace in traces:
+            started = time.perf_counter()
+            report = detector.analyze(trace)
+            latency_ms = (time.perf_counter() - started) * 1e3
+            if report is None:
+                continue
+            screened = ScreenedTransaction(number, report, latency_ms)
+            if on_alert is not None and screened.is_attack:
+                on_alert(screened)
+            yield screened

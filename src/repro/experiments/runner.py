@@ -13,7 +13,7 @@ import argparse
 import sys
 import time
 
-from . import ablations, fig1, fig8, perf, table1, table4, table5, table6, table7
+from . import ablations, fig1, fig8, perf, stream, table1, table4, table5, table6, table7
 
 __all__ = ["main"]
 
@@ -21,7 +21,14 @@ _EXPERIMENTS = ("fig1", "table1", "table4", "table5", "table6", "table7", "fig8"
                 "perf", "ablations")
 
 
-def _run_one(name: str, scale: float, jobs: int = 1, shards: int | None = None) -> str:
+def _run_one(
+    name: str,
+    scale: float,
+    jobs: int = 1,
+    shards: int | None = None,
+    queue_depth: int | None = None,
+    block_size: int | None = None,
+) -> str:
     if name == "fig1":
         return fig1.render()
     if name == "table1":
@@ -40,6 +47,11 @@ def _run_one(name: str, scale: float, jobs: int = 1, shards: int | None = None) 
         return perf.render()
     if name == "ablations":
         return ablations.render()
+    if name == "stream":
+        return stream.render(
+            scale=scale, jobs=jobs, shards=shards,
+            queue_depth=queue_depth, block_size=block_size,
+        )
     raise ValueError(f"unknown experiment {name!r}")
 
 
@@ -50,8 +62,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=(*_EXPERIMENTS, "all"),
-        help="which table/figure to regenerate",
+        choices=(*_EXPERIMENTS, "stream", "all"),
+        help="which table/figure to regenerate ('stream' runs the live "
+        "streaming-detection pipeline; not part of 'all')",
     )
     parser.add_argument(
         "--scale",
@@ -74,17 +87,36 @@ def main(argv: list[str] | None = None) -> int:
         help="pin the wild-scan shard count (default: automatic; the shard "
         "count, not --jobs, defines the deterministic partition)",
     )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        help="stream only: per-worker bounded queue size (backpressure knob)",
+    )
+    parser.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        help="stream only: transactions per simulated block",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.shards is not None and args.shards < 1:
         parser.error(f"--shards must be >= 1, got {args.shards}")
+    if args.queue_depth is not None and args.queue_depth < 1:
+        parser.error(f"--queue-depth must be >= 1, got {args.queue_depth}")
+    if args.block_size is not None and args.block_size < 1:
+        parser.error(f"--block-size must be >= 1, got {args.block_size}")
     scale = 1.0 if args.full else args.scale
 
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         start = time.perf_counter()
-        output = _run_one(name, scale, jobs=args.jobs, shards=args.shards)
+        output = _run_one(
+            name, scale, jobs=args.jobs, shards=args.shards,
+            queue_depth=args.queue_depth, block_size=args.block_size,
+        )
         elapsed = time.perf_counter() - start
         print(f"=== {name} ({elapsed:.1f}s) ===")
         print(output)

@@ -73,7 +73,13 @@ class LeiShen:
         flash_loans = self.identifier.identify(trace)
         if not flash_loans:
             return None
-        borrower = flash_loans[0].borrower
+        # Seven of the 22 studied flpAttacks borrow from more than one
+        # provider, and the borrowing contracts need not coincide — anchor
+        # pattern matching on every distinct borrower, not just the first.
+        borrowers: list[Address] = []
+        for loan in flash_loans:
+            if loan.borrower not in borrowers:
+                borrowers.append(loan.borrower)
         tagged = self.tagger.tag_transfers(trace.transfers)
         if self.config.use_app_level_transfers:
             app_transfers = self.simplifier.simplify(tagged)
@@ -92,22 +98,46 @@ class LeiShen:
                 for t in trace.transfers
             ]
         trades = self.trade_identifier.identify(app_transfers)
-        borrower_tag = (
-            self.tagger.tag_of(borrower)
-            if self.config.use_app_level_transfers
-            else str(borrower)
-        )
-        matches = self.matcher.match(trades, borrower_tag)
+        if self.config.use_app_level_transfers:
+            borrower_tags = tuple(self.tagger.tag_of(b) for b in borrowers)
+        else:
+            borrower_tags = tuple(str(b) for b in borrowers)
+        matches: list = []
+        seen_tags: set = set()
+        for tag in borrower_tags:
+            if tag is None or tag in seen_tags:
+                continue  # untaggable borrower, or same creation-root tag
+            seen_tags.add(tag)
+            matches.extend(self.matcher.match(trades, tag))
         report = AttackReport(
             tx_hash=trace.tx_hash,
             flash_loans=flash_loans,
-            borrower=borrower,
-            borrower_tag=borrower_tag,
+            borrower=borrowers[0],
+            borrower_tag=borrower_tags[0],
             trades=trades,
             matches=matches,
-            profit_flows=trace.net_flows(borrower),
+            borrowers=tuple(borrowers),
+            borrower_tags=borrower_tags,
+            profit_flows=self._group_net_flows(trace, borrowers),
         )
         return report
+
+    @staticmethod
+    def _group_net_flows(
+        trace: TransactionTrace, borrowers: list[Address]
+    ) -> dict[Address, int]:
+        """Net asset deltas of the borrower group; intra-group transfers
+        cancel, so multi-provider attacks report one coherent profit view."""
+        if len(borrowers) == 1:
+            return trace.net_flows(borrowers[0])
+        group = set(borrowers)
+        flows: dict[Address, int] = {}
+        for transfer in trace.transfers:
+            if transfer.receiver in group:
+                flows[transfer.token] = flows.get(transfer.token, 0) + transfer.amount
+            if transfer.sender in group:
+                flows[transfer.token] = flows.get(transfer.token, 0) - transfer.amount
+        return {token: delta for token, delta in flows.items() if delta != 0}
 
     def detect(self, trace: TransactionTrace) -> bool:
         """Convenience: is this transaction a detected flpAttack?"""

@@ -32,6 +32,8 @@ def report_to_dict(report: AttackReport, registry: "TokenRegistry | None" = None
         "is_attack": report.is_attack,
         "borrower": str(report.borrower),
         "borrower_tag": report.borrower_tag,
+        "borrowers": [str(b) for b in (report.borrowers or (report.borrower,))],
+        "borrower_tags": list(report.borrower_tags or (report.borrower_tag,)),
         "flash_loans": [
             {
                 "provider": loan.provider,

@@ -58,11 +58,17 @@ class AttackReport:
 
     tx_hash: str
     flash_loans: list[FlashLoan]
+    #: the first-identified loan's borrower (kept for compatibility; the
+    #: full borrower set is in ``borrowers``).
     borrower: Address
     borrower_tag: Tag
     trades: list[Trade]
     matches: list[PatternMatch]
-    #: net asset deltas of the borrower across the tx, token -> amount.
+    #: every distinct borrower across providers, in identification order.
+    borrowers: tuple[Address, ...] = ()
+    #: resolved tag per entry of ``borrowers`` (``None`` = untaggable).
+    borrower_tags: tuple[Tag, ...] = ()
+    #: net asset deltas of the borrower group across the tx, token -> amount.
     profit_flows: dict[Address, int] = field(default_factory=dict)
     #: profit valued in USD (filled by the profit analyzer when available).
     profit_usd: float | None = None

@@ -44,6 +44,14 @@ class WildScanConfig:
     #: across scales.
     shards: int | None = None
 
+    def __post_init__(self) -> None:
+        # Programmatic callers get the same errors the CLI raises instead
+        # of a silent clamp inside the engine.
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+
 
 @dataclass(slots=True)
 class PatternRow:

@@ -26,16 +26,36 @@ __all__ = [
     "PROVIDER_TOTALS",
     "TOTAL_FLASH_LOAN_TXS",
     "UNKNOWN_ATTACK_TOTAL",
+    "STUDY_FIRST_BLOCK",
+    "STUDY_LAST_BLOCK",
     "WeekPoint",
     "weekly_flash_loan_series",
     "monthly_attack_weights",
     "month_label",
+    "study_block_height",
 ]
 
 #: paper Sec. VI-A: flash loan transactions per provider, first 14.5M blocks.
 PROVIDER_TOTALS = {"Uniswap": 208_342, "dYdX": 41_741, "AAVE": 22_959}
 TOTAL_FLASH_LOAN_TXS = 272_984
 UNKNOWN_ATTACK_TOTAL = 109
+
+#: the study window in block heights: flash loan activity starts around
+#: mainnet height ~9.3M (AAVE's first flash loan, 2020-01-18) and the
+#: dataset covers the first 14,500,000 blocks (paper Sec. VI-A).
+STUDY_FIRST_BLOCK = 9_300_000
+STUDY_LAST_BLOCK = 14_500_000
+
+
+def study_block_height(position: int, total: int) -> int:
+    """Simulated mainnet height for schedule position ``position`` of
+    ``total``, spread linearly across the study's block window. Gives the
+    streaming engine realistic, monotonic block numbers to stamp on its
+    emitted blocks."""
+    if total <= 1:
+        return STUDY_FIRST_BLOCK
+    span = STUDY_LAST_BLOCK - STUDY_FIRST_BLOCK
+    return STUDY_FIRST_BLOCK + (position * span) // (total - 1)
 
 #: Jan 2020 .. Apr 2022 inclusive.
 N_MONTHS = 28

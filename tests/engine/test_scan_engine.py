@@ -117,3 +117,124 @@ class TestBenchSmoke:
         assert {run["jobs"] for run in loaded["runs"]} == {1, 2}
         totals = {run["total_transactions"] for run in loaded["runs"]}
         assert len(totals) == 1  # jobs never changes the population
+
+
+class TestParallelRecovery:
+    """Pool breakage re-runs only incomplete shards; worker bugs propagate."""
+
+    @pytest.fixture()
+    def payloads(self):
+        from repro.engine.scan import run_shard
+
+        cfg = WildScanConfig(scale=0.002, seed=SEED, jobs=2, shards=2)
+        tasks = build_schedule(cfg.scale, cfg.seed)
+        parts = shard_schedule(tasks, 2)
+        payloads = [(cfg, index, 2, part) for index, part in enumerate(parts)]
+        expected = [run_shard(payload) for payload in payloads]
+        return payloads, expected
+
+    @staticmethod
+    def _result_snapshot(outcomes):
+        return [
+            (o.shard_index, o.total_transactions,
+             [d.tx_hash for d in o.detections], o.row_counts)
+            for o in outcomes
+        ]
+
+    @staticmethod
+    def _fake_future(value=None, error=None):
+        class _Future:
+            def result(self):
+                if error is not None:
+                    raise error
+                return value
+
+        return _Future()
+
+    def test_broken_pool_keeps_completed_shards(self, payloads, monkeypatch):
+        import concurrent.futures
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.engine import scan
+
+        payloads, expected = payloads
+        executed: list[int] = []
+        real_run_shard = scan.run_shard
+
+        def counting_run_shard(payload):
+            executed.append(payload[1])
+            return real_run_shard(payload)
+
+        monkeypatch.setattr(scan, "run_shard", counting_run_shard)
+        make_future = self._fake_future
+
+        class HalfBrokenPool:
+            def __init__(self, *args, **kwargs):
+                self.submitted = 0
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, payload):
+                self.submitted += 1
+                if self.submitted == 1:
+                    return make_future(value=fn(payload))
+                return make_future(error=BrokenProcessPool("worker died"))
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", HalfBrokenPool)
+        outcomes = scan.ScanEngine._run_parallel(payloads, workers=2)
+        assert self._result_snapshot(outcomes) == self._result_snapshot(expected)
+        # shard 0 ran once in the "pool" and was kept; only shard 1 re-ran
+        assert executed == [0, 1]
+
+    def test_spawn_denied_runs_everything_in_process(self, payloads, monkeypatch):
+        import concurrent.futures
+
+        from repro.engine import scan
+
+        payloads, expected = payloads
+
+        class DeniedPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, payload):
+                raise PermissionError("process spawning denied")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", DeniedPool)
+        outcomes = scan.ScanEngine._run_parallel(payloads, workers=2)
+        assert self._result_snapshot(outcomes) == self._result_snapshot(expected)
+
+    def test_worker_exception_propagates(self, payloads, monkeypatch):
+        import concurrent.futures
+
+        from repro.engine import scan
+
+        payloads, _ = payloads
+        make_future = self._fake_future
+
+        class BuggyWorkerPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, payload):
+                return make_future(error=ValueError("bug in shard code"))
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", BuggyWorkerPool)
+        with pytest.raises(ValueError, match="bug in shard code"):
+            scan.ScanEngine._run_parallel(payloads, workers=2)

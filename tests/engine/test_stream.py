@@ -1,0 +1,150 @@
+"""Streaming pipeline: batch identity, ordering, backpressure, replay.
+
+The contract under test mirrors the batch engine's: streaming changes
+*when* detections become visible (block-ordered, as the watermark
+passes), never *what* is detected — for a fixed ``(seed, scale, shards)``
+the merged result is byte-identical to ``ScanEngine.run()``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    StreamBlock,
+    StreamEngine,
+    build_schedule,
+    schedule_block_stream,
+    screen_blocks,
+    shard_of,
+    shard_schedule,
+)
+from repro.workload.generator import WildScanConfig, WildScanner
+from repro.workload.timeline import STUDY_FIRST_BLOCK, STUDY_LAST_BLOCK
+
+SCALE = 0.005
+SEED = 7
+
+
+def _snapshot(result):
+    return {
+        "total": result.total_transactions,
+        "hashes": [d.tx_hash for d in result.detections],
+        "table5": [(r.pattern, r.n, r.tp, r.fp) for r in result.table5()],
+        "table6": result.table6(),
+        "fig8": result.fig8_months(),
+    }
+
+
+@pytest.fixture(scope="module")
+def batch_result():
+    return WildScanner(WildScanConfig(scale=SCALE, seed=SEED, jobs=1, shards=4)).run()
+
+
+@pytest.fixture(scope="module")
+def streamed():
+    config = WildScanConfig(scale=SCALE, seed=SEED, jobs=4, shards=4)
+    return StreamEngine(config, queue_depth=16, block_size=16).run()
+
+
+class TestStreamIdentity:
+    def test_stream_equals_batch(self, batch_result, streamed):
+        assert _snapshot(streamed.result) == _snapshot(batch_result)
+
+    def test_stream_identical_across_jobs(self, streamed):
+        config = WildScanConfig(scale=SCALE, seed=SEED, jobs=1, shards=4)
+        single = StreamEngine(config, queue_depth=16, block_size=16).run()
+        assert _snapshot(single.result) == _snapshot(streamed.result)
+
+
+class TestStreamMechanics:
+    def test_blocks_emitted_in_order(self, streamed):
+        numbers = [stats.number for stats in streamed.blocks]
+        assert numbers == sorted(numbers)
+        assert len(numbers) == len(set(numbers))
+
+    def test_blocks_cover_the_population(self, streamed):
+        assert sum(stats.transactions for stats in streamed.blocks) == (
+            streamed.total_transactions
+        )
+        assert sum(stats.detections for stats in streamed.blocks) == len(
+            streamed.result.detections
+        )
+
+    def test_backpressure_bound_held(self, streamed):
+        assert 0 < streamed.max_queue_depth <= streamed.queue_depth
+
+    def test_on_block_sees_detections_live(self):
+        config = WildScanConfig(scale=SCALE, seed=SEED, jobs=2, shards=4)
+        seen: list[tuple[int, int]] = []
+
+        def on_block(stats, detections):
+            assert stats.detections == len(detections)
+            seen.append((stats.number, len(detections)))
+
+        result = StreamEngine(config, block_size=16).run(on_block=on_block)
+        assert seen == [(s.number, s.detections) for s in result.blocks]
+        assert sum(count for _, count in seen) == len(result.result.detections)
+
+    def test_worker_error_propagates(self):
+        config = WildScanConfig(scale=SCALE, seed=SEED, jobs=2, shards=4)
+        bogus = StreamBlock(number=1, entries=((0, ("no-such-kind",)),))
+        with pytest.raises(IndexError):
+            StreamEngine(config).run(source=[bogus])
+
+    def test_queue_depth_and_block_size_validated(self):
+        config = WildScanConfig(scale=SCALE, seed=SEED)
+        with pytest.raises(ValueError, match="queue_depth"):
+            StreamEngine(config, queue_depth=0)
+        with pytest.raises(ValueError, match="block_size"):
+            StreamEngine(config, block_size=0)
+
+
+class TestBlockStream:
+    def test_covers_schedule_contiguously(self):
+        tasks = build_schedule(SCALE, SEED)
+        blocks = list(schedule_block_stream(tasks, block_size=16))
+        positions = [p for block in blocks for p, _ in block.entries]
+        assert positions == list(range(len(tasks)))
+        assert all(len(block.entries) <= 16 for block in blocks)
+
+    def test_heights_monotonic_within_study_window(self):
+        tasks = build_schedule(SCALE, SEED)
+        numbers = [b.number for b in schedule_block_stream(tasks, block_size=16)]
+        assert numbers == sorted(numbers)
+        assert all(
+            STUDY_FIRST_BLOCK <= number <= STUDY_LAST_BLOCK for number in numbers
+        )
+
+    def test_shard_of_matches_round_robin_partition(self):
+        tasks = build_schedule(SCALE, SEED)
+        parts = shard_schedule(tasks, 4)
+        for position, task in enumerate(tasks):
+            shard = shard_of(position, 4)
+            assert parts[shard][position // 4] == task
+
+
+class TestReplayScreening:
+    def test_screen_blocks_replays_recorded_history(self, world):
+        from repro.study.scenarios.base import ScriptedAttackContract
+
+        token = world.new_token("RP")
+        solo = world.dydx(funding={token: 10**6 * token.unit})
+        user = world.create_attacker("replay-user")
+        bot = world.chain.deploy(user, ScriptedAttackContract, lambda atk: None)
+        token.mint(bot.address, 10)
+        first = world.chain.block_number + 1
+        world.chain.mine()
+        world.chain.transact(
+            user, bot.address, "run_dydx", solo.address, token.address,
+            1_000 * token.unit,
+        )
+        from repro.chain.explorer import ChainExplorer
+
+        blocks = ChainExplorer(world.chain).blocks_between(
+            first, world.chain.block_number
+        )
+        screened = list(screen_blocks(world.detector(), blocks))
+        assert len(screened) == 1  # only the flash loan tx is yielded
+        assert not screened[0].is_attack
+        assert screened[0].latency_ms >= 0

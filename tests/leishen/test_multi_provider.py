@@ -1,0 +1,123 @@
+"""Multi-provider borrower anchoring (regression).
+
+Seven of the 22 studied flpAttacks borrow from more than one provider,
+and identification lists Uniswap loans before AAVE and dYdX ones
+regardless of execution order. A detector anchored only on
+``flash_loans[0].borrower`` therefore misses any attack executed by a
+later-listed provider's borrower. These tests build exactly that shape:
+a decoy contract takes a trivial Uniswap flash swap inside the attack
+transaction while a second, unrelated contract borrows via dYdX and runs
+the KRP trades.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.leishen import AttackPattern, FlashLoanIdentifier
+from repro.study.scenarios.base import ScriptedAttackContract
+from repro.world import DeFiWorld
+
+
+@pytest.fixture(scope="module")
+def two_provider_outcome():
+    world = DeFiWorld()
+    quote = world.weth
+    target = world.new_token("KRT", 18)
+    pool = world.dex_pair(target, quote, 263_000 * target.unit, 1_000 * quote.unit)
+    sink = world.dex_pair(target, quote, 2_000_000 * target.unit, 12_400 * quote.unit)
+
+    # The decoy borrower is deployed by its own EOA, so its creation-root
+    # tag differs from the attack contract's — anchoring on the wrong one
+    # must not find the other's trades.
+    decoy_eoa = world.create_attacker("decoy-eoa")
+    decoy = world.chain.deploy(
+        decoy_eoa, ScriptedAttackContract, lambda atk: None, hint="decoy"
+    )
+    decoy_token = world.new_token("DCY", 18)
+    decoy_pair = world.dex_pair(
+        decoy_token, quote, 100_000 * decoy_token.unit, 1_000 * quote.unit
+    )
+    decoy_token.mint(decoy.address, 10 * decoy_token.unit)  # flash-swap fee
+
+    n_buys, buy_amount = 18, 20 * quote.unit
+    borrow = n_buys * buy_amount + 10 * quote.unit
+    solo = world.dydx(funding={quote: borrow * 2})
+
+    def body(atk: ScriptedAttackContract) -> None:
+        # the decoy's borrow-and-repay flash swap rides inside the attack tx
+        atk.call(
+            decoy.address,
+            "run_uniswap",
+            decoy_pair.address,
+            decoy_token.address,
+            1_000 * decoy_token.unit,
+        )
+        for _ in range(n_buys):
+            atk.swap_pool(pool.address, quote.address, buy_amount)
+        atk.swap_pool(sink.address, target.address, atk.balance(target.address))
+
+    attacker = world.create_attacker("attacker-eoa")
+    contract = world.chain.deploy(
+        attacker, ScriptedAttackContract, body, hint="attacker-contract"
+    )
+    world.fund_weth(contract.address, 10 * quote.unit)  # dYdX deposit rounding
+    trace = world.chain.transact(
+        attacker, contract.address, "run_dydx", solo.address, quote.address, borrow
+    )
+    return world, trace, decoy.address, contract.address
+
+
+class TestMultiProviderAnchoring:
+    def test_uniswap_loan_listed_first_with_decoy_borrower(self, two_provider_outcome):
+        _, trace, decoy_address, contract_address = two_provider_outcome
+        loans = FlashLoanIdentifier().identify(trace)
+        providers = [loan.provider for loan in loans]
+        assert providers[0] == "Uniswap"
+        assert "dYdX" in providers
+        assert loans[0].borrower == decoy_address
+        dydx = next(loan for loan in loans if loan.provider == "dYdX")
+        assert dydx.borrower == contract_address
+
+    def test_first_borrower_anchor_alone_misses_the_attack(self, two_provider_outcome):
+        """The pre-fix behavior: matching only ``flash_loans[0]``'s tag
+        finds nothing, because the KRP trades belong to the dYdX borrower."""
+        world, trace, _, _ = two_provider_outcome
+        detector = world.detector()
+        report = detector.analyze(trace)
+        assert report is not None
+        assert detector.matcher.match(report.trades, report.borrower_tags[0]) == []
+
+    def test_union_over_borrowers_detects_the_attack(self, two_provider_outcome):
+        world, trace, decoy_address, contract_address = two_provider_outcome
+        report = world.detector().analyze(trace)
+        assert report is not None
+        assert report.is_attack
+        assert AttackPattern.KRP in report.patterns
+        assert report.borrowers == (decoy_address, contract_address)
+        assert len(report.borrower_tags) == 2
+        assert report.borrower_tags[0] != report.borrower_tags[1]
+        # `borrower` stays the first-identified loan's borrower (compat)
+        assert report.borrower == decoy_address
+
+    def test_group_profit_flows_nets_the_borrower_set(self, two_provider_outcome):
+        world, trace, _, _ = two_provider_outcome
+        report = world.detector().analyze(trace)
+        quote = world.weth.address
+        # the KRP dump is profitable in the quote asset for the group
+        assert report.profit_flows.get(quote, 0) > 0
+
+    def test_export_carries_the_borrower_set(self, two_provider_outcome):
+        from repro.leishen.export import report_to_dict
+
+        world, trace, decoy_address, contract_address = two_provider_outcome
+        payload = report_to_dict(world.detector().analyze(trace))
+        assert payload["borrowers"] == [str(decoy_address), str(contract_address)]
+        assert len(payload["borrower_tags"]) == 2
+
+    def test_single_provider_reports_are_unchanged(self, bzx1_outcome):
+        """The common case keeps its shape: one borrower, one tag, and the
+        primary fields mirror the set's first entry."""
+        report = bzx1_outcome.world.detector().analyze(bzx1_outcome.trace)
+        assert report.borrowers == (report.borrower,)
+        assert report.borrower_tags == (report.borrower_tag,)

@@ -79,3 +79,21 @@ class TestTables:
         """Paper Sec. VI-D: no attacks detected before bZx-1 (Feb 2020)."""
         months = scan_result.fig8_months()
         assert all(m >= 1 for m in months)
+
+
+class TestConfigValidation:
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            WildScanConfig(scale=0.005, seed=7, jobs=0)
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            WildScanConfig(scale=0.005, seed=7, jobs=-2)
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            WildScanConfig(scale=0.005, seed=7, shards=0)
+
+    def test_default_and_explicit_values_accepted(self):
+        WildScanConfig(scale=0.005, seed=7)  # shards=None: automatic
+        WildScanConfig(scale=0.005, seed=7, jobs=1, shards=1)
