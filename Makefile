@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-smoke stream-smoke
+.PHONY: test bench bench-smoke stream-smoke cluster-smoke
 
 ## tier-1 test suite (what CI gates on)
 test:
@@ -19,3 +19,9 @@ bench-smoke:
 ## asserts stream == batch detections (the identity contract)
 stream-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_smoke.py --stream
+
+## tiny-scale distributed scan bench; regenerates BENCH_cluster.json,
+## asserts cluster == batch detections (1 and 2 workers) and that a
+## killed worker is requeued without changing the merged result
+cluster-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_smoke.py --cluster

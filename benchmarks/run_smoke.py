@@ -11,7 +11,13 @@ batch-identity contract), regenerating ``BENCH_stream.json``::
 
     PYTHONPATH=src python benchmarks/run_smoke.py --stream
 
-or via ``make bench-smoke`` / ``make stream-smoke``.
+``--cluster`` benches the distributed scan (coordinator + local workers,
+identity-vs-batch always on, plus a killed-worker fault run that must
+requeue and still merge identically), regenerating ``BENCH_cluster.json``::
+
+    PYTHONPATH=src python benchmarks/run_smoke.py --cluster
+
+or via ``make bench-smoke`` / ``make stream-smoke`` / ``make cluster-smoke``.
 """
 
 from __future__ import annotations
@@ -25,7 +31,9 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.engine.bench import (
     DEFAULT_ARTIFACT,
+    DEFAULT_CLUSTER_ARTIFACT,
     DEFAULT_STREAM_ARTIFACT,
+    run_cluster_bench,
     run_stream_bench,
     run_wildscan_bench,
     write_artifact,
@@ -46,6 +54,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--stream", action="store_true",
                         help="bench the streaming pipeline (BENCH_stream.json) "
                         "instead of the batch engine")
+    parser.add_argument("--cluster", action="store_true",
+                        help="bench the distributed scan (BENCH_cluster.json): "
+                        "1 vs 2 local workers plus a killed-worker fault run")
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2],
+                        help="cluster only: worker counts to time (default: 1 2)")
     parser.add_argument("--queue-depth", type=int, default=None,
                         help="stream only: per-worker bounded queue size")
     parser.add_argument("--block-size", type=int, default=None,
@@ -54,7 +67,17 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     repo_root = Path(__file__).resolve().parent.parent
-    if args.stream:
+    if args.stream and args.cluster:
+        parser.error("--stream and --cluster are mutually exclusive")
+    if args.cluster:
+        report = run_cluster_bench(
+            scale=args.scale,
+            seed=args.seed,
+            workers_values=tuple(args.workers),
+            shards=args.shards,
+        )
+        output = args.output or repo_root / DEFAULT_CLUSTER_ARTIFACT
+    elif args.stream:
         report = run_stream_bench(
             scale=args.scale,
             seed=args.seed,

@@ -1,0 +1,71 @@
+"""Distributed-scan benchmark: wall-clock, requeue counters, identity.
+
+Runs the cluster (coordinator + local workers) against the batch engine
+at a small scale and writes the ``BENCH_cluster.json`` artifact at the
+repo root. The identity-vs-batch assertion is always on — including for
+the killed-worker fault run — while the wall-clock budget only arms with
+``REPRO_BENCH_STRICT=1``, like the other timing benches.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.engine.bench import (
+    DEFAULT_CLUSTER_ARTIFACT,
+    run_cluster_bench,
+    write_artifact,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+STRICT = os.environ.get("REPRO_BENCH_STRICT") == "1"
+
+#: the cluster adds worker spawn + wire overhead on top of the scan; at
+#: smoke scale the whole coordinated run must still land well inside
+#: this multiple of the single-process batch wall-clock.
+STRICT_MAX_OVERHEAD = 5.0
+
+
+def test_bench_cluster_throughput_identity_and_faults():
+    report = run_cluster_bench(scale=0.01, seed=7, workers_values=(1, 2))
+    write_artifact(report, REPO_ROOT / DEFAULT_CLUSTER_ARTIFACT)
+
+    # run_cluster_bench already raised on any cluster-vs-batch divergence;
+    # double-check the recorded counts agree with the batch reference.
+    assert all(run["detected"] == report["batch_detected"] for run in report["runs"])
+    assert all(run["txs_per_s"] > 0 for run in report["runs"])
+    by_workers = {run["workers"]: run for run in report["runs"]}
+    assert by_workers[1]["total_transactions"] == by_workers[2]["total_transactions"]
+
+    # the fault run killed a worker, saw the loss, requeued, and matched
+    fault = report["fault_run"]
+    assert fault["killed_workers"] == 1
+    assert fault["worker_losses"] >= 1
+    assert fault["requeues"] >= 1
+    assert fault["detected"] == report["batch_detected"]
+
+    if not STRICT:
+        return  # timings recorded; budget enforced only under REPRO_BENCH_STRICT=1
+    budget = report["batch_elapsed_s"] * STRICT_MAX_OVERHEAD
+    for run in report["runs"]:
+        assert run["elapsed_s"] < budget, (
+            f"workers={run['workers']}: cluster run took {run['elapsed_s']}s, "
+            f"over the {budget:.2f}s budget ({STRICT_MAX_OVERHEAD}x batch)"
+        )
+
+
+def test_bench_cluster_single_run(benchmark):
+    """Wall-clock of one 2-worker cluster pass (pytest-benchmark timing)."""
+    from repro.cluster import run_cluster_scan
+    from repro.workload.generator import WildScanConfig
+
+    config = WildScanConfig(scale=0.005, seed=7, shards=4)
+
+    def run():
+        return run_cluster_scan(config, workers=2)
+
+    result, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.total_transactions > 0
+    assert stats.workers_seen == 2

@@ -1,0 +1,55 @@
+"""Distributed shard scheduling for the wild scan.
+
+The sharded engine's shard descriptors are pure data, so they travel: a
+:class:`~repro.cluster.coordinator.Coordinator` serves them to
+:class:`~repro.cluster.worker.ClusterWorker`\\ s over a length-prefixed
+JSON TCP protocol (:mod:`repro.cluster.protocol`), survives worker loss,
+stalls and repeated failure (heartbeats, requeue, duplicate suppression,
+bounded retry, exclusion), and merges the streamed-back shard results
+into a ``WildScanResult`` byte-identical to ``ScanEngine.run()`` for the
+same ``(seed, scale, shards)`` — regardless of worker count, worker
+deaths or completion order.
+
+Quick start (one machine)::
+
+    from repro.cluster import run_cluster_scan
+    from repro.workload.generator import WildScanConfig
+
+    result, stats = run_cluster_scan(
+        WildScanConfig(scale=0.01, shards=8), workers=2
+    )
+
+Multiple machines: run ``experiments cluster --serve`` on the
+coordinator host and ``experiments cluster --connect HOST:PORT`` on each
+worker host.
+"""
+
+from .coordinator import ClusterError, ClusterStats, Coordinator
+from .local import LocalWorkerHandle, run_cluster_scan, spawn_local_workers
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+from .worker import ClusterWorker, WorkerKilled, WorkerSummary
+
+__all__ = [
+    "ClusterError",
+    "ClusterStats",
+    "ClusterWorker",
+    "ConnectionClosed",
+    "Coordinator",
+    "LocalWorkerHandle",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "WorkerKilled",
+    "WorkerSummary",
+    "recv_message",
+    "run_cluster_scan",
+    "send_message",
+    "spawn_local_workers",
+]

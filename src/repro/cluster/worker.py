@@ -1,0 +1,223 @@
+"""The cluster worker: rebuilds shards from descriptors, streams results.
+
+A worker owns no scheduling state. It connects to a coordinator, learns
+the scan config from the ``welcome`` message, and then loops
+``ready`` → ``assign`` → execute → ``result`` until drained. Given a
+descriptor ``(seed, scale, shard_index, shard_count)`` it rebuilds the
+canonical schedule locally (:func:`~repro.engine.plan.build_schedule` is
+pure data, so shipping the descriptor is cheaper than shipping the task
+list) and executes its shard through the exact seam the in-process
+engines use — :func:`~repro.engine.scan.build_shard_context` /
+``execute_task`` / ``detect_task`` / ``finalize_shard`` — which is what
+makes a cluster run byte-identical to a local one.
+
+A background thread heartbeats every ``heartbeat_interval`` (negotiated
+in the welcome) including mid-shard, so the coordinator can tell a slow
+worker from a dead one. Shard failures are reported as ``shard-error``
+and the worker keeps serving; an abrupt death can be simulated through
+``task_hook`` raising :class:`WorkerKilled` (the fault-injection tests'
+kill switch — the socket drops mid-shard with no goodbye, exactly like a
+SIGKILL'd process).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import socket
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from ..engine.plan import build_schedule, shard_schedule
+from ..engine.scan import (
+    build_shard_context,
+    detect_task,
+    execute_task,
+    finalize_shard,
+)
+from ..engine.wire import config_from_wire, shard_result_to_wire
+from .protocol import (
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+
+__all__ = ["ClusterWorker", "WorkerKilled", "WorkerSummary"]
+
+
+class WorkerKilled(BaseException):
+    """Raised by a ``task_hook`` to simulate a worker dying mid-shard.
+
+    Derives from ``BaseException`` so ordinary ``except Exception``
+    error reporting cannot turn a simulated kill into a polite
+    ``shard-error`` message — the socket just drops.
+    """
+
+
+@dataclass(slots=True)
+class WorkerSummary:
+    """What one worker did before disconnecting."""
+
+    name: str
+    shards_completed: int = 0
+    shard_errors: int = 0
+    tasks_executed: int = 0
+    killed: bool = False
+    #: set when the coordinator vanished instead of draining us.
+    disconnected: bool = False
+
+
+class ClusterWorker:
+    """One worker process/thread serving a coordinator.
+
+    ``task_hook(worker, shard_index, task_number)`` — when given — runs
+    before every task and may raise (``WorkerKilled`` for an abrupt
+    death, anything else for a reported shard error); tests use it for
+    fault injection, e.g. stalling heartbeats via ``heartbeats_enabled``.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        *,
+        name: str | None = None,
+        connect_timeout: float = 10.0,
+        task_hook: Callable[["ClusterWorker", int, int], None] | None = None,
+    ) -> None:
+        host, port = address
+        self.address = (host, int(port))
+        self.name = name or f"worker-{socket.gethostname()}-{os.getpid()}"
+        self.connect_timeout = connect_timeout
+        self.task_hook = task_hook
+        #: flipped by fault-injection hooks to simulate a stalled worker.
+        self.heartbeats_enabled = True
+        self._sock: socket.socket | None = None
+        self._send_lock = threading.Lock()
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> WorkerSummary:
+        """Serve the coordinator until drained (or dead); return a summary."""
+        summary = WorkerSummary(name=self.name)
+        heartbeat_thread: threading.Thread | None = None
+        sock = socket.create_connection(self.address, timeout=self.connect_timeout)
+        sock.settimeout(None)
+        self._sock = sock
+        try:
+            self._send({"type": "hello", "worker": self.name,
+                        "protocol": PROTOCOL_VERSION})
+            welcome = recv_message(sock)
+            if welcome.get("type") != "welcome":
+                raise ProtocolError(f"expected welcome, got {welcome.get('type')!r}")
+            if welcome.get("protocol") != PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"protocol mismatch: worker speaks {PROTOCOL_VERSION}, "
+                    f"coordinator speaks {welcome.get('protocol')!r}"
+                )
+            config = config_from_wire(welcome["config"])
+            shard_count = welcome["shard_count"]
+            interval = float(welcome.get("heartbeat_interval", 1.0))
+            heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                args=(interval,),
+                name=f"{self.name}-heartbeat",
+                daemon=True,
+            )
+            heartbeat_thread.start()
+
+            parts_cache: dict[tuple, list[list]] = {}
+            while True:
+                self._send({"type": "ready"})
+                message = recv_message(sock)
+                kind = message["type"]
+                if kind == "drain":
+                    try:
+                        self._send({"type": "bye"})
+                    except OSError:
+                        pass  # coordinator may already have hung up
+                    break
+                if kind != "assign":
+                    raise ProtocolError(f"unexpected message type {kind!r}")
+                self._execute_assignment(
+                    message, config, shard_count, parts_cache, summary
+                )
+        except WorkerKilled:
+            summary.killed = True
+        except (ConnectionClosed, OSError):
+            summary.disconnected = True
+        finally:
+            self._stop.set()
+            try:
+                sock.close()
+            except OSError:
+                pass
+            self._sock = None
+            if heartbeat_thread is not None:
+                heartbeat_thread.join(timeout=5.0)
+        return summary
+
+    # ------------------------------------------------------------------
+
+    def _execute_assignment(
+        self,
+        message: dict,
+        config,
+        shard_count: int,
+        parts_cache: dict,
+        summary: WorkerSummary,
+    ) -> None:
+        shard = message["shard"]
+        descriptor = (
+            message.get("seed", config.seed),
+            message.get("scale", config.scale),
+            message.get("shard_count", shard_count),
+        )
+        seed, scale, shard_count = descriptor
+        if (seed, scale) != (config.seed, config.scale):
+            # descriptors are authoritative; re-derive the config so the
+            # shard's world is a pure function of what was assigned.
+            config = dataclasses.replace(config, seed=seed, scale=scale)
+        parts = parts_cache.get(descriptor)
+        if parts is None:
+            tasks = build_schedule(scale, seed)
+            parts = parts_cache[descriptor] = shard_schedule(tasks, shard_count)
+        try:
+            ctx = build_shard_context(config, shard, shard_count)
+            for number, task in enumerate(parts[shard]):
+                if self.task_hook is not None:
+                    self.task_hook(self, shard, number)
+                labeled = execute_task(ctx, task)
+                if labeled is not None:
+                    detect_task(ctx, labeled)
+                summary.tasks_executed += 1
+            result = finalize_shard(ctx)
+        except (WorkerKilled, ConnectionClosed, OSError):
+            raise
+        except Exception as exc:
+            summary.shard_errors += 1
+            self._send({"type": "shard-error", "shard": shard, "error": repr(exc)})
+            return
+        self._send(
+            {"type": "result", "shard": shard, "payload": shard_result_to_wire(result)}
+        )
+        summary.shards_completed += 1
+
+    def _send(self, message: dict) -> None:
+        sock = self._sock
+        if sock is None:
+            raise ConnectionClosed("worker socket already closed")
+        with self._send_lock:
+            send_message(sock, message)
+
+    def _heartbeat_loop(self, interval: float) -> None:
+        while not self._stop.wait(interval):
+            if not self.heartbeats_enabled:
+                continue
+            try:
+                self._send({"type": "heartbeat"})
+            except (ConnectionClosed, OSError):
+                return

@@ -7,7 +7,12 @@ same shard machinery also runs as a streaming pipeline over a live block
 stream (:mod:`repro.engine.stream`) with the identical-results guarantee.
 """
 
-from .bench import run_stream_bench, run_wildscan_bench, write_artifact
+from .bench import (
+    run_cluster_bench,
+    run_stream_bench,
+    run_wildscan_bench,
+    write_artifact,
+)
 from .plan import (
     DEFAULT_SHARD_COUNT,
     MIN_SHARDED_POPULATION,
@@ -18,7 +23,7 @@ from .plan import (
     shard_schedule,
     shard_seed,
 )
-from .scan import ScanEngine, ShardResult
+from .scan import ScanEngine, ShardResult, merge_shard_results
 from .stream import (
     DEFAULT_BLOCK_SIZE,
     DEFAULT_QUEUE_DEPTH,
@@ -26,13 +31,26 @@ from .stream import (
     StreamBlock,
     StreamEngine,
     StreamResult,
+    blocks_from_explorer,
     schedule_block_stream,
     screen_blocks,
+)
+from .wire import (
+    config_from_wire,
+    config_to_wire,
+    shard_result_from_wire,
+    shard_result_to_wire,
 )
 
 __all__ = [
     "ScanEngine",
     "ShardResult",
+    "merge_shard_results",
+    "blocks_from_explorer",
+    "config_to_wire",
+    "config_from_wire",
+    "shard_result_to_wire",
+    "shard_result_from_wire",
     "StreamBlock",
     "StreamEngine",
     "StreamResult",
@@ -47,6 +65,7 @@ __all__ = [
     "screen_blocks",
     "run_wildscan_bench",
     "run_stream_bench",
+    "run_cluster_bench",
     "write_artifact",
     "DEFAULT_SHARD_COUNT",
     "DEFAULT_BLOCK_SIZE",

@@ -21,9 +21,11 @@ from pathlib import Path
 __all__ = [
     "run_wildscan_bench",
     "run_stream_bench",
+    "run_cluster_bench",
     "write_artifact",
     "DEFAULT_ARTIFACT",
     "DEFAULT_STREAM_ARTIFACT",
+    "DEFAULT_CLUSTER_ARTIFACT",
 ]
 
 #: canonical artifact location (repo root, tracked across PRs).
@@ -31,6 +33,9 @@ DEFAULT_ARTIFACT = "BENCH_wildscan.json"
 
 #: streaming-pipeline artifact (repo root, tracked across PRs).
 DEFAULT_STREAM_ARTIFACT = "BENCH_stream.json"
+
+#: distributed-scan artifact (repo root, tracked across PRs).
+DEFAULT_CLUSTER_ARTIFACT = "BENCH_cluster.json"
 
 
 def run_wildscan_bench(
@@ -162,6 +167,113 @@ def run_stream_bench(
         "batch_elapsed_s": round(batch_elapsed, 4),
         "batch_detected": batch.detected_count,
         "runs": runs,
+    }
+
+
+def run_cluster_bench(
+    scale: float = 0.01,
+    seed: int = 7,
+    workers_values: tuple[int, ...] = (1, 2),
+    shards: int | None = None,
+    heartbeat_timeout: float | None = None,
+) -> dict:
+    """Time distributed scans against the batch engine they must match.
+
+    Runs the batch scan once as the reference, then a coordinator +
+    local-workers run per ``workers`` value with the same
+    ``(seed, scale, shards)``. The identity assertion is always on: any
+    detection diverging from the batch result raises. A final
+    fault-injection run kills one of two workers mid-shard and asserts
+    the requeued, merged result *still* matches — the cluster's
+    survival contract, pinned in ``BENCH_cluster.json`` on every smoke.
+    """
+    from ..cluster import ClusterWorker, WorkerKilled, run_cluster_scan
+    from ..workload.generator import WildScanConfig, WildScanner
+
+    def check_identity(result, label: str) -> None:
+        hashes = [d.tx_hash for d in result.detections]
+        if hashes != reference_hashes:
+            raise AssertionError(
+                f"identity violation: {label} changed the detections "
+                f"relative to the batch engine"
+            )
+
+    batch_config = WildScanConfig(scale=scale, seed=seed, jobs=1, shards=shards)
+    start = time.perf_counter()
+    batch = WildScanner(batch_config).run()
+    batch_elapsed = time.perf_counter() - start
+    reference_hashes = [d.tx_hash for d in batch.detections]
+
+    options = {}
+    if heartbeat_timeout is not None:
+        options["heartbeat_timeout"] = heartbeat_timeout
+
+    runs = []
+    for workers in workers_values:
+        config = WildScanConfig(scale=scale, seed=seed, shards=shards)
+        start = time.perf_counter()
+        result, stats = run_cluster_scan(config, workers=workers, **options)
+        elapsed = time.perf_counter() - start
+        check_identity(result, f"cluster at workers={workers}")
+        runs.append(
+            {
+                "workers": workers,
+                "elapsed_s": round(elapsed, 4),
+                "txs_per_s": round(result.total_transactions / elapsed, 1)
+                if elapsed
+                else 0.0,
+                "total_transactions": result.total_transactions,
+                "detected": result.detected_count,
+                "requeues": stats.requeues,
+                "heartbeat_requeues": stats.heartbeat_requeues,
+                "duplicates_suppressed": stats.duplicates_suppressed,
+                "worker_losses": stats.worker_losses,
+            }
+        )
+
+    # fault injection: two workers, one dies mid-shard; the run must
+    # survive (requeue) and still merge byte-identically.
+    state = {"killed": False}
+
+    def rigged_factory(index: int, address) -> ClusterWorker:
+        def die(worker, shard, task):
+            if not state["killed"] and task == 3:
+                state["killed"] = True
+                raise WorkerKilled()
+
+        return ClusterWorker(
+            address, name=f"bench-{index}", task_hook=die if index == 0 else None
+        )
+
+    config = WildScanConfig(scale=scale, seed=seed, shards=shards)
+    start = time.perf_counter()
+    result, stats = run_cluster_scan(
+        config, workers=2, worker_factory=rigged_factory, **options
+    )
+    fault_elapsed = time.perf_counter() - start
+    check_identity(result, "cluster with a killed worker")
+    if state["killed"] and stats.worker_losses < 1:
+        raise AssertionError("worker kill was not observed as a loss")
+    fault_run = {
+        "workers": 2,
+        "killed_workers": 1 if state["killed"] else 0,
+        "elapsed_s": round(fault_elapsed, 4),
+        "requeues": stats.requeues,
+        "worker_losses": stats.worker_losses,
+        "duplicates_suppressed": stats.duplicates_suppressed,
+        "detected": result.detected_count,
+    }
+
+    return {
+        "benchmark": "cluster_throughput",
+        "scale": scale,
+        "seed": seed,
+        "shards": shards,
+        "cpu_count": os.cpu_count(),
+        "batch_elapsed_s": round(batch_elapsed, 4),
+        "batch_detected": batch.detected_count,
+        "runs": runs,
+        "fault_run": fault_run,
     }
 
 

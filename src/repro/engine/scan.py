@@ -39,10 +39,12 @@ __all__ = [
     "ScanEngine",
     "ShardContext",
     "ShardResult",
+    "build_replay_context",
     "build_shard_context",
     "detect_task",
     "execute_task",
     "finalize_shard",
+    "merge_shard_results",
     "run_shard",
 ]
 
@@ -126,20 +128,54 @@ def build_shard_context(cfg, shard_index: int, shard_count: int) -> ShardContext
     )
 
 
+def build_replay_context(cfg, shard_index: int, detector) -> ShardContext:
+    """A slim shard context for replaying recorded history.
+
+    Replay shards carry no generated world: ``("replay", trace)`` tasks
+    only run detection, against a ``detector`` the caller built over the
+    chain that recorded the traces (a fresh world's tagger would not know
+    that chain's labels). Recorded history has no ground truth, so replay
+    detections count as unverified in the Table V rows.
+    """
+    from ..leishen.heuristics import YieldAggregatorHeuristic
+    from ..workload.generator import PatternRow
+
+    return ShardContext(
+        cfg=cfg,
+        shard_index=shard_index,
+        market=None,
+        injector=None,
+        detector=detector,
+        heuristic=YieldAggregatorHeuristic(detector.tagger),
+        analyzer=None,
+        result=ShardResult(shard_index=shard_index),
+        rows={name: PatternRow(name) for name in ("KRP", "SBS", "MBS")},
+    )
+
+
 def execute_task(ctx: ShardContext, task: Task):
     """Execute one schedule task against the shard's world.
 
     Returns the labeled transaction, or ``None`` when it reverted; either
     way the transaction counts toward the shard's population.
+    ``("replay", trace)`` tasks carry an already-executed transaction and
+    only need labeling for the detection step.
     """
     from ..workload.attacks import ATTACK_CLUSTERS
     from ..workload.profiles import (
         BENIGN_PROFILES,
+        GroundTruth,
+        LabeledTrace,
         profile_migration,
         profile_yield_strategy,
     )
 
     kind = task[0]
+    if kind == "replay":
+        ctx.result.total_transactions += 1
+        return LabeledTrace(
+            trace=task[1], truth=GroundTruth(is_attack=False, profile="replay")
+        )
     try:
         if kind == "attack":
             _, cluster_index, attacker_id, contract_id, asset_id, month = task
@@ -189,6 +225,31 @@ def run_shard(args: tuple) -> ShardResult:
         if labeled is not None:
             detect_task(ctx, labeled)
     return finalize_shard(ctx)
+
+
+def merge_shard_results(config, outcomes: list[ShardResult]):
+    """Merge shard results into one ``WildScanResult``, in shard-index order.
+
+    The single merge implementation behind the batch engine, the streaming
+    merger and the cluster coordinator: because it orders by
+    ``shard_index`` before summing, the merged result is byte-identical no
+    matter which process, host or completion order produced the shards.
+    """
+    from ..workload.generator import PatternRow, WildScanResult
+
+    result = WildScanResult(
+        config=config,
+        rows={name: PatternRow(name) for name in ("KRP", "SBS", "MBS")},
+    )
+    for outcome in sorted(outcomes, key=lambda outcome: outcome.shard_index):
+        result.total_transactions += outcome.total_transactions
+        result.detections.extend(outcome.detections)
+        for name, (n, tp, fp) in outcome.row_counts.items():
+            row = result.rows[name]
+            row.n += n
+            row.tp += tp
+            row.fp += fp
+    return result
 
 
 def detect_into(cfg, labeled, detector, heuristic, analyzer, detections, rows) -> None:
@@ -290,18 +351,4 @@ class ScanEngine:
         return sorted(outcomes, key=lambda outcome: outcome.shard_index)
 
     def _merge(self, outcomes: list[ShardResult]):
-        from ..workload.generator import PatternRow, WildScanResult
-
-        result = WildScanResult(
-            config=self.config,
-            rows={name: PatternRow(name) for name in ("KRP", "SBS", "MBS")},
-        )
-        for outcome in outcomes:
-            result.total_transactions += outcome.total_transactions
-            result.detections.extend(outcome.detections)
-            for name, (n, tp, fp) in outcome.row_counts.items():
-                row = result.rows[name]
-                row.n += n
-                row.tp += tp
-                row.fp += fp
-        return result
+        return merge_shard_results(self.config, outcomes)

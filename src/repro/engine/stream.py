@@ -31,6 +31,7 @@ Replay of recorded history (the live-monitor deployment mode) uses
 
 from __future__ import annotations
 
+import math
 import queue
 import threading
 import time
@@ -41,12 +42,13 @@ from typing import Callable, Iterable, Iterator, Sequence
 from ..workload.timeline import study_block_height
 from .plan import Task, build_schedule, resolve_shard_count, shard_of
 from .scan import (
-    ScanEngine,
     ShardResult,
+    build_replay_context,
     build_shard_context,
     detect_task,
     execute_task,
     finalize_shard,
+    merge_shard_results,
 )
 
 __all__ = [
@@ -55,6 +57,7 @@ __all__ = [
     "StreamEngine",
     "StreamResult",
     "ScreenedTransaction",
+    "blocks_from_explorer",
     "schedule_block_stream",
     "screen_blocks",
     "DEFAULT_QUEUE_DEPTH",
@@ -117,11 +120,17 @@ class StreamResult:
         return self.total_transactions / self.elapsed_s if self.elapsed_s else 0.0
 
     def latency_percentile(self, fraction: float) -> float:
-        """Block-latency percentile in milliseconds (e.g. ``0.95``)."""
+        """Block-latency percentile in milliseconds (e.g. ``0.95``).
+
+        Standard nearest-rank: the smallest latency at or below which at
+        least ``fraction`` of the blocks fall — ``ceil(fraction * n) - 1``
+        as a zero-based index, so ``1.0`` is the maximum (p100), not an
+        overflow, and p95 of 20 blocks is the 19th value, not the 20th.
+        """
         if not self.blocks:
             return 0.0
         ordered = sorted(stats.latency_ms for stats in self.blocks)
-        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        index = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
         return ordered[index]
 
 
@@ -141,6 +150,37 @@ def schedule_block_stream(
             for position in range(start, min(start + block_size, total))
         )
         yield StreamBlock(number=study_block_height(start, total), entries=entries)
+
+
+def blocks_from_explorer(
+    explorer, first_block: int, last_block: int
+) -> Iterator[StreamBlock]:
+    """Recorded chain history as a ``StreamBlock`` source.
+
+    Adapts :meth:`~repro.chain.explorer.ChainExplorer.blocks_between` to
+    the streaming engine's block protocol: every recorded transaction
+    becomes a ``("replay", trace)`` entry, positions increase globally
+    across blocks (the watermark merger's invariant), and empty blocks
+    are dropped. Pair it with ``StreamEngine.run(source=...,
+    detector_factory=...)`` so replayed history flows through the sharded
+    pipeline instead of the single-detector :func:`screen_blocks` path::
+
+        explorer = ChainExplorer(world.chain)
+        source = blocks_from_explorer(explorer, first, last)
+        StreamEngine(config).run(
+            source=source, detector_factory=world.detector
+        )
+    """
+    position = 0
+    for number, traces in explorer.blocks_between(first_block, last_block):
+        if not traces:
+            continue
+        entries = tuple(
+            (position + offset, ("replay", trace))
+            for offset, trace in enumerate(traces)
+        )
+        position += len(traces)
+        yield StreamBlock(number=number, entries=entries)
 
 
 # ---------------------------------------------------------------------------
@@ -187,12 +227,20 @@ class StreamEngine:
         self,
         source: Iterable[StreamBlock] | None = None,
         on_block: Callable[[BlockStats, list], None] | None = None,
+        detector_factory: Callable[[], object] | None = None,
     ) -> StreamResult:
         """Consume the block stream; return the merged result and counters.
 
         ``on_block`` (called on the merger thread) observes each block the
         moment its watermark passes: ``on_block(stats, detections)`` with
         the block's detections in schedule order — the live alerting hook.
+
+        ``detector_factory`` switches the workers into replay mode for a
+        recorded-history ``source`` (see :func:`blocks_from_explorer`):
+        each shard detects with a fresh ``detector_factory()`` — built
+        over the chain that recorded the traces — instead of generating a
+        world of its own. Replay sources must contain only ``("replay",
+        trace)`` entries.
         """
         cfg = self.config
         tasks = build_schedule(cfg.scale, cfg.seed)
@@ -225,9 +273,13 @@ class StreamEngine:
                 try:
                     ctx = contexts.get(shard)
                     if ctx is None:
-                        ctx = contexts[shard] = build_shard_context(
-                            cfg, shard, shard_count
-                        )
+                        if detector_factory is not None:
+                            ctx = build_replay_context(
+                                cfg, shard, detector_factory()
+                            )
+                        else:
+                            ctx = build_shard_context(cfg, shard, shard_count)
+                        contexts[shard] = ctx
                     started = time.perf_counter()
                     before = len(ctx.result.detections)
                     labeled = execute_task(ctx, task)
@@ -305,7 +357,7 @@ class StreamEngine:
             raise errors[0]
 
         ordered = [shard_results[index] for index in sorted(shard_results)]
-        result = ScanEngine(cfg)._merge(ordered)
+        result = merge_shard_results(cfg, ordered)
         return StreamResult(
             result=result,
             blocks=stats_out,

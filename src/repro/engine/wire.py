@@ -1,0 +1,156 @@
+"""JSON-safe serialization of scan configs and shard results.
+
+The cluster subsystem (:mod:`repro.cluster`) ships shard descriptors to
+remote workers and streams their :class:`~repro.engine.scan.ShardResult`\\ s
+back over a length-prefixed JSON wire protocol. Everything that crosses
+the wire round-trips through the codecs in this module, and the
+round-trip is lossless: a decoded shard result merges byte-identically
+to the in-process original (``tests/cluster/test_protocol.py`` pins
+this).
+
+Only plain JSON types ever cross the wire — no pickling — so a worker
+can never execute anything the coordinator sends except the scan the
+codecs describe, and vice versa.
+"""
+
+from __future__ import annotations
+
+from ..chain.types import Address
+from .scan import ShardResult
+
+__all__ = [
+    "config_to_wire",
+    "config_from_wire",
+    "detection_to_wire",
+    "detection_from_wire",
+    "shard_result_to_wire",
+    "shard_result_from_wire",
+]
+
+
+def config_to_wire(config) -> dict:
+    """Encode a ``WildScanConfig`` as a JSON-safe dict.
+
+    ``jobs`` is deliberately dropped: it is an execution knob of the
+    *local* engine and must never leak into a worker's identity-relevant
+    inputs (a cluster worker always executes its shard sequentially).
+    """
+    pattern_config = None
+    if config.pattern_config is not None:
+        cfg = config.pattern_config
+        pattern_config = {
+            "krp_min_buys": cfg.krp_min_buys,
+            "sbs_min_volatility": cfg.sbs_min_volatility,
+            "sbs_amount_tolerance": cfg.sbs_amount_tolerance,
+            "mbs_min_rounds": cfg.mbs_min_rounds,
+        }
+    return {
+        "scale": config.scale,
+        "seed": config.seed,
+        "with_heuristic": config.with_heuristic,
+        "keep_history": config.keep_history,
+        "pattern_config": pattern_config,
+        "shards": config.shards,
+    }
+
+
+def config_from_wire(payload: dict):
+    """Decode :func:`config_to_wire` output back into a ``WildScanConfig``."""
+    from ..leishen.patterns import PatternConfig
+    from ..workload.generator import WildScanConfig
+
+    pattern_config = payload.get("pattern_config")
+    return WildScanConfig(
+        scale=payload["scale"],
+        seed=payload["seed"],
+        with_heuristic=payload["with_heuristic"],
+        keep_history=payload["keep_history"],
+        pattern_config=(
+            PatternConfig(**pattern_config) if pattern_config is not None else None
+        ),
+        jobs=1,
+        shards=payload.get("shards"),
+    )
+
+
+def _truth_to_wire(truth) -> dict:
+    return {
+        "is_attack": truth.is_attack,
+        "profile": truth.profile,
+        "net_profit": truth.net_profit,
+        "source_disclosed": truth.source_disclosed,
+        "aggregator_initiated": truth.aggregator_initiated,
+        "attacked_app": truth.attacked_app,
+        "attacker": truth.attacker,
+        "attack_contract": truth.attack_contract,
+        "asset": truth.asset,
+        "month": truth.month,
+        "patterns": list(truth.patterns),
+        "known": truth.known,
+    }
+
+
+def _truth_from_wire(payload: dict):
+    from ..workload.profiles import GroundTruth
+
+    def address(value):
+        return Address(value) if value is not None else None
+
+    return GroundTruth(
+        is_attack=payload["is_attack"],
+        profile=payload["profile"],
+        net_profit=payload["net_profit"],
+        source_disclosed=payload["source_disclosed"],
+        aggregator_initiated=payload["aggregator_initiated"],
+        attacked_app=payload["attacked_app"],
+        attacker=address(payload["attacker"]),
+        attack_contract=address(payload["attack_contract"]),
+        asset=payload["asset"],
+        month=payload["month"],
+        patterns=tuple(payload["patterns"]),
+        known=payload["known"],
+    )
+
+
+def detection_to_wire(detection) -> dict:
+    return {
+        "tx_hash": detection.tx_hash,
+        "patterns": list(detection.patterns),
+        "truth": _truth_to_wire(detection.truth),
+        "profit_usd": detection.profit_usd,
+        "borrowed_usd": detection.borrowed_usd,
+    }
+
+
+def detection_from_wire(payload: dict):
+    from ..workload.generator import Detection
+
+    return Detection(
+        tx_hash=payload["tx_hash"],
+        patterns=tuple(payload["patterns"]),
+        truth=_truth_from_wire(payload["truth"]),
+        profit_usd=payload["profit_usd"],
+        borrowed_usd=payload["borrowed_usd"],
+    )
+
+
+def shard_result_to_wire(result: ShardResult) -> dict:
+    return {
+        "shard_index": result.shard_index,
+        "total_transactions": result.total_transactions,
+        "detections": [detection_to_wire(d) for d in result.detections],
+        "row_counts": {
+            name: list(counts) for name, counts in result.row_counts.items()
+        },
+    }
+
+
+def shard_result_from_wire(payload: dict) -> ShardResult:
+    return ShardResult(
+        shard_index=payload["shard_index"],
+        total_transactions=payload["total_transactions"],
+        detections=[detection_from_wire(d) for d in payload["detections"]],
+        row_counts={
+            name: list(counts) for name, counts in payload["row_counts"].items()
+        },
+    )

@@ -1,0 +1,146 @@
+"""Distributed wild scan — the cluster deployment mode as an experiment.
+
+Not a paper table: this surface runs the paper's Sec. VI-C evaluation
+across cluster workers (:mod:`repro.cluster`) and reports wall-clock,
+fault counters and the identity check against the batch engine. Three
+modes, selected by the CLI flags:
+
+- ``--workers N`` (default): coordinator plus ``N`` locally spawned
+  workers — the single-machine path;
+- ``--serve``: coordinator only, listening for remote workers on
+  ``--host``/``--port``;
+- ``--connect HOST:PORT``: worker only, serving a remote coordinator
+  until drained.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..workload.generator import WildScanConfig, WildScanner
+
+__all__ = ["run_local", "render_local", "render_serve", "render_worker"]
+
+
+def run_local(
+    scale: float = 0.1,
+    seed: int = 7,
+    workers: int = 2,
+    shards: int | None = None,
+    heartbeat_timeout: float | None = None,
+):
+    """Coordinator + ``workers`` local workers; returns (result, stats, s)."""
+    from ..cluster import run_cluster_scan
+
+    config = WildScanConfig(scale=scale, seed=seed, shards=shards)
+    options = {}
+    if heartbeat_timeout is not None:
+        options["heartbeat_timeout"] = heartbeat_timeout
+    start = time.perf_counter()
+    result, stats = run_cluster_scan(config, workers=workers, **options)
+    return result, stats, time.perf_counter() - start
+
+
+def _summary_lines(result, stats, elapsed: float, workers_label: str) -> list[str]:
+    txs_per_s = result.total_transactions / elapsed if elapsed else 0.0
+    return [
+        f"Cluster scan — {result.total_transactions} txs across "
+        f"{workers_label} in {elapsed:.2f}s ({txs_per_s:,.0f} txs/s)",
+        f"detections: {result.detected_count} ({result.true_positives} true, "
+        f"precision {result.precision:.1%})",
+        "faults: "
+        f"{stats.requeues} requeue(s) ({stats.heartbeat_requeues} via heartbeat "
+        f"timeout), {stats.worker_losses} worker loss(es), "
+        f"{stats.duplicates_suppressed} duplicate(s) suppressed, "
+        f"{stats.workers_excluded} worker(s) excluded, "
+        f"{stats.local_fallback_shards} shard(s) via local fallback",
+    ]
+
+
+def render_local(
+    scale: float = 0.1,
+    seed: int = 7,
+    workers: int = 2,
+    shards: int | None = None,
+    heartbeat_timeout: float | None = None,
+    verify: bool = True,
+) -> str:
+    """Single-machine cluster run; optionally verify against the batch
+    engine (doubles the work — skip with ``--no-verify`` at full scale)."""
+    result, stats, elapsed = run_local(
+        scale=scale, seed=seed, workers=workers, shards=shards,
+        heartbeat_timeout=heartbeat_timeout,
+    )
+    lines = _summary_lines(
+        result, stats, elapsed, f"{stats.workers_seen} local worker(s)"
+    )
+    if verify:
+        batch = WildScanner(
+            WildScanConfig(scale=scale, seed=seed, shards=shards)
+        ).run()
+        identical = (
+            [d.tx_hash for d in batch.detections]
+            == [d.tx_hash for d in result.detections]
+            and batch.total_transactions == result.total_transactions
+        )
+        if not identical:
+            raise AssertionError(
+                "identity violation: cluster scan diverged from ScanEngine.run()"
+            )
+        lines.append("identity: merged result byte-identical to the batch engine")
+    return "\n".join(lines)
+
+
+def render_serve(
+    scale: float = 0.1,
+    seed: int = 7,
+    shards: int | None = None,
+    host: str = "0.0.0.0",
+    port: int = 9733,
+    heartbeat_timeout: float | None = None,
+) -> str:
+    """Coordinator-only mode: wait for remote workers, then merge."""
+    from ..cluster import Coordinator
+
+    config = WildScanConfig(scale=scale, seed=seed, shards=shards)
+    options = {}
+    if heartbeat_timeout is not None:
+        options["heartbeat_timeout"] = heartbeat_timeout
+    coordinator = Coordinator(config, host=host, port=port, **options)
+    bound_host, bound_port = coordinator.address
+    print(
+        f"coordinator serving {coordinator.shard_count} shard(s) on "
+        f"{bound_host}:{bound_port} — connect workers with: "
+        f"experiments cluster --connect {bound_host}:{bound_port}",
+        flush=True,
+    )
+    start = time.perf_counter()
+    with coordinator:
+        result = coordinator.run()
+    elapsed = time.perf_counter() - start
+    return "\n".join(
+        _summary_lines(
+            result, coordinator.stats, elapsed,
+            f"{coordinator.stats.workers_seen} remote worker(s)",
+        )
+    )
+
+
+def render_worker(connect: str) -> str:
+    """Worker mode: serve the coordinator at ``HOST:PORT`` until drained."""
+    from ..cluster import ClusterWorker
+
+    host, _, port = connect.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"--connect expects HOST:PORT, got {connect!r}")
+    summary = ClusterWorker((host, int(port))).run()
+    state = (
+        "killed" if summary.killed
+        else "coordinator vanished" if summary.disconnected
+        else "drained"
+    )
+    return (
+        f"worker {summary.name}: {summary.shards_completed} shard(s) completed, "
+        f"{summary.shard_errors} shard error(s), {summary.tasks_executed} task(s) "
+        f"executed — {state}"
+    )

@@ -13,7 +13,7 @@ import argparse
 import sys
 import time
 
-from . import ablations, fig1, fig8, perf, stream, table1, table4, table5, table6, table7
+from . import ablations, cluster, fig1, fig8, perf, stream, table1, table4, table5, table6, table7
 
 __all__ = ["main"]
 
@@ -62,9 +62,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=(*_EXPERIMENTS, "stream", "all"),
+        choices=(*_EXPERIMENTS, "stream", "cluster", "all"),
         help="which table/figure to regenerate ('stream' runs the live "
-        "streaming-detection pipeline; not part of 'all')",
+        "streaming-detection pipeline, 'cluster' the distributed scan; "
+        "neither is part of 'all')",
     )
     parser.add_argument(
         "--scale",
@@ -99,6 +100,49 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="stream only: transactions per simulated block",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="cluster only: local worker processes to spawn (default 2)",
+    )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="cluster only: coordinator mode — listen for remote workers "
+        "on --host/--port instead of spawning local ones",
+    )
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="cluster only: worker mode — serve the coordinator at "
+        "HOST:PORT until drained",
+    )
+    parser.add_argument(
+        "--host",
+        default="0.0.0.0",
+        help="cluster --serve: interface to listen on (default 0.0.0.0)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=9733,
+        help="cluster --serve: port to listen on (default 9733; 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=None,
+        help="cluster only: seconds without a heartbeat before a worker's "
+        "shards are requeued",
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="cluster only: skip the batch-engine identity check "
+        "(halves the runtime at large scales)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
@@ -108,7 +152,31 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--queue-depth must be >= 1, got {args.queue_depth}")
     if args.block_size is not None and args.block_size < 1:
         parser.error(f"--block-size must be >= 1, got {args.block_size}")
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.serve and args.connect:
+        parser.error("--serve and --connect are mutually exclusive")
     scale = 1.0 if args.full else args.scale
+
+    if args.experiment == "cluster":
+        start = time.perf_counter()
+        if args.connect:
+            output = cluster.render_worker(args.connect)
+        elif args.serve:
+            output = cluster.render_serve(
+                scale=scale, shards=args.shards, host=args.host, port=args.port,
+                heartbeat_timeout=args.heartbeat_timeout,
+            )
+        else:
+            output = cluster.render_local(
+                scale=scale, workers=args.workers, shards=args.shards,
+                heartbeat_timeout=args.heartbeat_timeout,
+                verify=not args.no_verify,
+            )
+        print(f"=== cluster ({time.perf_counter() - start:.1f}s) ===")
+        print(output)
+        print()
+        return 0
 
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -1,0 +1,274 @@
+"""Cluster fault injection: the merge survives everything we throw at it.
+
+Every test pins the same invariant from a different failure direction:
+for a fixed ``(seed, scale, shards)`` the coordinator's merged
+``WildScanResult`` is byte-identical to ``ScanEngine.run()`` no matter
+how many workers serve the run, which of them die or stall mid-shard,
+and in what order their results arrive.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import pytest
+
+from repro.cluster import (
+    ClusterError,
+    ClusterWorker,
+    Coordinator,
+    WorkerKilled,
+    run_cluster_scan,
+)
+from repro.cluster.protocol import recv_message, send_message
+from repro.engine.plan import build_schedule, shard_schedule
+from repro.engine.scan import run_shard
+from repro.engine.wire import shard_result_to_wire
+from repro.workload.generator import WildScanConfig, WildScanner
+
+SCALE = 0.005
+SEED = 7
+SHARDS = 4
+
+
+def _snapshot(result):
+    return {
+        "total": result.total_transactions,
+        "hashes": [d.tx_hash for d in result.detections],
+        "truths": [d.truth for d in result.detections],
+        "table5": [(r.pattern, r.n, r.tp, r.fp) for r in result.table5()],
+        "table6": result.table6(),
+        "fig8": result.fig8_months(),
+    }
+
+
+def _config(shards: int = SHARDS) -> WildScanConfig:
+    return WildScanConfig(scale=SCALE, seed=SEED, shards=shards)
+
+
+@pytest.fixture(scope="module")
+def batch_snapshot():
+    return _snapshot(WildScanner(_config()).run())
+
+
+def _wait_for(predicate, timeout: float = 10.0, message: str = "condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+class TestHappyPath:
+    def test_two_workers_identical_to_batch(self, batch_snapshot):
+        result, stats = run_cluster_scan(
+            _config(),
+            workers=2,
+            worker_factory=lambda i, addr: ClusterWorker(addr, name=f"w-{i}"),
+        )
+        assert _snapshot(result) == batch_snapshot
+        assert stats.workers_seen == 2
+        assert stats.assignments == SHARDS
+        assert stats.requeues == 0
+
+    def test_worker_count_never_changes_the_result(self, batch_snapshot):
+        for workers in (1, 3):
+            result, _ = run_cluster_scan(
+                _config(),
+                workers=workers,
+                worker_factory=lambda i, addr: ClusterWorker(addr, name=f"n-{i}"),
+            )
+            assert _snapshot(result) == batch_snapshot
+
+    def test_process_workers_identical_to_batch(self, batch_snapshot):
+        # real OS processes when the environment allows them; silently
+        # degrades to threads elsewhere — identical either way.
+        result, stats = run_cluster_scan(_config(), workers=2)
+        assert _snapshot(result) == batch_snapshot
+        assert stats.workers_seen == 2
+
+
+class TestKilledWorker:
+    def test_killed_mid_shard_requeues_and_merges_identically(self, batch_snapshot):
+        state = {"killed": False}
+
+        def factory(index: int, address) -> ClusterWorker:
+            def die(worker, shard, task):
+                if not state["killed"] and task == 3:
+                    state["killed"] = True
+                    raise WorkerKilled()
+
+            return ClusterWorker(
+                address, name=f"k-{index}", task_hook=die if index == 0 else None
+            )
+
+        result, stats = run_cluster_scan(
+            _config(), workers=2, worker_factory=factory, heartbeat_timeout=5.0
+        )
+        assert state["killed"], "the rigged worker never reached its kill point"
+        assert stats.worker_losses == 1
+        assert stats.requeues >= 1
+        assert _snapshot(result) == batch_snapshot
+
+
+class TestHeartbeatTimeout:
+    def test_stalled_worker_requeues_and_late_duplicate_is_suppressed(
+        self, batch_snapshot
+    ):
+        """Protocol-level: a stalled worker's shard is speculatively
+        requeued, a second worker completes it, and the straggler's late
+        result is discarded — not double-merged."""
+        config = _config(shards=1)
+        baseline = _snapshot(WildScanner(config).run())
+        tasks = build_schedule(config.scale, config.seed)
+        parts = shard_schedule(tasks, 1)
+        payload = shard_result_to_wire(run_shard((config, 0, 1, parts[0])))
+
+        coordinator = Coordinator(config, heartbeat_timeout=0.3)
+        coordinator.start()
+        slow = fast = None
+        try:
+            host, port = coordinator.address
+            slow = socket.create_connection((host, port), timeout=5.0)
+            send_message(slow, {"type": "hello", "worker": "slow", "protocol": 1})
+            assert recv_message(slow)["type"] == "welcome"
+            send_message(slow, {"type": "ready"})
+            assign = recv_message(slow)
+            assert assign["type"] == "assign"
+            assert (assign["seed"], assign["scale"]) == (config.seed, config.scale)
+            assert assign["shard"] == 0 and assign["shard_count"] == 1
+
+            # "slow" now goes silent: no heartbeat, no result. The monitor
+            # must requeue its shard without closing the connection.
+            _wait_for(
+                lambda: coordinator.stats.heartbeat_requeues >= 1,
+                message="heartbeat-timeout requeue",
+            )
+
+            fast = socket.create_connection((host, port), timeout=5.0)
+            send_message(fast, {"type": "hello", "worker": "fast", "protocol": 1})
+            assert recv_message(fast)["type"] == "welcome"
+            send_message(fast, {"type": "ready"})
+            reassign = recv_message(fast)
+            assert reassign["type"] == "assign" and reassign["shard"] == 0
+
+            send_message(fast, {"type": "result", "shard": 0, "payload": payload})
+            _wait_for(
+                lambda: len(coordinator._completed) == 1,
+                message="first completion to land",
+            )
+
+            # the straggler wakes up and sends the same shard — late.
+            send_message(slow, {"type": "result", "shard": 0, "payload": payload})
+            _wait_for(
+                lambda: coordinator.stats.duplicates_suppressed == 1,
+                message="late duplicate suppression",
+            )
+
+            result = coordinator.run()
+        finally:
+            for sock in (slow, fast):
+                if sock is not None:
+                    sock.close()
+            coordinator.shutdown()
+
+        assert _snapshot(result) == baseline
+        assert coordinator.stats.heartbeat_requeues >= 1
+        assert coordinator.stats.duplicates_suppressed == 1
+        # the merge consumed exactly one copy of the shard
+        assert result.total_transactions == baseline["total"]
+
+
+class TestFailingWorkers:
+    def test_repeatedly_failing_worker_is_excluded(self, batch_snapshot):
+        def factory(index: int, address) -> ClusterWorker:
+            def explode(worker, shard, task):
+                raise ValueError(f"worker {index} refuses shard {shard}")
+
+            return ClusterWorker(
+                address, name=f"f-{index}", task_hook=explode if index == 0 else None
+            )
+
+        result, stats = run_cluster_scan(
+            _config(),
+            workers=2,
+            worker_factory=factory,
+            max_worker_strikes=2,
+        )
+        assert stats.workers_excluded == 1
+        assert stats.shard_errors >= 2
+        assert stats.requeues >= 2
+        assert _snapshot(result) == batch_snapshot
+
+    def test_poisoned_shard_aborts_after_bounded_retries(self):
+        def factory(index: int, address) -> ClusterWorker:
+            def explode(worker, shard, task):
+                raise ValueError("poisoned")
+
+            return ClusterWorker(address, name=f"p-{index}", task_hook=explode)
+
+        with pytest.raises(ClusterError, match="still failing"):
+            run_cluster_scan(
+                _config(),
+                workers=1,
+                worker_factory=factory,
+                max_shard_attempts=1,
+                max_worker_strikes=100,  # exclusion must not mask the abort
+                local_fallback=True,  # bounded retry beats fallback
+            )
+
+
+class TestNoWorkersLeft:
+    def _doomed_factory(self, index: int, address) -> ClusterWorker:
+        def die_instantly(worker, shard, task):
+            raise WorkerKilled()
+
+        return ClusterWorker(address, name=f"d-{index}", task_hook=die_instantly)
+
+    def test_local_fallback_completes_the_run(self, batch_snapshot):
+        result, stats = run_cluster_scan(
+            _config(),
+            workers=1,
+            worker_factory=self._doomed_factory,
+            max_worker_strikes=1,
+            local_fallback=True,
+        )
+        assert stats.workers_excluded == 1
+        assert stats.local_fallback_shards == SHARDS
+        assert _snapshot(result) == batch_snapshot
+
+    def test_without_fallback_the_run_fails_loudly(self):
+        with pytest.raises(ClusterError, match="no workers left"):
+            run_cluster_scan(
+                _config(),
+                workers=1,
+                worker_factory=self._doomed_factory,
+                max_worker_strikes=1,
+                local_fallback=False,
+            )
+
+
+class TestCoordinatorValidation:
+    def test_rejects_bad_options(self):
+        config = _config()
+        with pytest.raises(ValueError, match="heartbeat_timeout"):
+            Coordinator(config, heartbeat_timeout=0)
+        with pytest.raises(ValueError, match="max_shard_attempts"):
+            Coordinator(config, max_shard_attempts=0)
+        with pytest.raises(ValueError, match="max_worker_strikes"):
+            Coordinator(config, max_worker_strikes=0)
+
+    def test_rejects_protocol_mismatch(self):
+        coordinator = Coordinator(_config(shards=1))
+        coordinator.start()
+        try:
+            sock = socket.create_connection(coordinator.address, timeout=5.0)
+            send_message(sock, {"type": "hello", "worker": "old", "protocol": 999})
+            with pytest.raises((ConnectionError, OSError)):
+                # coordinator drops the connection instead of welcoming
+                recv_message(sock)
+            sock.close()
+        finally:
+            coordinator.shutdown()

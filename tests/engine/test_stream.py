@@ -13,12 +13,14 @@ import pytest
 from repro.engine import (
     StreamBlock,
     StreamEngine,
+    blocks_from_explorer,
     build_schedule,
     schedule_block_stream,
     screen_blocks,
     shard_of,
     shard_schedule,
 )
+from repro.engine.stream import BlockStats, StreamResult
 from repro.workload.generator import WildScanConfig, WildScanner
 from repro.workload.timeline import STUDY_FIRST_BLOCK, STUDY_LAST_BLOCK
 
@@ -122,6 +124,129 @@ class TestBlockStream:
         for position, task in enumerate(tasks):
             shard = shard_of(position, 4)
             assert parts[shard][position // 4] == task
+
+
+class TestLatencyPercentile:
+    """Nearest-rank percentiles: ``ceil(fraction * n) - 1``, zero-based.
+
+    The regression pinned here: ``int(fraction * n)`` mapped p95 of 20
+    blocks to index 19 — the maximum, i.e. p100 — overstating tail
+    latency by one whole rank."""
+
+    @staticmethod
+    def _result(latencies):
+        blocks = [
+            BlockStats(
+                number=i, transactions=1, detections=0,
+                latency_ms=value, detect_ms=0.0,
+            )
+            for i, value in enumerate(latencies)
+        ]
+        return StreamResult(
+            result=None, blocks=blocks, elapsed_s=1.0, jobs=1,
+            shard_count=1, queue_depth=1, block_size=1,
+        )
+
+    def test_known_list_p50_p95_p100(self):
+        # 20 blocks with latencies 1..20 ms, shuffled to prove sorting
+        latencies = [float(v) for v in range(1, 21)]
+        latencies = latencies[10:] + latencies[:10]
+        result = self._result(latencies)
+        assert result.latency_percentile(0.50) == 10.0  # ceil(10) - 1 = rank 10
+        assert result.latency_percentile(0.95) == 19.0  # NOT the 20.0 maximum
+        assert result.latency_percentile(1.00) == 20.0  # p100 is the maximum
+
+    def test_small_and_degenerate_lists(self):
+        assert self._result([]).latency_percentile(0.95) == 0.0
+        single = self._result([7.0])
+        assert single.latency_percentile(0.0) == 7.0
+        assert single.latency_percentile(0.5) == 7.0
+        assert single.latency_percentile(1.0) == 7.0
+        pair = self._result([1.0, 2.0])
+        assert pair.latency_percentile(0.5) == 1.0
+        assert pair.latency_percentile(0.51) == 2.0
+
+
+class TestExplorerSource:
+    """Replayed chain history through the sharded streaming pipeline."""
+
+    def _record_flash_loan(self, world):
+        from repro.study.scenarios.base import ScriptedAttackContract
+
+        token = world.new_token("XS")
+        solo = world.dydx(funding={token: 10**6 * token.unit})
+        user = world.create_attacker("stream-replay-user")
+        bot = world.chain.deploy(user, ScriptedAttackContract, lambda atk: None)
+        token.mint(bot.address, 10)
+        first = world.chain.block_number + 1
+        world.chain.mine()
+        world.chain.transact(
+            user, bot.address, "run_dydx", solo.address, token.address,
+            1_000 * token.unit,
+        )
+        return first, world.chain.block_number
+
+    def test_blocks_from_explorer_shape(self, world):
+        from repro.chain.explorer import ChainExplorer
+
+        first, last = self._record_flash_loan(world)
+        blocks = list(blocks_from_explorer(ChainExplorer(world.chain), first, last))
+        assert blocks, "the recorded range should contain transactions"
+        positions = [p for block in blocks for p, _ in block.entries]
+        assert positions == list(range(len(positions)))  # globally increasing
+        numbers = [block.number for block in blocks]
+        assert numbers == sorted(numbers)
+        assert all(kind == "replay" for block in blocks
+                   for _, (kind, _trace) in block.entries)
+        assert all(block.entries for block in blocks)  # empty blocks dropped
+
+    def test_replay_through_stream_engine_matches_screen_blocks(self, world):
+        from repro.chain.explorer import ChainExplorer
+
+        first, last = self._record_flash_loan(world)
+        explorer = ChainExplorer(world.chain)
+        screened = list(
+            screen_blocks(world.detector(), explorer.blocks_between(first, last))
+        )
+        config = WildScanConfig(scale=SCALE, seed=SEED, jobs=2, shards=2)
+        streamed = StreamEngine(config, block_size=8).run(
+            source=blocks_from_explorer(explorer, first, last),
+            detector_factory=world.detector,
+        )
+        total = sum(
+            len(traces) for _, traces in explorer.blocks_between(first, last)
+        )
+        assert streamed.result.total_transactions == total
+        # the dydx round trip is a flash loan but not an attack: the
+        # single-detector path screens it, the sharded path agrees.
+        assert len(screened) == 1 and not screened[0].is_attack
+        assert streamed.result.detected_count == sum(
+            1 for s in screened if s.is_attack
+        )
+
+    def test_replay_detects_a_real_attack(self, bzx1_outcome):
+        from repro.chain.explorer import ChainExplorer
+
+        world = bzx1_outcome.world
+        explorer = ChainExplorer(world.chain)
+        first, last = 0, world.chain.block_number
+        attacks_screened = [
+            s
+            for s in screen_blocks(world.detector(), explorer.blocks_between(first, last))
+            if s.is_attack
+        ]
+        assert attacks_screened, "the bzx1 replay must screen as an attack"
+
+        config = WildScanConfig(scale=SCALE, seed=SEED, jobs=2, shards=2)
+        streamed = StreamEngine(config, block_size=4).run(
+            source=blocks_from_explorer(explorer, first, last),
+            detector_factory=world.detector,
+        )
+        assert streamed.result.detected_count == len(attacks_screened)
+        detection = streamed.result.detections[0]
+        assert detection.truth.profile == "replay"
+        assert not detection.truth.is_attack  # recorded history has no ground truth
+        assert detection.patterns  # but the patterns that fired are preserved
 
 
 class TestReplayScreening:
