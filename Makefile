@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-smoke stream-smoke cluster-smoke
+.PHONY: test bench bench-smoke stream-smoke cluster-smoke elastic-smoke
 
 ## tier-1 test suite (what CI gates on)
 test:
@@ -25,3 +25,9 @@ stream-smoke:
 ## killed worker is requeued without changing the merged result
 cluster-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_smoke.py --cluster
+
+## cluster-smoke plus an elastic autoscaling run: scale from zero to two
+## workers against queue depth, kill one mid-shard, re-admit it on
+## probation — identity still asserted, counters land in BENCH_cluster.json
+elastic-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_smoke.py --elastic

@@ -17,7 +17,15 @@ requeue and still merge identically), regenerating ``BENCH_cluster.json``::
 
     PYTHONPATH=src python benchmarks/run_smoke.py --cluster
 
-or via ``make bench-smoke`` / ``make stream-smoke`` / ``make cluster-smoke``.
+``--elastic`` extends the cluster bench with an autoscaled run: scale
+from zero to two workers against queue depth, kill one mid-shard, and
+re-admit it on probation — identity still asserted, scaling counters
+recorded under ``elastic_run``::
+
+    PYTHONPATH=src python benchmarks/run_smoke.py --elastic
+
+or via ``make bench-smoke`` / ``make stream-smoke`` / ``make
+cluster-smoke`` / ``make elastic-smoke``.
 """
 
 from __future__ import annotations
@@ -57,6 +65,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cluster", action="store_true",
                         help="bench the distributed scan (BENCH_cluster.json): "
                         "1 vs 2 local workers plus a killed-worker fault run")
+    parser.add_argument("--elastic", action="store_true",
+                        help="cluster bench plus an autoscaled run (scale from "
+                        "zero, kill, probation re-admission); implies --cluster")
     parser.add_argument("--workers", type=int, nargs="+", default=[1, 2],
                         help="cluster only: worker counts to time (default: 1 2)")
     parser.add_argument("--queue-depth", type=int, default=None,
@@ -67,14 +78,17 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     repo_root = Path(__file__).resolve().parent.parent
+    if args.elastic:
+        args.cluster = True
     if args.stream and args.cluster:
-        parser.error("--stream and --cluster are mutually exclusive")
+        parser.error("--stream and --cluster/--elastic are mutually exclusive")
     if args.cluster:
         report = run_cluster_bench(
             scale=args.scale,
             seed=args.seed,
             workers_values=tuple(args.workers),
             shards=args.shards,
+            elastic=args.elastic,
         )
         output = args.output or repo_root / DEFAULT_CLUSTER_ARTIFACT
     elif args.stream:

@@ -29,7 +29,9 @@ STRICT_MAX_OVERHEAD = 5.0
 
 
 def test_bench_cluster_throughput_identity_and_faults():
-    report = run_cluster_bench(scale=0.01, seed=7, workers_values=(1, 2))
+    report = run_cluster_bench(
+        scale=0.01, seed=7, workers_values=(1, 2), elastic=True
+    )
     write_artifact(report, REPO_ROOT / DEFAULT_CLUSTER_ARTIFACT)
 
     # run_cluster_bench already raised on any cluster-vs-batch divergence;
@@ -45,6 +47,18 @@ def test_bench_cluster_throughput_identity_and_faults():
     assert fault["worker_losses"] >= 1
     assert fault["requeues"] >= 1
     assert fault["detected"] == report["batch_detected"]
+
+    # the elastic run scaled from zero, survived the kill (immediate
+    # exclusion at one strike), and still matched the batch result; the
+    # probation counters are timing-dependent and only recorded, not
+    # asserted.
+    elastic = report["elastic_run"]
+    assert elastic["initial_workers"] == 0
+    assert elastic["killed_workers"] == 1
+    assert elastic["workers_spawned"] >= 2
+    assert elastic["workers_excluded"] >= 1
+    assert elastic["worker_losses"] >= 1
+    assert elastic["detected"] == report["batch_detected"]
 
     if not STRICT:
         return  # timings recorded; budget enforced only under REPRO_BENCH_STRICT=1

@@ -19,12 +19,21 @@ Quick start (one machine)::
         WildScanConfig(scale=0.01, shards=8), workers=2
     )
 
+Elastic (scale from zero against queue depth, drain when idle, re-admit
+excluded workers on probation — :mod:`repro.cluster.autoscale`)::
+
+    result, stats = run_cluster_scan(
+        WildScanConfig(scale=0.01, shards=8),
+        workers=0, autoscale=True, max_workers=4,
+    )
+
 Multiple machines: run ``experiments cluster --serve`` on the
 coordinator host and ``experiments cluster --connect HOST:PORT`` on each
 worker host.
 """
 
-from .coordinator import ClusterError, ClusterStats, Coordinator
+from .autoscale import ElasticPool
+from .coordinator import CapacitySnapshot, ClusterError, ClusterStats, Coordinator
 from .local import LocalWorkerHandle, run_cluster_scan, spawn_local_workers
 from .protocol import (
     MAX_FRAME_BYTES,
@@ -37,11 +46,13 @@ from .protocol import (
 from .worker import ClusterWorker, WorkerKilled, WorkerSummary
 
 __all__ = [
+    "CapacitySnapshot",
     "ClusterError",
     "ClusterStats",
     "ClusterWorker",
     "ConnectionClosed",
     "Coordinator",
+    "ElasticPool",
     "LocalWorkerHandle",
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",

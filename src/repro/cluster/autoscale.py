@@ -1,0 +1,266 @@
+"""Elastic worker pools: autoscale local workers against queue depth.
+
+:class:`ElasticPool` is a policy thread attached to one
+:class:`~repro.cluster.coordinator.Coordinator`. Every ``poll_interval``
+it reads a :class:`~repro.cluster.coordinator.CapacitySnapshot` and
+closes the gap between *demand* (``pending + running`` shards) and
+*capacity* (live workers plus spawns still connecting):
+
+- **scale up / scale from zero** — while demand exceeds capacity it
+  spawns local workers (processes where allowed, threads otherwise, or
+  whatever ``worker_factory`` builds) up to ``max_workers``; a
+  ``Coordinator.run(timeout=None)`` with no connected workers therefore
+  spawns instead of hanging forever;
+- **scale down** — once the queue has been empty for ``idle_grace``
+  seconds, idle pool-spawned workers beyond ``min_workers`` are asked to
+  drain (workers the pool did not spawn — e.g. remote ones — are never
+  drained);
+- **probation re-admission** — an excluded worker is re-admitted after
+  ``probation_cooldown`` seconds for one trial shard: a clean result
+  clears its strikes, any further fault re-excludes it. If the excluded
+  identity is one of ours and its process/thread is gone, the pool
+  respawns it under the same name (strikes follow the name, not the
+  socket); identities still knocking (``reconnect=True`` workers, remote
+  workers) are simply allowed back in. A probationer returning while the
+  pool is already at ``max_workers`` may briefly exceed it — the trial
+  is the point.
+
+Scaling decisions never touch the partition or the merge, so the
+coordinator's byte-identity contract with ``ScanEngine.run()`` holds
+under any scaling sequence. Scaling events are visible in
+:class:`~repro.cluster.coordinator.ClusterStats` (``workers_spawned``,
+``workers_drained``, ``workers_readmitted``, ``probation_passes``,
+``probation_failures``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .local import LocalWorkerHandle, _spawn_thread, _worker_process_main
+from .worker import ClusterWorker
+
+__all__ = ["ElasticPool"]
+
+#: how often the policy thread re-reads the capacity snapshot.
+DEFAULT_POLL_INTERVAL = 0.05
+
+#: how long the queue must stay empty before idle workers are drained.
+DEFAULT_IDLE_GRACE = 0.25
+
+#: seconds an excluded worker waits before its probation trial.
+DEFAULT_PROBATION_COOLDOWN = 1.0
+
+
+class ElasticPool:
+    """Autoscaling policy thread for one coordinator's worker fleet.
+
+    ``worker_factory(index, address)`` — when given — builds every
+    spawned worker (always run as a thread, like
+    :func:`~repro.cluster.local.spawn_local_workers`); it must return a
+    worker whose name is a pure function of ``index`` so a probation
+    respawn of index *i* reproduces the excluded identity.
+    """
+
+    def __init__(
+        self,
+        coordinator,
+        *,
+        min_workers: int = 0,
+        max_workers: int = 4,
+        initial_workers: int = 0,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        idle_grace: float = DEFAULT_IDLE_GRACE,
+        probation_cooldown: float = DEFAULT_PROBATION_COOLDOWN,
+        name_prefix: str = "elastic",
+        use_processes: bool | None = None,
+        worker_factory=None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if not 0 <= min_workers <= max_workers:
+            raise ValueError(
+                f"min_workers must be in [0, max_workers], got {min_workers}"
+            )
+        if not 0 <= initial_workers <= max_workers:
+            raise ValueError(
+                f"initial_workers must be in [0, max_workers], got {initial_workers}"
+            )
+        if poll_interval <= 0:
+            raise ValueError(f"poll_interval must be > 0, got {poll_interval}")
+        if idle_grace < 0 or probation_cooldown < 0:
+            raise ValueError("idle_grace and probation_cooldown must be >= 0")
+        self.coordinator = coordinator
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.initial_workers = initial_workers
+        self.poll_interval = poll_interval
+        self.idle_grace = idle_grace
+        self.probation_cooldown = probation_cooldown
+        self.name_prefix = name_prefix
+        self.use_processes = use_processes
+        self.worker_factory = worker_factory
+        self._processes_ok = use_processes is not False
+        self._handles: dict[str, LocalWorkerHandle] = {}
+        self._thread_workers: dict[str, ClusterWorker] = {}
+        self._indices: dict[str, int] = {}  # respawn recipes, kept forever
+        self._spawned = 0
+        self._idle_since: float | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """True while the policy thread can still add capacity."""
+        return self._started and not self._stop.is_set()
+
+    def __enter__(self) -> "ElasticPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        """Attach to the coordinator and start scaling (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.coordinator.attach_pool(self)
+        for _ in range(self.initial_workers):
+            self._spawn_one()
+        self._thread = threading.Thread(
+            target=self._loop, name="cluster-autoscale", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop scaling, detach, and stop/join every spawned worker."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+        self.coordinator.detach_pool(self)
+        for worker in self._thread_workers.values():
+            worker.stop()
+        for handle in self._handles.values():
+            handle.join(timeout)
+
+    def _loop(self) -> None:
+        try:
+            while not self._stop.wait(self.poll_interval):
+                self._tick(time.monotonic())
+        finally:
+            # a dead policy thread must not look active, or the
+            # coordinator would defer its no-capacity fallback forever.
+            self._stop.set()
+
+    # -- one policy step -------------------------------------------------
+
+    def _tick(self, now: float) -> None:
+        snapshot = self.coordinator.capacity_snapshot()
+        if snapshot.stopping or snapshot.failed:
+            return
+        self._reap()
+        if snapshot.finished:
+            return
+        self._run_probation(snapshot)
+        demand = snapshot.demand
+        capacity = self._capacity(snapshot)
+        target = min(self.max_workers, max(self.min_workers, demand))
+        for _ in range(target - capacity):
+            self._spawn_one()
+        if snapshot.pending > 0:
+            self._idle_since = None
+            return
+        if self._idle_since is None:
+            self._idle_since = now
+        if now - self._idle_since < self.idle_grace:
+            return
+        allowance = len(snapshot.live_workers) - max(self.min_workers, 0)
+        for name in snapshot.idle_workers:
+            if allowance <= 0:
+                break
+            if name not in self._handles:
+                continue  # never drain workers the pool did not spawn
+            if self.coordinator.request_drain(name):
+                allowance -= 1
+
+    def _capacity(self, snapshot) -> int:
+        """Live workers plus our spawns that have not finished hello yet."""
+        connected = set(snapshot.live_workers)
+        joining = {
+            name
+            for name, handle in self._handles.items()
+            if handle.alive
+            and name not in connected
+            and name not in snapshot.excluded_ages
+            and name not in snapshot.retiring_workers
+        }
+        return len(connected) + len(joining)
+
+    def _run_probation(self, snapshot) -> None:
+        for name, age in snapshot.excluded_ages.items():
+            if age < self.probation_cooldown:
+                continue
+            if not self.coordinator.grant_probation(name):
+                continue
+            handle = self._handles.get(name)
+            if handle is not None and handle.alive:
+                continue  # still knocking (reconnect loop) — it returns itself
+            if name in self._indices:
+                # one of ours, and its process/thread is gone: resurrect
+                # the identity so the trial shard has a taker.
+                self._launch(self._indices[name], name=name)
+            # excluded workers we never spawned (remote) are merely
+            # re-admitted: they get the trial if/when they reconnect.
+
+    # -- spawning --------------------------------------------------------
+
+    def _spawn_one(self) -> None:
+        index = self._spawned
+        self._spawned += 1
+        self._launch(index)
+
+    def _launch(self, index: int, name: str | None = None) -> None:
+        if self.worker_factory is not None:
+            worker = self.worker_factory(index, self.coordinator.address)
+            handle = _spawn_thread(worker)
+            self._thread_workers[handle.name] = worker
+        else:
+            handle = self._spawn_default(name or f"{self.name_prefix}-{index}")
+        self._handles[handle.name] = handle
+        self._indices[handle.name] = index
+        self.coordinator.record_worker_spawned()
+
+    def _spawn_default(self, name: str) -> LocalWorkerHandle:
+        host, port = self.coordinator.address
+        if self._processes_ok:
+            import multiprocessing
+
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            process = ctx.Process(
+                target=_worker_process_main, args=(host, port, name), name=name
+            )
+            try:
+                process.start()
+                return LocalWorkerHandle(name=name, kind="process", _target=process)
+            except (OSError, PermissionError):
+                if self.use_processes is True:
+                    raise
+                self._processes_ok = False
+        worker = ClusterWorker((host, port), name=name)
+        self._thread_workers[name] = worker
+        return _spawn_thread(worker)
+
+    def _reap(self) -> None:
+        for name, handle in list(self._handles.items()):
+            if not handle.alive:
+                del self._handles[name]
+                self._thread_workers.pop(name, None)

@@ -29,10 +29,21 @@ Fault model (every transition keeps the merge deterministic):
   a shard assigned more than ``max_shard_attempts`` times aborts the run
   (a poisoned shard must fail loudly, not spin forever);
 - **failing worker** — ``max_worker_strikes`` strikes exclude the worker:
-  it is drained on its next request and never assigned again;
+  it is drained on its next request and never assigned again — until an
+  elastic pool (:mod:`repro.cluster.autoscale`) grants it *probation*
+  after a cooldown: one trial shard, success clears the strikes, any
+  further fault re-excludes immediately;
 - **no workers left** — with ``local_fallback`` the coordinator runs the
   remaining shards in-process (the run *completes*, merely slower),
-  otherwise it raises :class:`ClusterError`.
+  otherwise it raises :class:`ClusterError`. While an
+  :class:`~repro.cluster.autoscale.ElasticPool` is attached the fallback
+  is deferred: the pool can still spawn or re-admit capacity.
+
+Liveness: while a worker is parked waiting for work the coordinator
+park-pings it every heartbeat interval, so a worker can bound its reads
+and detect a silently-dead coordinator host; the monitor loop waits on
+the shared condition (never a bare ``sleep``), so ``shutdown()`` wakes
+it immediately even with very large heartbeat timeouts.
 
 Because ``completed`` maps shard index → exactly one result and the merge
 (:func:`repro.engine.scan.merge_shard_results`) orders by shard index,
@@ -60,7 +71,7 @@ from .protocol import (
     send_message,
 )
 
-__all__ = ["ClusterError", "ClusterStats", "Coordinator"]
+__all__ = ["CapacitySnapshot", "ClusterError", "ClusterStats", "Coordinator"]
 
 #: default bound on assignments per shard before the run aborts.
 DEFAULT_MAX_SHARD_ATTEMPTS = 5
@@ -89,6 +100,12 @@ class ClusterStats:
     duplicates_suppressed: int = 0
     workers_excluded: int = 0
     local_fallback_shards: int = 0
+    #: elastic-pool scaling events (repro.cluster.autoscale)
+    workers_spawned: int = 0
+    workers_drained: int = 0
+    workers_readmitted: int = 0
+    probation_passes: int = 0
+    probation_failures: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -101,7 +118,51 @@ class ClusterStats:
             "duplicates_suppressed": self.duplicates_suppressed,
             "workers_excluded": self.workers_excluded,
             "local_fallback_shards": self.local_fallback_shards,
+            "workers_spawned": self.workers_spawned,
+            "workers_drained": self.workers_drained,
+            "workers_readmitted": self.workers_readmitted,
+            "probation_passes": self.probation_passes,
+            "probation_failures": self.probation_failures,
         }
+
+
+@dataclass(frozen=True, slots=True)
+class CapacitySnapshot:
+    """Point-in-time queue-depth/capacity view for autoscaling policies.
+
+    ``pending + running`` (:attr:`demand`) against ``len(live_workers)``
+    is what :class:`~repro.cluster.autoscale.ElasticPool` scales on.
+    """
+
+    shard_count: int
+    completed: int
+    #: incomplete shards sitting in the queue, waiting for a worker.
+    pending: int
+    #: shards currently assigned to a connected worker.
+    running: int
+    #: connected, assignable workers (not excluded, not retiring).
+    live_workers: tuple[str, ...]
+    #: live workers with no shard in flight.
+    idle_workers: tuple[str, ...]
+    #: connected workers that were asked to drain and will disconnect.
+    retiring_workers: tuple[str, ...]
+    #: excluded worker name -> seconds since the exclusion.
+    excluded_ages: dict[str, float]
+    stopping: bool
+    failed: bool
+
+    @property
+    def outstanding(self) -> int:
+        return self.shard_count - self.completed
+
+    @property
+    def demand(self) -> int:
+        """Shards that still need a worker: ``pending + running``."""
+        return self.pending + self.running
+
+    @property
+    def finished(self) -> bool:
+        return self.failed or self.completed == self.shard_count
 
 
 @dataclass(slots=True)
@@ -117,6 +178,13 @@ class _WorkerState:
     strikes: int = 0
     excluded: bool = False
     completed: int = 0
+    #: when the exclusion happened (monotonic), for probation cooldowns.
+    excluded_at: float = 0.0
+    #: re-admitted on trial: one clean shard clears the strikes, any
+    #: fault re-excludes immediately.
+    probation: bool = False
+    #: asked to drain (elastic scale-down); cleared on reconnect.
+    retiring: bool = False
 
 
 class Coordinator:
@@ -176,6 +244,7 @@ class Coordinator:
         self._failure: BaseException | None = None
         self._stopping = False
         self._threads: list[threading.Thread] = []
+        self._pool = None  # attached ElasticPool, if any
 
         self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -264,6 +333,9 @@ class Coordinator:
 
     def _no_capacity_locked(self) -> bool:
         """True when work remains but no worker can ever pick it up."""
+        pool = self._pool
+        if pool is not None and pool.active:
+            return False  # an elastic pool can still spawn or re-admit
         if not self._workers:
             return False  # nobody connected yet; keep waiting
         for worker in self._workers.values():
@@ -306,6 +378,102 @@ class Coordinator:
         tasks = build_schedule(self.config.scale, self.config.seed)
         return shard_schedule(tasks, self.shard_count)
 
+    # -- elastic capacity & admission (repro.cluster.autoscale) ----------
+
+    def attach_pool(self, pool) -> None:
+        """Register an elastic pool: defers no-capacity fallback to it."""
+        with self._cond:
+            self._pool = pool
+            self._cond.notify_all()
+
+    def detach_pool(self, pool) -> None:
+        with self._cond:
+            if self._pool is pool:
+                self._pool = None
+            self._cond.notify_all()
+
+    def queue_depth(self) -> int:
+        """Shards that still need a worker: ``pending + running``."""
+        return self.capacity_snapshot().demand
+
+    def capacity_snapshot(self) -> CapacitySnapshot:
+        """Consistent queue/worker view for scaling decisions."""
+        with self._lock:
+            now = time.monotonic()
+            pending = sum(
+                1 for shard in set(self._pending) if shard not in self._completed
+            )
+            live: list[str] = []
+            idle: list[str] = []
+            retiring: list[str] = []
+            excluded: dict[str, float] = {}
+            running = 0
+            for worker in self._workers.values():
+                if worker.excluded:
+                    excluded[worker.name] = now - worker.excluded_at
+                    continue
+                if worker.conn is None:
+                    continue
+                running += len(worker.shards)
+                if worker.retiring:
+                    retiring.append(worker.name)
+                    continue
+                live.append(worker.name)
+                if not worker.shards:
+                    idle.append(worker.name)
+            return CapacitySnapshot(
+                shard_count=self.shard_count,
+                completed=len(self._completed),
+                pending=pending,
+                running=running,
+                live_workers=tuple(live),
+                idle_workers=tuple(idle),
+                retiring_workers=tuple(retiring),
+                excluded_ages=excluded,
+                stopping=self._stopping,
+                failed=self._failure is not None,
+            )
+
+    def grant_probation(self, name: str) -> bool:
+        """Re-admit an excluded worker for one trial shard.
+
+        Success (a clean ``result``) clears its strikes; any further
+        fault re-excludes it immediately. Returns False when the worker
+        is unknown or not currently excluded.
+        """
+        with self._cond:
+            worker = self._workers.get(name)
+            if worker is None or not worker.excluded:
+                return False
+            worker.excluded = False
+            worker.probation = True
+            worker.retiring = False
+            self.stats.workers_readmitted += 1
+            self._cond.notify_all()
+        return True
+
+    def request_drain(self, name: str) -> bool:
+        """Ask a live worker to retire: it is drained on its next
+        ``ready`` instead of being parked. Cleared if it reconnects."""
+        with self._cond:
+            worker = self._workers.get(name)
+            if (
+                worker is None
+                or worker.conn is None
+                or worker.retiring
+                or worker.excluded
+            ):
+                return False
+            worker.retiring = True
+            self.stats.workers_drained += 1
+            self._cond.notify_all()
+        return True
+
+    def record_worker_spawned(self, count: int = 1) -> None:
+        """Count pool-spawned workers so scaling shows up in the stats."""
+        with self._lock:
+            self.stats.workers_spawned += count
+
     # -- accept / monitor threads ---------------------------------------
 
     def _accept_loop(self) -> None:
@@ -328,11 +496,10 @@ class Coordinator:
     def _monitor_loop(self) -> None:
         """Requeue the shards of workers that stopped heartbeating."""
         interval = max(0.05, self.heartbeat_timeout / 4)
-        while True:
-            with self._cond:
-                if self._stopping:
-                    return
+        with self._cond:
+            while not self._stopping:
                 now = time.monotonic()
+                requeued = False
                 for worker in self._workers.values():
                     if worker.conn is None or not worker.shards:
                         continue
@@ -343,8 +510,13 @@ class Coordinator:
                     for shard in sorted(worker.shards):
                         self._requeue_locked(shard, heartbeat=True)
                     worker.shards.clear()
-                self._cond.notify_all()
-            time.sleep(interval)
+                    requeued = True
+                if requeued:
+                    self._cond.notify_all()
+                # wait on the condition, never a bare sleep: shutdown()
+                # flips _stopping and notifies, so even a 60 s heartbeat
+                # timeout cannot stall the 5 s thread join.
+                self._cond.wait(interval)
 
     # -- per-connection handler -----------------------------------------
 
@@ -367,6 +539,9 @@ class Coordinator:
                     self.stats.workers_seen += 1
                 worker.conn = conn
                 worker.last_seen = time.monotonic()
+                # a returning worker is a fresh admission: any pending
+                # scale-down request died with the old connection.
+                worker.retiring = False
                 self._cond.notify_all()
             send_message(
                 conn,
@@ -411,15 +586,19 @@ class Coordinator:
 
     def _handle_ready(self, conn: socket.socket, worker: _WorkerState) -> bool:
         """Assign the next shard, or drain. False means the worker is done."""
+        last_ping = time.monotonic()
         while True:
+            parked = False
+            shard = None
             with self._cond:
                 if (
                     self._stopping
                     or worker.excluded
+                    or worker.retiring
                     or len(self._completed) == self.shard_count
                     or self._failure is not None
                 ):
-                    shard = None
+                    pass  # drain below
                 elif self._pending:
                     shard = self._pending.popleft()
                     if shard in self._completed:
@@ -440,7 +619,17 @@ class Coordinator:
                     # nothing pending but the run is live: a straggler's
                     # shard may yet requeue, so keep this worker parked.
                     self._cond.wait(0.1)
-                    continue
+                    parked = True
+            if parked:
+                now = time.monotonic()
+                if now - last_ping >= self.heartbeat_interval:
+                    # park ping: gives the parked worker inbound traffic
+                    # so its recv timeout only fires when this host is
+                    # truly gone — and surfaces a dead parked worker as
+                    # an OSError here instead of a silent leak.
+                    last_ping = now
+                    send_message(conn, {"type": "heartbeat"})
+                continue
             if shard is None:
                 send_message(conn, {"type": "drain"})
                 return False
@@ -460,6 +649,11 @@ class Coordinator:
         shard = message["shard"]
         with self._cond:
             worker.shards.discard(shard)
+            if worker.probation:
+                # the trial shard came back clean: full re-admission.
+                worker.probation = False
+                worker.strikes = 0
+                self.stats.probation_passes += 1
             if shard in self._completed:
                 self.stats.duplicates_suppressed += 1
             else:
@@ -480,6 +674,13 @@ class Coordinator:
         with self._cond:
             if worker.conn is not conn:
                 return  # a newer connection for this identity took over
+            if self._stopping:
+                # a drain raced the shutdown teardown (the socket was
+                # already closed under us): the run is over and the
+                # worker did nothing wrong — no loss, no strike.
+                worker.shards.clear()
+                self._cond.notify_all()
+                return
             self.stats.worker_losses += 1
             for shard in sorted(worker.shards):
                 self._requeue_locked(shard)
@@ -497,6 +698,16 @@ class Coordinator:
 
     def _strike_locked(self, worker: _WorkerState) -> None:
         worker.strikes += 1
+        if worker.probation:
+            # the probation trial failed: re-exclude immediately, no
+            # matter how far the strike count is from the threshold.
+            worker.probation = False
+            worker.excluded = True
+            worker.excluded_at = time.monotonic()
+            self.stats.probation_failures += 1
+            self.stats.workers_excluded += 1
+            return
         if worker.strikes >= self.max_worker_strikes and not worker.excluded:
             worker.excluded = True
+            worker.excluded_at = time.monotonic()
             self.stats.workers_excluded += 1

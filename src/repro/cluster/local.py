@@ -8,6 +8,12 @@ way, because the partition and merge never depend on where shards run.
 Tests inject instrumented workers (``worker_factory``) to simulate
 kills and stalls; those always run as threads so their hooks can share
 state with the test.
+
+``run_cluster_scan(..., autoscale=True)`` replaces the fixed spawn with
+an :class:`~repro.cluster.autoscale.ElasticPool`: ``workers`` becomes
+the *initial* pool size (0 is allowed — the pool scales from zero
+against queue depth), bounded by ``min_workers``/``max_workers``, with
+idle drain and probation re-admission of excluded workers.
 """
 
 from __future__ import annotations
@@ -121,6 +127,10 @@ def run_cluster_scan(
     config,
     workers: int = 2,
     *,
+    autoscale: bool = False,
+    min_workers: int = 0,
+    max_workers: int | None = None,
+    autoscale_options: dict | None = None,
     use_processes: bool | None = None,
     worker_factory: Callable[[int, tuple[str, int]], ClusterWorker] | None = None,
     timeout: float | None = None,
@@ -133,19 +143,49 @@ def run_cluster_scan(
     ``(WildScanResult, ClusterStats)``. The result is byte-identical to
     ``ScanEngine.run()`` for the same config — worker losses along the
     way only show up in the stats.
+
+    With ``autoscale=True`` the fixed spawn becomes an
+    :class:`~repro.cluster.autoscale.ElasticPool`: ``workers`` is the
+    initial pool size (0 scales from zero), capped by ``max_workers``
+    (default ``max(workers, 2)``), floored by ``min_workers``; extra
+    pool knobs (``poll_interval``, ``idle_grace``,
+    ``probation_cooldown``, ...) go through ``autoscale_options``.
     """
+    if workers < 0 or (workers == 0 and not autoscale):
+        raise ValueError(
+            f"workers must be >= 1 (or >= 0 with autoscale=True), got {workers}"
+        )
     coordinator = Coordinator(config, **coordinator_options)
     coordinator.start()
     handles: list[LocalWorkerHandle] = []
+    pool = None
     try:
-        handles = spawn_local_workers(
-            coordinator.address,
-            workers,
-            use_processes=use_processes,
-            worker_factory=worker_factory,
-        )
+        if autoscale:
+            from .autoscale import ElasticPool
+
+            pool = ElasticPool(
+                coordinator,
+                min_workers=min_workers,
+                max_workers=(
+                    max_workers if max_workers is not None else max(workers, 2)
+                ),
+                initial_workers=workers,
+                use_processes=use_processes,
+                worker_factory=worker_factory,
+                **(autoscale_options or {}),
+            )
+            pool.start()
+        else:
+            handles = spawn_local_workers(
+                coordinator.address,
+                workers,
+                use_processes=use_processes,
+                worker_factory=worker_factory,
+            )
         result = coordinator.run(timeout=timeout)
     finally:
+        if pool is not None:
+            pool.stop()
         coordinator.shutdown()
         for handle in handles:
             handle.join(5.0)

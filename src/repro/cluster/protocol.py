@@ -22,6 +22,9 @@ coordinator → worker
                           interval, protocol version
 ``assign``                one shard descriptor: ``seed``, ``scale``, ``shard``
                           (index), ``shard_count``
+``heartbeat``             park ping, sent every heartbeat interval while the
+                          worker waits for work — bounds the worker's recv
+                          timeout so a dead coordinator host is detectable
 ``drain``                 no more work — finish up and disconnect
 ========================  =======================================================
 
@@ -53,7 +56,9 @@ __all__ = [
 ]
 
 #: bumped on any incompatible change to the message vocabulary.
-PROTOCOL_VERSION = 1
+#: v2: coordinator→worker ``heartbeat`` park pings (a v1 worker would
+#: treat them as a protocol error while parked).
+PROTOCOL_VERSION = 2
 
 #: upper bound on one frame; full-scale shard results stay far below this.
 MAX_FRAME_BYTES = 256 * 1024 * 1024

@@ -13,11 +13,24 @@ makes a cluster run byte-identical to a local one.
 
 A background thread heartbeats every ``heartbeat_interval`` (negotiated
 in the welcome) including mid-shard, so the coordinator can tell a slow
-worker from a dead one. Shard failures are reported as ``shard-error``
-and the worker keeps serving; an abrupt death can be simulated through
-``task_hook`` raising :class:`WorkerKilled` (the fault-injection tests'
-kill switch — the socket drops mid-shard with no goodbye, exactly like a
-SIGKILL'd process).
+worker from a dead one. Liveness runs both ways: every read after the
+welcome is bounded by a recv timeout of a few heartbeat intervals
+(the coordinator park-pings a parked worker every interval), so a
+coordinator host that dies without ever sending FIN strands the worker
+for seconds, not forever — it exits with ``summary.disconnected``.
+
+With ``reconnect=True`` the worker outlives single sessions: after a
+drain or disconnect it reconnects with exponential backoff, which is
+what lets a drained (elastic scale-down) or excluded worker return and
+be re-admitted on probation by :mod:`repro.cluster.autoscale`. The loop
+ends on :meth:`ClusterWorker.stop`, on ``reconnect_tries`` consecutive
+fruitless sessions, or on a kill.
+
+Shard failures are reported as ``shard-error`` and the worker keeps
+serving; an abrupt death can be simulated through ``task_hook`` raising
+:class:`WorkerKilled` (the fault-injection tests' kill switch — the
+socket drops mid-shard with no goodbye, exactly like a SIGKILL'd
+process).
 """
 
 from __future__ import annotations
@@ -68,6 +81,10 @@ class WorkerSummary:
     killed: bool = False
     #: set when the coordinator vanished instead of draining us.
     disconnected: bool = False
+    #: welcomed sessions served (> 1 only with ``reconnect=True``).
+    sessions: int = 0
+    #: backoff-then-retry cycles the reconnect loop went through.
+    reconnects: int = 0
 
 
 class ClusterWorker:
@@ -77,6 +94,11 @@ class ClusterWorker:
     before every task and may raise (``WorkerKilled`` for an abrupt
     death, anything else for a reported shard error); tests use it for
     fault injection, e.g. stalling heartbeats via ``heartbeats_enabled``.
+
+    ``recv_timeout`` bounds every read after the welcome; it defaults to
+    six negotiated heartbeat intervals (the coordinator park-pings every
+    interval while a worker waits for work), so a silently-dead
+    coordinator host cannot block the worker forever.
     """
 
     def __init__(
@@ -85,27 +107,114 @@ class ClusterWorker:
         *,
         name: str | None = None,
         connect_timeout: float = 10.0,
+        recv_timeout: float | None = None,
+        reconnect: bool = False,
+        reconnect_backoff: float = 0.25,
+        reconnect_max_delay: float = 4.0,
+        reconnect_tries: int = 8,
         task_hook: Callable[["ClusterWorker", int, int], None] | None = None,
     ) -> None:
         host, port = address
+        if recv_timeout is not None and recv_timeout <= 0:
+            raise ValueError(f"recv_timeout must be > 0, got {recv_timeout}")
+        if reconnect_backoff <= 0:
+            raise ValueError(
+                f"reconnect_backoff must be > 0, got {reconnect_backoff}"
+            )
+        if reconnect_tries < 0:
+            raise ValueError(f"reconnect_tries must be >= 0, got {reconnect_tries}")
         self.address = (host, int(port))
         self.name = name or f"worker-{socket.gethostname()}-{os.getpid()}"
         self.connect_timeout = connect_timeout
+        self.recv_timeout = recv_timeout
+        self.reconnect = reconnect
+        self.reconnect_backoff = reconnect_backoff
+        self.reconnect_max_delay = max(reconnect_backoff, reconnect_max_delay)
+        self.reconnect_tries = reconnect_tries
         self.task_hook = task_hook
         #: flipped by fault-injection hooks to simulate a stalled worker.
         self.heartbeats_enabled = True
         self._sock: socket.socket | None = None
         self._send_lock = threading.Lock()
-        self._stop = threading.Event()
+        self._halt = threading.Event()
 
     # ------------------------------------------------------------------
 
+    def stop(self) -> None:
+        """Ask the worker to exit: ends the reconnect loop and unblocks
+        any read in flight by tearing down the current socket."""
+        self._halt.set()
+        sock = self._sock
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
     def run(self) -> WorkerSummary:
-        """Serve the coordinator until drained (or dead); return a summary."""
+        """Serve the coordinator until drained (or dead); return a summary.
+
+        Without ``reconnect``, one session: connection-establishment
+        errors propagate, and a mid-session disconnect sets
+        ``summary.disconnected``. With ``reconnect``, sessions repeat
+        with exponential backoff until :meth:`stop`, a kill, or
+        ``reconnect_tries`` consecutive sessions without any work.
+        """
         summary = WorkerSummary(name=self.name)
+        delay = self.reconnect_backoff
+        fruitless = 0
+        while True:
+            progress_before = (
+                summary.shards_completed
+                + summary.shard_errors
+                + summary.tasks_executed
+            )
+            try:
+                sock = socket.create_connection(
+                    self.address, timeout=self.connect_timeout
+                )
+            except OSError:
+                if not self.reconnect:
+                    raise
+                summary.disconnected = True
+            else:
+                try:
+                    self._serve_session(sock, summary)
+                except WorkerKilled:
+                    summary.killed = True
+                    break
+                except (ConnectionClosed, OSError):
+                    summary.disconnected = True
+            if not self.reconnect or self._halt.is_set():
+                break
+            progressed = (
+                summary.shards_completed
+                + summary.shard_errors
+                + summary.tasks_executed
+            ) > progress_before
+            if progressed:
+                fruitless = 0
+                delay = self.reconnect_backoff
+            else:
+                fruitless += 1
+                if fruitless > self.reconnect_tries:
+                    break
+            if self._halt.wait(delay):
+                break
+            delay = min(delay * 2, self.reconnect_max_delay)
+            summary.reconnects += 1
+        return summary
+
+    # ------------------------------------------------------------------
+
+    def _serve_session(self, sock: socket.socket, summary: WorkerSummary) -> None:
+        """One connect → hello → serve-until-drained session."""
+        summary.disconnected = False
+        heartbeat_stop = threading.Event()
         heartbeat_thread: threading.Thread | None = None
-        sock = socket.create_connection(self.address, timeout=self.connect_timeout)
-        sock.settimeout(None)
+        # the handshake runs under the connect timeout: a coordinator
+        # that accepts but never answers must not park us forever.
+        sock.settimeout(self.connect_timeout)
         self._sock = sock
         try:
             self._send({"type": "hello", "worker": self.name,
@@ -118,12 +227,17 @@ class ClusterWorker:
                     f"protocol mismatch: worker speaks {PROTOCOL_VERSION}, "
                     f"coordinator speaks {welcome.get('protocol')!r}"
                 )
+            summary.sessions += 1
             config = config_from_wire(welcome["config"])
             shard_count = welcome["shard_count"]
             interval = float(welcome.get("heartbeat_interval", 1.0))
+            # liveness bound: the coordinator park-pings every interval
+            # while we wait for work, so several silent intervals mean
+            # its host is gone (no FIN ever came) — stop waiting.
+            sock.settimeout(self.recv_timeout or max(1.0, 6.0 * interval))
             heartbeat_thread = threading.Thread(
                 target=self._heartbeat_loop,
-                args=(interval,),
+                args=(interval, heartbeat_stop),
                 name=f"{self.name}-heartbeat",
                 daemon=True,
             )
@@ -132,7 +246,10 @@ class ClusterWorker:
             parts_cache: dict[tuple, list[list]] = {}
             while True:
                 self._send({"type": "ready"})
-                message = recv_message(sock)
+                while True:
+                    message = recv_message(sock)
+                    if message["type"] != "heartbeat":  # skip park pings
+                        break
                 kind = message["type"]
                 if kind == "drain":
                     try:
@@ -145,12 +262,8 @@ class ClusterWorker:
                 self._execute_assignment(
                     message, config, shard_count, parts_cache, summary
                 )
-        except WorkerKilled:
-            summary.killed = True
-        except (ConnectionClosed, OSError):
-            summary.disconnected = True
         finally:
-            self._stop.set()
+            heartbeat_stop.set()
             try:
                 sock.close()
             except OSError:
@@ -158,9 +271,6 @@ class ClusterWorker:
             self._sock = None
             if heartbeat_thread is not None:
                 heartbeat_thread.join(timeout=5.0)
-        return summary
-
-    # ------------------------------------------------------------------
 
     def _execute_assignment(
         self,
@@ -213,8 +323,8 @@ class ClusterWorker:
         with self._send_lock:
             send_message(sock, message)
 
-    def _heartbeat_loop(self, interval: float) -> None:
-        while not self._stop.wait(interval):
+    def _heartbeat_loop(self, interval: float, stop: threading.Event) -> None:
+        while not stop.wait(interval):
             if not self.heartbeats_enabled:
                 continue
             try:

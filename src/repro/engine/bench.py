@@ -176,6 +176,7 @@ def run_cluster_bench(
     workers_values: tuple[int, ...] = (1, 2),
     shards: int | None = None,
     heartbeat_timeout: float | None = None,
+    elastic: bool = False,
 ) -> dict:
     """Time distributed scans against the batch engine they must match.
 
@@ -186,6 +187,12 @@ def run_cluster_bench(
     fault-injection run kills one of two workers mid-shard and asserts
     the requeued, merged result *still* matches — the cluster's
     survival contract, pinned in ``BENCH_cluster.json`` on every smoke.
+
+    ``elastic=True`` adds an autoscaled run: start with **zero** workers,
+    let the :class:`~repro.cluster.autoscale.ElasticPool` scale to two
+    against queue depth, kill one mid-shard (immediate exclusion at one
+    strike), and let probation re-admit it — again asserting identity,
+    with the scaling counters recorded under ``elastic_run``.
     """
     from ..cluster import ClusterWorker, WorkerKilled, run_cluster_scan
     from ..workload.generator import WildScanConfig, WildScanner
@@ -264,7 +271,7 @@ def run_cluster_bench(
         "detected": result.detected_count,
     }
 
-    return {
+    report = {
         "benchmark": "cluster_throughput",
         "scale": scale,
         "seed": seed,
@@ -275,6 +282,54 @@ def run_cluster_bench(
         "runs": runs,
         "fault_run": fault_run,
     }
+
+    if elastic:
+        # elastic autoscaling: scale from zero to two workers against
+        # queue depth, kill one mid-shard (one strike excludes), let the
+        # pool re-admit it on probation — identity must still hold.
+        state = {"killed": False}
+
+        def elastic_factory(index: int, address) -> ClusterWorker:
+            def die(worker, shard, task):
+                if index == 0 and not state["killed"] and task == 3:
+                    state["killed"] = True
+                    raise WorkerKilled()
+
+            return ClusterWorker(address, name=f"elastic-{index}", task_hook=die)
+
+        config = WildScanConfig(scale=scale, seed=seed, shards=shards)
+        start = time.perf_counter()
+        result, stats = run_cluster_scan(
+            config,
+            workers=0,
+            autoscale=True,
+            max_workers=2,
+            autoscale_options={"poll_interval": 0.02, "probation_cooldown": 0.15},
+            worker_factory=elastic_factory,
+            max_worker_strikes=1,
+            **options,
+        )
+        elastic_elapsed = time.perf_counter() - start
+        check_identity(result, "elastic cluster with a killed worker")
+        if state["killed"] and stats.worker_losses < 1:
+            raise AssertionError("worker kill was not observed as a loss")
+        report["elastic_run"] = {
+            "initial_workers": 0,
+            "max_workers": 2,
+            "killed_workers": 1 if state["killed"] else 0,
+            "elapsed_s": round(elastic_elapsed, 4),
+            "detected": result.detected_count,
+            "requeues": stats.requeues,
+            "worker_losses": stats.worker_losses,
+            "workers_excluded": stats.workers_excluded,
+            "workers_spawned": stats.workers_spawned,
+            "workers_drained": stats.workers_drained,
+            "workers_readmitted": stats.workers_readmitted,
+            "probation_passes": stats.probation_passes,
+            "probation_failures": stats.probation_failures,
+        }
+
+    return report
 
 
 def write_artifact(report: dict, path: str | Path = DEFAULT_ARTIFACT) -> Path:

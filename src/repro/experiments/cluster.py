@@ -11,6 +11,12 @@ modes, selected by the CLI flags:
   ``--host``/``--port``;
 - ``--connect HOST:PORT``: worker only, serving a remote coordinator
   until drained.
+
+``--autoscale`` turns the fixed local spawn into an elastic pool
+(:mod:`repro.cluster.autoscale`): ``--workers`` becomes the initial pool
+size (0 scales from zero against queue depth), bounded by
+``--min-workers``/``--max-workers``, with idle drain and probation
+re-admission of excluded workers.
 """
 
 from __future__ import annotations
@@ -28,6 +34,9 @@ def run_local(
     workers: int = 2,
     shards: int | None = None,
     heartbeat_timeout: float | None = None,
+    autoscale: bool = False,
+    min_workers: int = 0,
+    max_workers: int | None = None,
 ):
     """Coordinator + ``workers`` local workers; returns (result, stats, s)."""
     from ..cluster import run_cluster_scan
@@ -36,6 +45,10 @@ def run_local(
     options = {}
     if heartbeat_timeout is not None:
         options["heartbeat_timeout"] = heartbeat_timeout
+    if autoscale:
+        options.update(
+            autoscale=True, min_workers=min_workers, max_workers=max_workers
+        )
     start = time.perf_counter()
     result, stats = run_cluster_scan(config, workers=workers, **options)
     return result, stats, time.perf_counter() - start
@@ -43,7 +56,7 @@ def run_local(
 
 def _summary_lines(result, stats, elapsed: float, workers_label: str) -> list[str]:
     txs_per_s = result.total_transactions / elapsed if elapsed else 0.0
-    return [
+    lines = [
         f"Cluster scan — {result.total_transactions} txs across "
         f"{workers_label} in {elapsed:.2f}s ({txs_per_s:,.0f} txs/s)",
         f"detections: {result.detected_count} ({result.true_positives} true, "
@@ -55,6 +68,15 @@ def _summary_lines(result, stats, elapsed: float, workers_label: str) -> list[st
         f"{stats.workers_excluded} worker(s) excluded, "
         f"{stats.local_fallback_shards} shard(s) via local fallback",
     ]
+    if stats.workers_spawned or stats.workers_drained or stats.workers_readmitted:
+        lines.append(
+            "elastic: "
+            f"{stats.workers_spawned} worker(s) spawned, "
+            f"{stats.workers_drained} drained, "
+            f"{stats.workers_readmitted} readmitted on probation "
+            f"({stats.probation_passes} passed, {stats.probation_failures} failed)"
+        )
+    return lines
 
 
 def render_local(
@@ -63,6 +85,9 @@ def render_local(
     workers: int = 2,
     shards: int | None = None,
     heartbeat_timeout: float | None = None,
+    autoscale: bool = False,
+    min_workers: int = 0,
+    max_workers: int | None = None,
     verify: bool = True,
 ) -> str:
     """Single-machine cluster run; optionally verify against the batch
@@ -70,6 +95,7 @@ def render_local(
     result, stats, elapsed = run_local(
         scale=scale, seed=seed, workers=workers, shards=shards,
         heartbeat_timeout=heartbeat_timeout,
+        autoscale=autoscale, min_workers=min_workers, max_workers=max_workers,
     )
     lines = _summary_lines(
         result, stats, elapsed, f"{stats.workers_seen} local worker(s)"

@@ -138,6 +138,27 @@ def main(argv: list[str] | None = None) -> int:
         "shards are requeued",
     )
     parser.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="cluster only: elastic worker pool — --workers becomes the "
+        "initial pool size (0 scales from zero against queue depth), "
+        "bounded by --min-workers/--max-workers, with idle drain and "
+        "probation re-admission of excluded workers",
+    )
+    parser.add_argument(
+        "--min-workers",
+        type=int,
+        default=0,
+        help="cluster --autoscale: floor the pool never drains below "
+        "(default 0)",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="cluster --autoscale: pool size cap (default max(--workers, 2))",
+    )
+    parser.add_argument(
         "--no-verify",
         action="store_true",
         help="cluster only: skip the batch-engine identity check "
@@ -152,10 +173,19 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--queue-depth must be >= 1, got {args.queue_depth}")
     if args.block_size is not None and args.block_size < 1:
         parser.error(f"--block-size must be >= 1, got {args.block_size}")
-    if args.workers < 1:
+    if args.autoscale:
+        if args.workers < 0:
+            parser.error(f"--workers must be >= 0 with --autoscale, got {args.workers}")
+        if args.min_workers < 0:
+            parser.error(f"--min-workers must be >= 0, got {args.min_workers}")
+        if args.max_workers is not None and args.max_workers < 1:
+            parser.error(f"--max-workers must be >= 1, got {args.max_workers}")
+    elif args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
     if args.serve and args.connect:
         parser.error("--serve and --connect are mutually exclusive")
+    if args.autoscale and (args.serve or args.connect):
+        parser.error("--autoscale only applies to local cluster runs")
     scale = 1.0 if args.full else args.scale
 
     if args.experiment == "cluster":
@@ -171,6 +201,8 @@ def main(argv: list[str] | None = None) -> int:
             output = cluster.render_local(
                 scale=scale, workers=args.workers, shards=args.shards,
                 heartbeat_timeout=args.heartbeat_timeout,
+                autoscale=args.autoscale, min_workers=args.min_workers,
+                max_workers=args.max_workers,
                 verify=not args.no_verify,
             )
         print(f"=== cluster ({time.perf_counter() - start:.1f}s) ===")

@@ -10,6 +10,7 @@ and in what order their results arrive.
 from __future__ import annotations
 
 import socket
+import threading
 import time
 
 import pytest
@@ -21,7 +22,8 @@ from repro.cluster import (
     WorkerKilled,
     run_cluster_scan,
 )
-from repro.cluster.protocol import recv_message, send_message
+from repro.cluster.protocol import PROTOCOL_VERSION, recv_message, send_message
+from repro.engine.wire import config_to_wire
 from repro.engine.plan import build_schedule, shard_schedule
 from repro.engine.scan import run_shard
 from repro.engine.wire import shard_result_to_wire
@@ -132,7 +134,10 @@ class TestHeartbeatTimeout:
         try:
             host, port = coordinator.address
             slow = socket.create_connection((host, port), timeout=5.0)
-            send_message(slow, {"type": "hello", "worker": "slow", "protocol": 1})
+            send_message(
+                slow,
+                {"type": "hello", "worker": "slow", "protocol": PROTOCOL_VERSION},
+            )
             assert recv_message(slow)["type"] == "welcome"
             send_message(slow, {"type": "ready"})
             assign = recv_message(slow)
@@ -148,7 +153,10 @@ class TestHeartbeatTimeout:
             )
 
             fast = socket.create_connection((host, port), timeout=5.0)
-            send_message(fast, {"type": "hello", "worker": "fast", "protocol": 1})
+            send_message(
+                fast,
+                {"type": "hello", "worker": "fast", "protocol": PROTOCOL_VERSION},
+            )
             assert recv_message(fast)["type"] == "welcome"
             send_message(fast, {"type": "ready"})
             reassign = recv_message(fast)
@@ -248,6 +256,198 @@ class TestNoWorkersLeft:
                 max_worker_strikes=1,
                 local_fallback=False,
             )
+
+
+class TestWorkerLiveness:
+    def test_worker_times_out_on_silently_dead_coordinator(self):
+        """A coordinator host that dies without FIN must not strand the
+        worker in ``recv_message`` forever: the recv timeout (a few
+        heartbeat intervals) expires and the worker reports itself
+        disconnected."""
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        release = threading.Event()
+        held: list[socket.socket] = []
+
+        def fake_coordinator():
+            conn, _ = server.accept()
+            held.append(conn)  # keep the socket open: no FIN, ever
+            hello = recv_message(conn)
+            assert hello["type"] == "hello"
+            send_message(
+                conn,
+                {
+                    "type": "welcome",
+                    "protocol": PROTOCOL_VERSION,
+                    "config": config_to_wire(_config(shards=1)),
+                    "shard_count": 1,
+                    "heartbeat_interval": 0.05,
+                },
+            )
+            release.wait(30.0)  # then go silent — no assign, no drain
+
+        thread = threading.Thread(target=fake_coordinator, daemon=True)
+        thread.start()
+        try:
+            worker = ClusterWorker(server.getsockname()[:2], name="stranded")
+            start = time.monotonic()
+            summary = worker.run()
+            elapsed = time.monotonic() - start
+            assert summary.disconnected
+            assert summary.shards_completed == 0
+            # recv timeout is a few 0.05 s intervals (floored at 1 s),
+            # nowhere near a hang
+            assert elapsed < 10.0
+        finally:
+            release.set()
+            for conn in held:
+                conn.close()
+            server.close()
+
+
+class TestShutdownLiveness:
+    def test_shutdown_is_prompt_with_large_heartbeat_timeout(self):
+        """The monitor loop waits on the condition, so ``shutdown()``
+        wakes it immediately instead of blocking up to
+        ``heartbeat_timeout/4`` and leaking the thread past the join."""
+        coordinator = Coordinator(_config(shards=1), heartbeat_timeout=60.0)
+        coordinator.start()
+        time.sleep(0.2)  # let the monitor enter its wait
+        start = time.monotonic()
+        coordinator.shutdown()
+        assert time.monotonic() - start < 2.0
+        assert all(not thread.is_alive() for thread in coordinator._threads)
+
+    def test_loss_during_shutdown_is_not_a_strike(self):
+        """A drain that races the shutdown socket teardown must not be
+        booked as a worker loss (that would strike — and potentially
+        exclude — healthy workers after the run already finished)."""
+        coordinator = Coordinator(_config(shards=1))
+        coordinator.start()
+        sock = None
+        try:
+            sock = socket.create_connection(coordinator.address, timeout=5.0)
+            send_message(
+                sock,
+                {"type": "hello", "worker": "clean", "protocol": PROTOCOL_VERSION},
+            )
+            assert recv_message(sock)["type"] == "welcome"
+            _wait_for(
+                lambda: "clean" in coordinator._workers,
+                message="worker registration",
+            )
+            worker = coordinator._workers["clean"]
+            with coordinator._cond:
+                coordinator._stopping = True
+            coordinator._handle_loss(worker, worker.conn)
+            assert coordinator.stats.worker_losses == 0
+            assert worker.strikes == 0
+            assert coordinator.stats.workers_excluded == 0
+        finally:
+            if sock is not None:
+                sock.close()
+            coordinator.shutdown()
+
+
+class TestParkedWorker:
+    def test_parked_worker_backlog_and_late_assignment(self):
+        """A parked worker keeps heartbeating into a socket nobody reads
+        (its handler thread sits in ``_handle_ready``). The backlog must
+        not wedge anything: the coordinator park-pings it, hands it a
+        late requeued shard, drains the buffered heartbeats afterwards,
+        and the stats stay churn-free after the clean drain."""
+        config = _config(shards=2)
+        baseline = _snapshot(WildScanner(config).run())
+        tasks = build_schedule(config.scale, config.seed)
+        parts = shard_schedule(tasks, 2)
+        payloads = {
+            index: shard_result_to_wire(run_shard((config, index, 2, parts[index])))
+            for index in range(2)
+        }
+
+        coordinator = Coordinator(
+            config, heartbeat_timeout=5.0, heartbeat_interval=0.05
+        )
+        coordinator.start()
+        parked = flaky = None
+        try:
+            host, port = coordinator.address
+            parked = socket.create_connection((host, port), timeout=5.0)
+            send_message(
+                parked,
+                {"type": "hello", "worker": "parked", "protocol": PROTOCOL_VERSION},
+            )
+            assert recv_message(parked)["type"] == "welcome"
+            send_message(parked, {"type": "ready"})
+            first = recv_message(parked)
+            assert first["type"] == "assign"
+
+            flaky = socket.create_connection((host, port), timeout=5.0)
+            send_message(
+                flaky,
+                {"type": "hello", "worker": "flaky", "protocol": PROTOCOL_VERSION},
+            )
+            assert recv_message(flaky)["type"] == "welcome"
+            send_message(flaky, {"type": "ready"})
+            second = recv_message(flaky)
+            assert second["type"] == "assign"
+            assert second["shard"] != first["shard"]
+
+            # "parked" finishes its shard and parks on the next ready;
+            # its handler thread now waits in _handle_ready while these
+            # heartbeats pile up unread in the coordinator's buffer.
+            send_message(
+                parked,
+                {
+                    "type": "result",
+                    "shard": first["shard"],
+                    "payload": payloads[first["shard"]],
+                },
+            )
+            send_message(parked, {"type": "ready"})
+            for _ in range(50):
+                send_message(parked, {"type": "heartbeat"})
+
+            # the parked worker sees coordinator park pings while it waits
+            parked.settimeout(5.0)
+            ping = recv_message(parked)
+            assert ping["type"] == "heartbeat"
+
+            # "flaky" fails its shard; the requeue must reach the parked
+            # worker as a late assignment despite the buffered backlog
+            send_message(
+                flaky, {"type": "shard-error", "shard": second["shard"],
+                        "error": "ValueError('rigged')"},
+            )
+            while True:
+                message = recv_message(parked)
+                if message["type"] != "heartbeat":
+                    break
+            assert message["type"] == "assign"
+            assert message["shard"] == second["shard"]
+            send_message(
+                parked,
+                {
+                    "type": "result",
+                    "shard": second["shard"],
+                    "payload": payloads[second["shard"]],
+                },
+            )
+
+            result = coordinator.run()
+        finally:
+            for sock in (parked, flaky):
+                if sock is not None:
+                    sock.close()
+            coordinator.shutdown()
+
+        assert _snapshot(result) == baseline
+        assert coordinator.stats.shard_errors == 1
+        # churn-free after the clean drain: no losses, no exclusions
+        assert coordinator.stats.worker_losses == 0
+        assert coordinator.stats.workers_excluded == 0
+        assert coordinator.stats.duplicates_suppressed == 0
 
 
 class TestCoordinatorValidation:
