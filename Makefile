@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-smoke stream-smoke cluster-smoke elastic-smoke
+.PHONY: test bench bench-smoke stream-smoke cluster-smoke elastic-smoke resume-smoke
 
 ## tier-1 test suite (what CI gates on)
 test:
@@ -31,3 +31,9 @@ cluster-smoke:
 ## probation — identity still asserted, counters land in BENCH_cluster.json
 elastic-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_smoke.py --elastic
+
+## durable run-ledger bench; regenerates BENCH_resume.json, asserts a
+## resumed run merges byte-identically to an uninterrupted one and
+## records resumed-vs-cold wall-clock plus shards-skipped counters
+resume-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_smoke.py --resume

@@ -24,8 +24,14 @@ recorded under ``elastic_run``::
 
     PYTHONPATH=src python benchmarks/run_smoke.py --elastic
 
+``--resume`` benches the durable run ledger (cold journaled scan vs.
+resuming an interrupted one vs. a no-op resume of a complete journal,
+identity always asserted), regenerating ``BENCH_resume.json``::
+
+    PYTHONPATH=src python benchmarks/run_smoke.py --resume
+
 or via ``make bench-smoke`` / ``make stream-smoke`` / ``make
-cluster-smoke`` / ``make elastic-smoke``.
+cluster-smoke`` / ``make elastic-smoke`` / ``make resume-smoke``.
 """
 
 from __future__ import annotations
@@ -40,8 +46,10 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.engine.bench import (
     DEFAULT_ARTIFACT,
     DEFAULT_CLUSTER_ARTIFACT,
+    DEFAULT_RESUME_ARTIFACT,
     DEFAULT_STREAM_ARTIFACT,
     run_cluster_bench,
+    run_resume_bench,
     run_stream_bench,
     run_wildscan_bench,
     write_artifact,
@@ -68,6 +76,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--elastic", action="store_true",
                         help="cluster bench plus an autoscaled run (scale from "
                         "zero, kill, probation re-admission); implies --cluster")
+    parser.add_argument("--resume", action="store_true",
+                        help="bench the durable run ledger (BENCH_resume.json): "
+                        "cold journaled scan vs. interrupted-and-resumed vs. "
+                        "no-op resume of a complete journal")
+    parser.add_argument("--interrupt-after", type=int, default=None,
+                        help="resume only: shards pre-recorded before the "
+                        "simulated kill (default: half the shard count)")
     parser.add_argument("--workers", type=int, nargs="+", default=[1, 2],
                         help="cluster only: worker counts to time (default: 1 2)")
     parser.add_argument("--queue-depth", type=int, default=None,
@@ -80,9 +95,19 @@ def main(argv: list[str] | None = None) -> int:
     repo_root = Path(__file__).resolve().parent.parent
     if args.elastic:
         args.cluster = True
-    if args.stream and args.cluster:
-        parser.error("--stream and --cluster/--elastic are mutually exclusive")
-    if args.cluster:
+    if sum((args.stream, args.cluster, args.resume)) > 1:
+        parser.error(
+            "--stream, --cluster/--elastic and --resume are mutually exclusive"
+        )
+    if args.resume:
+        report = run_resume_bench(
+            scale=args.scale,
+            seed=args.seed,
+            shards=args.shards if args.shards is not None else 8,
+            interrupt_after=args.interrupt_after,
+        )
+        output = args.output or repo_root / DEFAULT_RESUME_ARTIFACT
+    elif args.cluster:
         report = run_cluster_bench(
             scale=args.scale,
             seed=args.seed,

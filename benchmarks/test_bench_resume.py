@@ -1,0 +1,95 @@
+"""Run-ledger resume benchmark: shards skipped, wall-clock, identity.
+
+Times a cold journaled scan against resuming an interrupted ledger and a
+no-op resume of a complete one, writing ``BENCH_resume.json`` at the
+repo root. The identity-vs-cold assertion is always on — every resumed
+merge must match the uninterrupted run bit for bit — while the
+wall-clock budget only arms with ``REPRO_BENCH_STRICT=1``, like the
+other timing benches.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.engine.bench import (
+    DEFAULT_RESUME_ARTIFACT,
+    run_resume_bench,
+    write_artifact,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+STRICT = os.environ.get("REPRO_BENCH_STRICT") == "1"
+
+#: resuming after half the shards skips half the work; with journal
+#: decode overhead the resumed run must still land under this fraction
+#: of the cold wall-clock when the strict budget is armed.
+STRICT_MAX_RESUMED_FRACTION = 0.9
+
+SHARDS = 8
+INTERRUPT_AFTER = 4
+
+
+def test_bench_resume_counters_and_identity():
+    report = run_resume_bench(
+        scale=0.01, seed=7, shards=SHARDS, interrupt_after=INTERRUPT_AFTER
+    )
+    write_artifact(report, REPO_ROOT / DEFAULT_RESUME_ARTIFACT)
+
+    # run_resume_bench already raised on any resumed-vs-cold divergence;
+    # double-check the recorded counts tell the same story.
+    cold = report["cold_run"]
+    assert cold["shards_resumed"] == 0
+    assert cold["shards_recorded"] == SHARDS
+    assert cold["total_transactions"] > 0
+
+    resumed = report["resumed_run"]
+    assert resumed["interrupted_after"] == INTERRUPT_AFTER
+    assert resumed["shards_resumed"] == INTERRUPT_AFTER
+    assert resumed["shards_recorded"] == SHARDS - INTERRUPT_AFTER
+    assert resumed["detected"] == cold["detected"]
+
+    noop = report["noop_resume"]
+    assert noop["shards_resumed"] == SHARDS
+    assert noop["shards_recorded"] == 0
+    assert noop["detected"] == cold["detected"]
+
+    if not STRICT:
+        return  # timings recorded; budget enforced only under REPRO_BENCH_STRICT=1
+    budget = cold["elapsed_s"] * STRICT_MAX_RESUMED_FRACTION
+    assert resumed["elapsed_s"] < budget, (
+        f"resumed run took {resumed['elapsed_s']}s, over the {budget:.2f}s "
+        f"budget ({STRICT_MAX_RESUMED_FRACTION}x cold)"
+    )
+    assert noop["elapsed_s"] < budget, (
+        f"no-op resume took {noop['elapsed_s']}s, over the {budget:.2f}s "
+        f"budget ({STRICT_MAX_RESUMED_FRACTION}x cold)"
+    )
+
+
+def test_bench_resume_single_run(benchmark):
+    """Wall-clock of one resumed scan (pytest-benchmark timing)."""
+    import tempfile
+
+    from repro.engine.plan import build_schedule, shard_schedule
+    from repro.engine.scan import ScanEngine, run_shard
+    from repro.runtime import RunLedger
+    from repro.workload.generator import WildScanConfig
+
+    config = WildScanConfig(scale=0.005, seed=7, shards=4)
+    parts = shard_schedule(build_schedule(config.scale, config.seed), 4)
+
+    with tempfile.TemporaryDirectory(prefix="repro-resume-bench-") as tmp:
+        path = Path(tmp) / "run.ledger"
+        seeded = RunLedger.create(path, config, 4)
+        for index in (0, 1):
+            seeded.record(run_shard((config, index, 4, parts[index])))
+        seeded.close()
+
+        def run():
+            return ScanEngine(config, ledger=path).run()
+
+        result = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert result.total_transactions > 0

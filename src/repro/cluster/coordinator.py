@@ -61,7 +61,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..engine.plan import build_schedule, resolve_shard_count
-from ..engine.scan import merge_shard_results, run_shard
+from ..engine.scan import merge_shard_results, run_shard, tag_snapshot_for
 from ..engine.wire import config_to_wire, shard_result_from_wire, shard_result_to_wire
 from .protocol import (
     PROTOCOL_VERSION,
@@ -106,6 +106,8 @@ class ClusterStats:
     workers_readmitted: int = 0
     probation_passes: int = 0
     probation_failures: int = 0
+    #: shards loaded from a run ledger instead of executed (resume).
+    resumed_shards: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -123,7 +125,17 @@ class ClusterStats:
             "workers_readmitted": self.workers_readmitted,
             "probation_passes": self.probation_passes,
             "probation_failures": self.probation_failures,
+            "resumed_shards": self.resumed_shards,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ClusterStats":
+        """Rebuild stats from :meth:`to_dict` output (bench artifacts)."""
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown ClusterStats fields: {sorted(unknown)}")
+        return cls(**payload)
 
 
 @dataclass(frozen=True, slots=True)
@@ -163,6 +175,36 @@ class CapacitySnapshot:
     @property
     def finished(self) -> bool:
         return self.failed or self.completed == self.shard_count
+
+    def to_dict(self) -> dict:
+        """JSON-safe view (scaling-policy logs, bench artifacts)."""
+        return {
+            "shard_count": self.shard_count,
+            "completed": self.completed,
+            "pending": self.pending,
+            "running": self.running,
+            "live_workers": list(self.live_workers),
+            "idle_workers": list(self.idle_workers),
+            "retiring_workers": list(self.retiring_workers),
+            "excluded_ages": dict(self.excluded_ages),
+            "stopping": self.stopping,
+            "failed": self.failed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CapacitySnapshot":
+        """Rebuild a snapshot from :meth:`to_dict` output."""
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown CapacitySnapshot fields: {sorted(unknown)}")
+        missing = known - set(payload)
+        if missing:
+            raise ValueError(f"missing CapacitySnapshot fields: {sorted(missing)}")
+        payload = dict(payload)
+        for key in ("live_workers", "idle_workers", "retiring_workers"):
+            payload[key] = tuple(payload[key])
+        return cls(**payload)
 
 
 @dataclass(slots=True)
@@ -209,6 +251,7 @@ class Coordinator:
         max_shard_attempts: int = DEFAULT_MAX_SHARD_ATTEMPTS,
         max_worker_strikes: int = DEFAULT_MAX_WORKER_STRIKES,
         local_fallback: bool = True,
+        ledger=None,
     ) -> None:
         if heartbeat_timeout <= 0:
             raise ValueError(f"heartbeat_timeout must be > 0, got {heartbeat_timeout}")
@@ -235,11 +278,28 @@ class Coordinator:
         tasks = build_schedule(config.scale, config.seed)
         self.shard_count = resolve_shard_count(config.shards, len(tasks))
 
+        #: the run ledger (``None`` for unjournaled runs): every completed
+        #: shard payload is journaled, and shards already in the journal
+        #: are never queued — a SIGKILLed coordinator resumes by pointing
+        #: a new one at the same ledger path.
+        self.ledger = None
+        if ledger is not None:
+            # lazy import: repro.runtime imports the engine at load time,
+            # so the import-time dependency must stay one-directional.
+            from ..runtime.ledger import ensure_ledger
+
+            self.ledger = ensure_ledger(ledger, config, self.shard_count)
+
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
-        self._pending: deque[int] = deque(range(self.shard_count))
-        self._attempts: dict[int, int] = {i: 0 for i in range(self.shard_count)}
         self._completed: dict[int, dict] = {}
+        if self.ledger is not None and self.ledger.completed_payloads:
+            self._completed.update(self.ledger.completed_payloads)
+            self.stats.resumed_shards = len(self._completed)
+        self._pending: deque[int] = deque(
+            index for index in range(self.shard_count) if index not in self._completed
+        )
+        self._attempts: dict[int, int] = {i: 0 for i in range(self.shard_count)}
         self._workers: dict[str, _WorkerState] = {}
         self._failure: BaseException | None = None
         self._stopping = False
@@ -323,12 +383,20 @@ class Coordinator:
                         self._run_fallback_locked(f"timeout after {timeout}s")
                         continue
                     self._cond.wait(0.1)
-                outcomes = [
-                    shard_result_from_wire(self._completed[index])
-                    for index in range(self.shard_count)
-                ]
+                if self.ledger is None:
+                    outcomes = [
+                        shard_result_from_wire(self._completed[index])
+                        for index in range(self.shard_count)
+                    ]
+                else:
+                    outcomes = None
         finally:
             self.shutdown()
+        if outcomes is None:
+            # journaled run: the merge decodes from the ledger, so a
+            # resumed run and an uninterrupted one produce the identical
+            # result from the identical bytes.
+            return self.ledger.merge()
         return merge_shard_results(self.config, outcomes)
 
     def _no_capacity_locked(self) -> bool:
@@ -366,8 +434,10 @@ class Coordinator:
                     if index in self._completed:
                         self.stats.duplicates_suppressed += 1
                     else:
-                        self._completed[index] = shard_result_to_wire(outcome)
+                        payload = shard_result_to_wire(outcome)
+                        self._completed[index] = payload
                         self.stats.local_fallback_shards += 1
+                        self._journal_locked(index, payload)
                     self._cond.notify_all()
         finally:
             self._cond.acquire()
@@ -633,16 +703,25 @@ class Coordinator:
             if shard is None:
                 send_message(conn, {"type": "drain"})
                 return False
-            send_message(
-                conn,
-                {
-                    "type": "assign",
-                    "seed": self.config.seed,
-                    "scale": self.config.scale,
-                    "shard": shard,
-                    "shard_count": self.shard_count,
-                },
+            assignment = {
+                "type": "assign",
+                "seed": self.config.seed,
+                "scale": self.config.scale,
+                "shard": shard,
+                "shard_count": self.shard_count,
+            }
+            # warm-start hint: if this process already built the shard
+            # (local fallback, thread workers, a previous assignment),
+            # ship the tagger's label-sync snapshot so the worker skips
+            # the cold creation/label scan. Workers validate it against
+            # their freshly built chain — a mismatch is ignored, never
+            # applied, so the hint cannot change results.
+            snapshot = tag_snapshot_for(
+                self.config.seed, self.config.scale, shard, self.shard_count
             )
+            if snapshot is not None:
+                assignment["tag_snapshot"] = snapshot
+            send_message(conn, assignment)
             return True
 
     def _handle_result(self, worker: _WorkerState, message: dict) -> None:
@@ -657,8 +736,10 @@ class Coordinator:
             if shard in self._completed:
                 self.stats.duplicates_suppressed += 1
             else:
-                self._completed[shard] = message["payload"]
+                payload = message["payload"]
+                self._completed[shard] = payload
                 worker.completed += 1
+                self._journal_locked(shard, payload)
             self._cond.notify_all()
 
     def _handle_shard_error(self, worker: _WorkerState, message: dict) -> None:
@@ -687,6 +768,16 @@ class Coordinator:
             worker.shards.clear()
             self._strike_locked(worker)
             self._cond.notify_all()
+
+    def _journal_locked(self, shard: int, payload: dict) -> None:
+        """Append a freshly completed shard payload to the run ledger.
+
+        Called with the lock held, right after the shard enters
+        ``_completed`` — the journal and the in-memory view can never
+        disagree about which shards are done.
+        """
+        if self.ledger is not None:
+            self.ledger.record_payload(shard, payload)
 
     def _requeue_locked(self, shard: int, heartbeat: bool = False) -> None:
         if shard in self._completed or shard in self._pending:

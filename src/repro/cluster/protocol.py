@@ -58,7 +58,10 @@ __all__ = [
 #: bumped on any incompatible change to the message vocabulary.
 #: v2: coordinator→worker ``heartbeat`` park pings (a v1 worker would
 #: treat them as a protocol error while parked).
-PROTOCOL_VERSION = 2
+#: v3: versioned wire payloads (``"v"`` on config and shard-result
+#: frames, strict field validation) and the optional ``tag_snapshot``
+#: warm-start hint on ``assign``.
+PROTOCOL_VERSION = 3
 
 #: upper bound on one frame; full-scale shard results stay far below this.
 MAX_FRAME_BYTES = 256 * 1024 * 1024

@@ -296,7 +296,10 @@ class ClusterWorker:
             tasks = build_schedule(scale, seed)
             parts = parts_cache[descriptor] = shard_schedule(tasks, shard_count)
         try:
-            ctx = build_shard_context(config, shard, shard_count)
+            ctx = build_shard_context(
+                config, shard, shard_count,
+                tag_snapshot=message.get("tag_snapshot"),
+            )
             for number, task in enumerate(parts[shard]):
                 if self.task_hook is not None:
                     self.task_hook(self, shard, number)

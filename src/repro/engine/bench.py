@@ -22,10 +22,12 @@ __all__ = [
     "run_wildscan_bench",
     "run_stream_bench",
     "run_cluster_bench",
+    "run_resume_bench",
     "write_artifact",
     "DEFAULT_ARTIFACT",
     "DEFAULT_STREAM_ARTIFACT",
     "DEFAULT_CLUSTER_ARTIFACT",
+    "DEFAULT_RESUME_ARTIFACT",
 ]
 
 #: canonical artifact location (repo root, tracked across PRs).
@@ -36,6 +38,9 @@ DEFAULT_STREAM_ARTIFACT = "BENCH_stream.json"
 
 #: distributed-scan artifact (repo root, tracked across PRs).
 DEFAULT_CLUSTER_ARTIFACT = "BENCH_cluster.json"
+
+#: run-ledger resume artifact (repo root, tracked across PRs).
+DEFAULT_RESUME_ARTIFACT = "BENCH_resume.json"
 
 
 def run_wildscan_bench(
@@ -330,6 +335,122 @@ def run_cluster_bench(
         }
 
     return report
+
+
+def run_resume_bench(
+    scale: float = 0.01,
+    seed: int = 7,
+    shards: int = 8,
+    jobs: int = 1,
+    interrupt_after: int | None = None,
+) -> dict:
+    """Time a journaled cold scan against resuming an interrupted one.
+
+    Three runs over the same ``(seed, scale, shards)``, all journaled to
+    a :class:`~repro.runtime.ledger.RunLedger`:
+
+    1. **cold** — fresh ledger, every shard executed and recorded;
+    2. **resumed** — a ledger pre-seeded with the first
+       ``interrupt_after`` shards (default: half), simulating a run
+       killed mid-flight; only the remainder is scheduled;
+    3. **no-op resume** — the completed cold ledger reopened; zero
+       shards execute and the result decodes straight from the journal.
+
+    The identity assertion is always on: every run's detections must
+    match the cold run bit for bit. Wall-clock only lands in the report
+    (``speedup_resumed_vs_cold``); budget enforcement lives in
+    ``benchmarks/test_bench_resume.py`` behind ``REPRO_BENCH_STRICT=1``.
+    """
+    import tempfile
+
+    from ..runtime import RunLedger
+    from ..workload.generator import WildScanConfig
+    from .plan import build_schedule, shard_schedule
+    from .scan import ScanEngine, run_shard
+
+    if shards < 2:
+        raise ValueError("run_resume_bench needs at least 2 shards")
+    interrupted = interrupt_after if interrupt_after is not None else shards // 2
+    if not 0 < interrupted < shards:
+        raise ValueError(
+            f"interrupt_after must fall inside (0, {shards}), got {interrupted}"
+        )
+
+    config = WildScanConfig(scale=scale, seed=seed, jobs=jobs, shards=shards)
+
+    def check_identity(result, label: str) -> None:
+        hashes = [d.tx_hash for d in result.detections]
+        if hashes != reference_hashes:
+            raise AssertionError(
+                f"identity violation: {label} changed the detections "
+                f"relative to the cold journaled run"
+            )
+
+    with tempfile.TemporaryDirectory(prefix="repro-resume-bench-") as tmp:
+        tmp = Path(tmp)
+
+        # 1. cold: journal every shard from scratch.
+        cold_engine = ScanEngine(config, ledger=tmp / "cold.ledger")
+        start = time.perf_counter()
+        cold = cold_engine.run()
+        cold_elapsed = time.perf_counter() - start
+        reference_hashes = [d.tx_hash for d in cold.detections]
+
+        # 2. resumed: pre-seed a ledger with the first ``interrupted``
+        # shards (the work a killed run left behind), then resume.
+        parts = shard_schedule(build_schedule(scale, seed), shards)
+        seeded = RunLedger.create(tmp / "killed.ledger", config, shards)
+        for index in range(interrupted):
+            seeded.record(run_shard((config, index, shards, parts[index])))
+        seeded.close()
+
+        resumed_engine = ScanEngine(config, ledger=tmp / "killed.ledger")
+        start = time.perf_counter()
+        resumed = resumed_engine.run()
+        resumed_elapsed = time.perf_counter() - start
+        check_identity(resumed, f"resume after {interrupted} shards")
+
+        # 3. no-op resume: the completed cold ledger schedules nothing.
+        noop_engine = ScanEngine(config, ledger=tmp / "cold.ledger")
+        start = time.perf_counter()
+        noop = noop_engine.run()
+        noop_elapsed = time.perf_counter() - start
+        check_identity(noop, "no-op resume of a complete ledger")
+
+        cold_ledger = cold_engine.ledger
+        resumed_ledger = resumed_engine.ledger
+        noop_ledger = noop_engine.ledger
+
+    speedup = round(cold_elapsed / resumed_elapsed, 2) if resumed_elapsed else None
+    return {
+        "benchmark": "resume_ledger",
+        "scale": scale,
+        "seed": seed,
+        "shards": shards,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "cold_run": {
+            "elapsed_s": round(cold_elapsed, 4),
+            "shards_resumed": cold_ledger.resumed_count,
+            "shards_recorded": cold_ledger.recorded_count,
+            "total_transactions": cold.total_transactions,
+            "detected": cold.detected_count,
+        },
+        "resumed_run": {
+            "interrupted_after": interrupted,
+            "elapsed_s": round(resumed_elapsed, 4),
+            "shards_resumed": resumed_ledger.resumed_count,
+            "shards_recorded": resumed_ledger.recorded_count,
+            "detected": resumed.detected_count,
+        },
+        "noop_resume": {
+            "elapsed_s": round(noop_elapsed, 4),
+            "shards_resumed": noop_ledger.resumed_count,
+            "shards_recorded": noop_ledger.recorded_count,
+            "detected": noop.detected_count,
+        },
+        "speedup_resumed_vs_cold": speedup,
+    }
 
 
 def write_artifact(report: dict, path: str | Path = DEFAULT_ARTIFACT) -> Path:

@@ -41,11 +41,13 @@ __all__ = [
     "ShardResult",
     "build_replay_context",
     "build_shard_context",
+    "clear_tag_snapshots",
     "detect_task",
     "execute_task",
     "finalize_shard",
     "merge_shard_results",
     "run_shard",
+    "tag_snapshot_for",
 ]
 
 
@@ -93,11 +95,47 @@ class ShardContext:
     rows: dict
 
 
-def build_shard_context(cfg, shard_index: int, shard_count: int) -> ShardContext:
+#: Process-level cache of tag-sync snapshots keyed by
+#: ``(seed, scale, shard_index, shard_count)``. A shard's post-build
+#: tagger state is a pure function of that key, so any rebuild of the
+#: same shard in this process (bench repeats, in-process pool fallback,
+#: cluster requeues on a reused worker) warm-starts from the first
+#: build's snapshot instead of re-scanning creations and labels.
+_TAG_SNAPSHOTS: dict[tuple, dict] = {}
+_TAG_SNAPSHOT_LIMIT = 256
+
+
+def clear_tag_snapshots() -> None:
+    """Drop the process-level tag-snapshot cache (test isolation)."""
+    _TAG_SNAPSHOTS.clear()
+
+
+def tag_snapshot_for(
+    seed: int, scale: float, shard_index: int, shard_count: int
+) -> dict | None:
+    """The cached tag-sync snapshot for one shard build, if this process
+    has built that shard before (the cluster coordinator attaches it to
+    assignments so workers can skip the cold label sync)."""
+    return _TAG_SNAPSHOTS.get((seed, scale, shard_index, shard_count))
+
+
+def build_shard_context(
+    cfg,
+    shard_index: int,
+    shard_count: int,
+    tag_snapshot: dict | None = None,
+) -> ShardContext:
     """Build one shard's world and detector stack from ``(cfg, shard)``.
 
     Everything downstream is a pure function of these inputs, which is
     what makes batch and streaming execution interchangeable.
+
+    ``tag_snapshot`` optionally warm-starts the detector's account
+    tagger (see :meth:`repro.leishen.tagging.AccountTagger`); a snapshot
+    that does not match the freshly built chain is ignored, so a stale
+    snapshot can never change the result. Snapshots are also cached
+    per-process by ``(seed, scale, shard, shard_count)`` so repeated
+    builds of the same shard skip the cold label sync automatically.
     """
     # local imports keep worker startup lean under the spawn start method
     from ..leishen.heuristics import YieldAggregatorHeuristic
@@ -111,10 +149,17 @@ def build_shard_context(cfg, shard_index: int, shard_count: int) -> ShardContext
     world.chain.keep_history = cfg.keep_history
     market = WildMarket(world, rng)
     injector = WildAttackInjector(market, rng, cfg.scale)
+    snapshot_key = (cfg.seed, cfg.scale, shard_index, shard_count)
+    if tag_snapshot is None:
+        tag_snapshot = _TAG_SNAPSHOTS.get(snapshot_key)
     if cfg.pattern_config is not None:
-        detector = world.detector(patterns=cfg.pattern_config)
+        detector = world.detector(patterns=cfg.pattern_config, tag_snapshot=tag_snapshot)
     else:
-        detector = world.detector()
+        detector = world.detector(tag_snapshot=tag_snapshot)
+    if snapshot_key not in _TAG_SNAPSHOTS:
+        if len(_TAG_SNAPSHOTS) >= _TAG_SNAPSHOT_LIMIT:
+            _TAG_SNAPSHOTS.pop(next(iter(_TAG_SNAPSHOTS)))
+        _TAG_SNAPSHOTS[snapshot_key] = detector.tagger.label_sync_snapshot()
     return ShardContext(
         cfg=cfg,
         shard_index=shard_index,
@@ -216,10 +261,14 @@ def run_shard(args: tuple) -> ShardResult:
     """Worker entry point: build one shard's world and scan its tasks.
 
     Module-level (not a method) so it pickles under every multiprocessing
-    start method.
+    start method. The payload is ``(cfg, shard_index, shard_count,
+    tasks)`` with an optional fifth element: a tag-sync snapshot that
+    warm-starts the shard's account tagger (ignored when it does not
+    match the freshly built chain).
     """
-    cfg, shard_index, shard_count, tasks = args
-    ctx = build_shard_context(cfg, shard_index, shard_count)
+    cfg, shard_index, shard_count, tasks = args[:4]
+    tag_snapshot = args[4] if len(args) > 4 else None
+    ctx = build_shard_context(cfg, shard_index, shard_count, tag_snapshot=tag_snapshot)
     for task in tasks:
         labeled = execute_task(ctx, task)
         if labeled is not None:
@@ -290,10 +339,22 @@ def detect_into(cfg, labeled, detector, heuristic, analyzer, detections, rows) -
 
 
 class ScanEngine:
-    """Shards the wild scan across worker processes and merges the results."""
+    """Shards the wild scan across worker processes and merges the results.
 
-    def __init__(self, config) -> None:
+    ``ledger`` (a path or an open :class:`repro.runtime.RunLedger`)
+    journals every completed shard durably: a killed run resumes by
+    loading the journal and scheduling only the remaining shards, and
+    the final merge is decoded *from the ledger*, so a resumed result is
+    byte-identical to an uninterrupted one.
+    """
+
+    def __init__(self, config, *, ledger=None) -> None:
         self.config = config
+        self._ledger_spec = ledger
+        #: the resolved :class:`repro.runtime.RunLedger` after ``run()``
+        #: (``None`` for unjournaled runs); exposes ``resumed_count`` /
+        #: ``recorded_count`` for reporting.
+        self.ledger = None
 
     # ------------------------------------------------------------------
 
@@ -301,25 +362,62 @@ class ScanEngine:
         cfg = self.config
         tasks = build_schedule(cfg.scale, cfg.seed)
         shard_count = resolve_shard_count(cfg.shards, len(tasks))
+        ledger = self._resolve_ledger(shard_count)
         parts = shard_schedule(tasks, shard_count)
-        payloads = [(cfg, index, shard_count, part) for index, part in enumerate(parts)]
+        done = set(ledger.completed_payloads) if ledger is not None else ()
+        payloads = [
+            (cfg, index, shard_count, part)
+            for index, part in enumerate(parts)
+            if index not in done
+        ]
+        record = ledger.record if ledger is not None else None
         jobs = cfg.jobs  # validated >= 1 by WildScanConfig
-        if jobs == 1 or shard_count == 1:
-            outcomes = [run_shard(payload) for payload in payloads]
+        if not payloads:
+            outcomes: list[ShardResult] = []
+        elif jobs == 1 or len(payloads) == 1:
+            outcomes = []
+            for payload in payloads:
+                outcome = run_shard(payload)
+                if record is not None:
+                    record(outcome)
+                outcomes.append(outcome)
         else:
-            outcomes = self._run_parallel(payloads, min(jobs, shard_count))
+            outcomes = self._run_parallel(
+                payloads, min(jobs, len(payloads)), on_shard=record
+            )
+        if ledger is not None:
+            return ledger.merge()
         return self._merge(outcomes)
+
+    def _resolve_ledger(self, shard_count: int):
+        """Normalize the ``ledger`` argument into an open ``RunLedger``.
+
+        Lazy import: :mod:`repro.runtime` imports this module at load
+        time, so the dependency must stay one-directional at import time.
+        """
+        if self._ledger_spec is None:
+            self.ledger = None
+            return None
+        from ..runtime.ledger import ensure_ledger
+
+        self.ledger = ensure_ledger(self._ledger_spec, self.config, shard_count)
+        return self.ledger
 
     # ------------------------------------------------------------------
 
     @staticmethod
-    def _run_parallel(payloads: list[tuple], workers: int) -> list[ShardResult]:
+    def _run_parallel(
+        payloads: list[tuple], workers: int, on_shard=None
+    ) -> list[ShardResult]:
         """Fan the shard payloads over a process pool.
 
         Pool breakage (restricted environments, OOM-killed workers) falls
         back to in-process execution — but only for the shards that did
         not complete; finished shard results are kept. A genuine exception
         raised *inside* a worker is not pool breakage and propagates.
+        ``on_shard`` (the ledger's ``record``) runs in this process as
+        each shard result lands, in completion order, so a kill mid-run
+        leaves every finished shard journaled.
         """
         import multiprocessing
 
@@ -342,12 +440,19 @@ class ScanEngine:
                         completed[index] = future.result()
                     except BrokenProcessPool:
                         break  # pool died; the rest re-runs in-process below
+                    if on_shard is not None:
+                        on_shard(completed[index])
         except (OSError, PermissionError, BrokenProcessPool):
             pass  # pool setup/teardown failure; completed shards are kept
-        outcomes = [
-            completed[index] if index in completed else run_shard(payload)
-            for index, payload in enumerate(payloads)
-        ]
+        outcomes = []
+        for index, payload in enumerate(payloads):
+            if index in completed:
+                outcomes.append(completed[index])
+                continue
+            outcome = run_shard(payload)
+            if on_shard is not None:
+                on_shard(outcome)
+            outcomes.append(outcome)
         return sorted(outcomes, key=lambda outcome: outcome.shard_index)
 
     def _merge(self, outcomes: list[ShardResult]):

@@ -212,6 +212,7 @@ class StreamEngine:
         *,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        ledger=None,
     ) -> None:
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
@@ -220,6 +221,10 @@ class StreamEngine:
         self.config = config
         self.queue_depth = queue_depth
         self.block_size = block_size
+        self._ledger_spec = ledger
+        #: the resolved :class:`repro.runtime.RunLedger` after ``run()``
+        #: (``None`` for unjournaled runs).
+        self.ledger = None
 
     # ------------------------------------------------------------------
 
@@ -241,10 +246,34 @@ class StreamEngine:
         over the chain that recorded the traces — instead of generating a
         world of its own. Replay sources must contain only ``("replay",
         trace)`` entries.
+
+        With a ``ledger`` (constructor argument), shards already
+        journaled by a previous run are skipped entirely — their
+        transactions never enter the queues — and every freshly
+        finalized shard is journaled at end of stream; the merged result
+        is decoded from the ledger, so a resumed run is byte-identical
+        to an uninterrupted one. Shard results only exist at end of
+        stream (a shard accumulates state across all its blocks), so a
+        killed stream run journals nothing — resume granularity is the
+        shard, recorded at stream end.
         """
         cfg = self.config
         tasks = build_schedule(cfg.scale, cfg.seed)
         shard_count = resolve_shard_count(cfg.shards, len(tasks))
+        ledger = None
+        if self._ledger_spec is not None:
+            if source is not None or detector_factory is not None:
+                raise ValueError(
+                    "ledger journaling requires the canonical schedule stream; "
+                    "custom source/detector_factory runs cannot be journaled"
+                )
+            from ..runtime.ledger import ensure_ledger
+
+            ledger = ensure_ledger(self._ledger_spec, cfg, shard_count)
+            self.ledger = ledger
+        done_shards = (
+            frozenset(ledger.completed_payloads) if ledger is not None else frozenset()
+        )
         if source is None:
             source = schedule_block_stream(tasks, self.block_size)
         workers = min(cfg.jobs, shard_count)
@@ -306,9 +335,9 @@ class StreamEngine:
                     errors.append(event[1])
                     continue
                 if kind == "fed":
-                    _, number, first, last, fed_at = event
+                    _, number, first, last, count, fed_at = event
                     open_blocks.append(
-                        _OpenBlock(number, first, last, last - first + 1, fed_at)
+                        _OpenBlock(number, first, last, count, fed_at)
                     )
                     continue
                 _, position, fresh, elapsed = event
@@ -334,12 +363,23 @@ class StreamEngine:
             thread.start()
         try:
             for block in source:
-                if not block.entries:
+                entries = block.entries
+                if done_shards:
+                    # resumed shards are already journaled: their
+                    # transactions never enter the pipeline.
+                    entries = tuple(
+                        entry
+                        for entry in entries
+                        if shard_of(entry[0], shard_count) not in done_shards
+                    )
+                if not entries:
                     continue
-                first = block.entries[0][0]
-                last = block.entries[-1][0]
-                out_queue.put(("fed", block.number, first, last, time.perf_counter()))
-                for position, task in block.entries:
+                first = entries[0][0]
+                last = entries[-1][0]
+                out_queue.put(
+                    ("fed", block.number, first, last, len(entries), time.perf_counter())
+                )
+                for position, task in entries:
                     inbox = in_queues[shard_of(position, shard_count) % workers]
                     inbox.put((position, task))  # blocks when full: backpressure
                     depth = inbox.qsize()
@@ -357,7 +397,12 @@ class StreamEngine:
             raise errors[0]
 
         ordered = [shard_results[index] for index in sorted(shard_results)]
-        result = merge_shard_results(cfg, ordered)
+        if ledger is not None:
+            for outcome in ordered:
+                ledger.record(outcome)
+            result = ledger.merge()
+        else:
+            result = merge_shard_results(cfg, ordered)
         return StreamResult(
             result=result,
             blocks=stats_out,

@@ -2,23 +2,36 @@
 
 The cluster subsystem (:mod:`repro.cluster`) ships shard descriptors to
 remote workers and streams their :class:`~repro.engine.scan.ShardResult`\\ s
-back over a length-prefixed JSON wire protocol. Everything that crosses
-the wire round-trips through the codecs in this module, and the
-round-trip is lossless: a decoded shard result merges byte-identically
-to the in-process original (``tests/cluster/test_protocol.py`` pins
-this).
+back over a length-prefixed JSON wire protocol, and the run ledger
+(:mod:`repro.runtime.ledger`) journals the same payloads durably to
+disk. Everything that crosses the wire or lands in a ledger round-trips
+through the codecs in this module, and the round-trip is lossless: a
+decoded shard result merges byte-identically to the in-process original
+(``tests/cluster/test_protocol.py`` pins this).
 
 Only plain JSON types ever cross the wire — no pickling — so a worker
 can never execute anything the coordinator sends except the scan the
 codecs describe, and vice versa.
+
+Decoding is *strict*: every payload carries an explicit schema version
+(``"v"``) and an exact field set. A version mismatch, a missing field or
+an unknown field raises ``ValueError`` immediately instead of silently
+producing a wrong merge — the failure mode that matters once payloads
+outlive the process that wrote them (resumed ledgers, mixed-version
+fleets).
 """
 
 from __future__ import annotations
+
+import hashlib
+import json
 
 from ..chain.types import Address
 from .scan import ShardResult
 
 __all__ = [
+    "WIRE_VERSION",
+    "config_digest",
     "config_to_wire",
     "config_from_wire",
     "detection_to_wire",
@@ -26,6 +39,53 @@ __all__ = [
     "shard_result_to_wire",
     "shard_result_from_wire",
 ]
+
+#: schema version stamped on every top-level payload. Bump whenever a
+#: codec's field set changes; decoders reject anything else.
+WIRE_VERSION = 1
+
+_CONFIG_FIELDS = frozenset(
+    {"v", "scale", "seed", "with_heuristic", "keep_history", "pattern_config",
+     "shards"}
+)
+_PATTERN_FIELDS = frozenset(
+    {"krp_min_buys", "sbs_min_volatility", "sbs_amount_tolerance",
+     "mbs_min_rounds"}
+)
+_TRUTH_FIELDS = frozenset(
+    {"is_attack", "profile", "net_profit", "source_disclosed",
+     "aggregator_initiated", "attacked_app", "attacker", "attack_contract",
+     "asset", "month", "patterns", "known"}
+)
+_DETECTION_FIELDS = frozenset(
+    {"tx_hash", "patterns", "truth", "profit_usd", "borrowed_usd"}
+)
+_SHARD_RESULT_FIELDS = frozenset(
+    {"v", "shard_index", "total_transactions", "detections", "row_counts"}
+)
+
+
+def _check_payload(payload, fields: frozenset, what: str) -> None:
+    """Exact-schema check: a dict with precisely ``fields``, no more, no less."""
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"{what}: expected a JSON object, got {type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - fields)
+    if unknown:
+        raise ValueError(f"{what}: unknown field(s) {unknown}")
+    missing = sorted(fields - set(payload))
+    if missing:
+        raise ValueError(f"{what}: missing field(s) {missing}")
+
+
+def _check_version(payload: dict, what: str) -> None:
+    version = payload.get("v") if isinstance(payload, dict) else None
+    if version != WIRE_VERSION:
+        raise ValueError(
+            f"{what}: wire schema version mismatch — payload says "
+            f"{version!r}, this build speaks v{WIRE_VERSION}"
+        )
 
 
 def config_to_wire(config) -> dict:
@@ -45,6 +105,7 @@ def config_to_wire(config) -> dict:
             "mbs_min_rounds": cfg.mbs_min_rounds,
         }
     return {
+        "v": WIRE_VERSION,
         "scale": config.scale,
         "seed": config.seed,
         "with_heuristic": config.with_heuristic,
@@ -59,7 +120,11 @@ def config_from_wire(payload: dict):
     from ..leishen.patterns import PatternConfig
     from ..workload.generator import WildScanConfig
 
-    pattern_config = payload.get("pattern_config")
+    _check_version(payload, "scan config")
+    _check_payload(payload, _CONFIG_FIELDS, "scan config")
+    pattern_config = payload["pattern_config"]
+    if pattern_config is not None:
+        _check_payload(pattern_config, _PATTERN_FIELDS, "pattern config")
     return WildScanConfig(
         scale=payload["scale"],
         seed=payload["seed"],
@@ -69,8 +134,21 @@ def config_from_wire(payload: dict):
             PatternConfig(**pattern_config) if pattern_config is not None else None
         ),
         jobs=1,
-        shards=payload.get("shards"),
+        shards=payload["shards"],
     )
+
+
+def config_digest(config) -> str:
+    """Stable content digest of a scan config's identity-relevant fields.
+
+    SHA-256 over the canonical JSON of :func:`config_to_wire`, so two
+    configs digest equal exactly when they would produce byte-identical
+    scans. The run ledger records this in its header and refuses to
+    resume under a different config — silently merging shards from a
+    different scan is the one corruption a journal must make impossible.
+    """
+    blob = json.dumps(config_to_wire(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def _truth_to_wire(truth) -> dict:
@@ -92,6 +170,8 @@ def _truth_to_wire(truth) -> dict:
 
 def _truth_from_wire(payload: dict):
     from ..workload.profiles import GroundTruth
+
+    _check_payload(payload, _TRUTH_FIELDS, "ground truth")
 
     def address(value):
         return Address(value) if value is not None else None
@@ -125,6 +205,7 @@ def detection_to_wire(detection) -> dict:
 def detection_from_wire(payload: dict):
     from ..workload.generator import Detection
 
+    _check_payload(payload, _DETECTION_FIELDS, "detection")
     return Detection(
         tx_hash=payload["tx_hash"],
         patterns=tuple(payload["patterns"]),
@@ -136,6 +217,7 @@ def detection_from_wire(payload: dict):
 
 def shard_result_to_wire(result: ShardResult) -> dict:
     return {
+        "v": WIRE_VERSION,
         "shard_index": result.shard_index,
         "total_transactions": result.total_transactions,
         "detections": [detection_to_wire(d) for d in result.detections],
@@ -146,6 +228,8 @@ def shard_result_to_wire(result: ShardResult) -> dict:
 
 
 def shard_result_from_wire(payload: dict) -> ShardResult:
+    _check_version(payload, "shard result")
+    _check_payload(payload, _SHARD_RESULT_FIELDS, "shard result")
     return ShardResult(
         shard_index=payload["shard_index"],
         total_transactions=payload["total_transactions"],

@@ -37,14 +37,22 @@ def run_local(
     autoscale: bool = False,
     min_workers: int = 0,
     max_workers: int | None = None,
+    ledger=None,
 ):
-    """Coordinator + ``workers`` local workers; returns (result, stats, s)."""
+    """Coordinator + ``workers`` local workers; returns (result, stats, s).
+
+    ``ledger`` (a path or an open :class:`repro.runtime.RunLedger`)
+    journals every completed shard; a killed coordinator resumes from
+    the same path, scheduling only the shards the journal is missing.
+    """
     from ..cluster import run_cluster_scan
 
     config = WildScanConfig(scale=scale, seed=seed, shards=shards)
     options = {}
     if heartbeat_timeout is not None:
         options["heartbeat_timeout"] = heartbeat_timeout
+    if ledger is not None:
+        options["ledger"] = ledger
     if autoscale:
         options.update(
             autoscale=True, min_workers=min_workers, max_workers=max_workers
@@ -76,6 +84,10 @@ def _summary_lines(result, stats, elapsed: float, workers_label: str) -> list[st
             f"{stats.workers_readmitted} readmitted on probation "
             f"({stats.probation_passes} passed, {stats.probation_failures} failed)"
         )
+    if stats.resumed_shards:
+        lines.append(
+            f"ledger: {stats.resumed_shards} shard(s) resumed from the journal"
+        )
     return lines
 
 
@@ -89,6 +101,7 @@ def render_local(
     min_workers: int = 0,
     max_workers: int | None = None,
     verify: bool = True,
+    ledger=None,
 ) -> str:
     """Single-machine cluster run; optionally verify against the batch
     engine (doubles the work — skip with ``--no-verify`` at full scale)."""
@@ -96,6 +109,7 @@ def render_local(
         scale=scale, seed=seed, workers=workers, shards=shards,
         heartbeat_timeout=heartbeat_timeout,
         autoscale=autoscale, min_workers=min_workers, max_workers=max_workers,
+        ledger=ledger,
     )
     lines = _summary_lines(
         result, stats, elapsed, f"{stats.workers_seen} local worker(s)"
@@ -124,6 +138,7 @@ def render_serve(
     host: str = "0.0.0.0",
     port: int = 9733,
     heartbeat_timeout: float | None = None,
+    ledger=None,
 ) -> str:
     """Coordinator-only mode: wait for remote workers, then merge."""
     from ..cluster import Coordinator
@@ -132,6 +147,8 @@ def render_serve(
     options = {}
     if heartbeat_timeout is not None:
         options["heartbeat_timeout"] = heartbeat_timeout
+    if ledger is not None:
+        options["ledger"] = ledger
     coordinator = Coordinator(config, host=host, port=port, **options)
     bound_host, bound_port = coordinator.address
     print(

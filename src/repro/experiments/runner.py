@@ -13,7 +13,7 @@ import argparse
 import sys
 import time
 
-from . import ablations, cluster, fig1, fig8, perf, stream, table1, table4, table5, table6, table7
+from . import ablations, cluster, fig1, fig8, perf, scan, stream, table1, table4, table5, table6, table7
 
 __all__ = ["main"]
 
@@ -28,6 +28,7 @@ def _run_one(
     shards: int | None = None,
     queue_depth: int | None = None,
     block_size: int | None = None,
+    ledger: str | None = None,
 ) -> str:
     if name == "fig1":
         return fig1.render()
@@ -47,10 +48,12 @@ def _run_one(
         return perf.render()
     if name == "ablations":
         return ablations.render()
+    if name == "scan":
+        return scan.render(scale=scale, jobs=jobs, shards=shards, ledger=ledger)
     if name == "stream":
         return stream.render(
             scale=scale, jobs=jobs, shards=shards,
-            queue_depth=queue_depth, block_size=block_size,
+            queue_depth=queue_depth, block_size=block_size, ledger=ledger,
         )
     raise ValueError(f"unknown experiment {name!r}")
 
@@ -62,10 +65,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=(*_EXPERIMENTS, "stream", "cluster", "all"),
-        help="which table/figure to regenerate ('stream' runs the live "
-        "streaming-detection pipeline, 'cluster' the distributed scan; "
-        "neither is part of 'all')",
+        choices=(*_EXPERIMENTS, "scan", "stream", "cluster", "all"),
+        help="which table/figure to regenerate ('scan' runs the batch "
+        "wild scan, 'stream' the live streaming-detection pipeline, "
+        "'cluster' the distributed scan; none of the three is part of "
+        "'all')",
     )
     parser.add_argument(
         "--scale",
@@ -164,6 +168,21 @@ def main(argv: list[str] | None = None) -> int:
         help="cluster only: skip the batch-engine identity check "
         "(halves the runtime at large scales)",
     )
+    parser.add_argument(
+        "--ledger",
+        metavar="PATH",
+        default=None,
+        help="scan/stream/cluster: journal completed shards to PATH "
+        "(append-only JSONL run ledger); an existing ledger for the same "
+        "config is resumed, a config mismatch is an error",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="scan/stream/cluster: resume an existing run ledger at PATH "
+        "(like --ledger, but the file must already exist)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
@@ -186,6 +205,18 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--serve and --connect are mutually exclusive")
     if args.autoscale and (args.serve or args.connect):
         parser.error("--autoscale only applies to local cluster runs")
+    if args.ledger and args.resume:
+        parser.error("--ledger and --resume are mutually exclusive")
+    ledger = args.ledger or args.resume
+    if ledger is not None and args.experiment not in ("scan", "stream", "cluster"):
+        parser.error("--ledger/--resume only apply to scan, stream and cluster")
+    if args.resume:
+        import os
+
+        if not os.path.exists(args.resume):
+            parser.error(f"--resume: no ledger at {args.resume!r}")
+    if ledger is not None and args.connect:
+        parser.error("--ledger/--resume apply to the coordinator, not --connect")
     scale = 1.0 if args.full else args.scale
 
     if args.experiment == "cluster":
@@ -195,7 +226,7 @@ def main(argv: list[str] | None = None) -> int:
         elif args.serve:
             output = cluster.render_serve(
                 scale=scale, shards=args.shards, host=args.host, port=args.port,
-                heartbeat_timeout=args.heartbeat_timeout,
+                heartbeat_timeout=args.heartbeat_timeout, ledger=ledger,
             )
         else:
             output = cluster.render_local(
@@ -204,6 +235,7 @@ def main(argv: list[str] | None = None) -> int:
                 autoscale=args.autoscale, min_workers=args.min_workers,
                 max_workers=args.max_workers,
                 verify=not args.no_verify,
+                ledger=ledger,
             )
         print(f"=== cluster ({time.perf_counter() - start:.1f}s) ===")
         print(output)
@@ -216,6 +248,7 @@ def main(argv: list[str] | None = None) -> int:
         output = _run_one(
             name, scale, jobs=args.jobs, shards=args.shards,
             queue_depth=args.queue_depth, block_size=args.block_size,
+            ledger=ledger,
         )
         elapsed = time.perf_counter() - start
         print(f"=== {name} ({elapsed:.1f}s) ===")

@@ -11,7 +11,7 @@ from __future__ import annotations
 from ..engine.stream import StreamEngine, StreamResult
 from ..workload.generator import WildScanConfig
 
-__all__ = ["run", "render"]
+__all__ = ["run", "run_with_engine", "render"]
 
 
 def run(
@@ -21,14 +21,34 @@ def run(
     shards: int | None = None,
     queue_depth: int | None = None,
     block_size: int | None = None,
+    ledger=None,
 ) -> StreamResult:
+    """``ledger`` (path or open RunLedger) journals shard results at end
+    of stream and skips already-journaled shards on resume; use
+    :func:`run_with_engine` when the resume/record counters are needed."""
+    return run_with_engine(
+        scale=scale, seed=seed, jobs=jobs, shards=shards,
+        queue_depth=queue_depth, block_size=block_size, ledger=ledger,
+    )[0]
+
+
+def run_with_engine(
+    scale: float = 0.1,
+    seed: int = 7,
+    jobs: int = 1,
+    shards: int | None = None,
+    queue_depth: int | None = None,
+    block_size: int | None = None,
+    ledger=None,
+) -> tuple[StreamResult, StreamEngine]:
     config = WildScanConfig(scale=scale, seed=seed, jobs=jobs, shards=shards)
     kwargs = {}
     if queue_depth is not None:
         kwargs["queue_depth"] = queue_depth
     if block_size is not None:
         kwargs["block_size"] = block_size
-    return StreamEngine(config, **kwargs).run()
+    engine = StreamEngine(config, ledger=ledger, **kwargs)
+    return engine.run(), engine
 
 
 def render(
@@ -37,10 +57,11 @@ def render(
     shards: int | None = None,
     queue_depth: int | None = None,
     block_size: int | None = None,
+    ledger=None,
 ) -> str:
-    streamed = run(
+    streamed, engine = run_with_engine(
         scale=scale, jobs=jobs, shards=shards,
-        queue_depth=queue_depth, block_size=block_size,
+        queue_depth=queue_depth, block_size=block_size, ledger=ledger,
     )
     result = streamed.result
     alert_blocks = [stats for stats in streamed.blocks if stats.detections]
@@ -65,4 +86,10 @@ def render(
         )
     if len(alert_blocks) > 10:
         lines.append(f"  ... {len(alert_blocks) - 10} more alerting blocks")
+    if engine.ledger is not None:
+        lines.append(
+            f"ledger: {engine.ledger.path} — "
+            f"{engine.ledger.resumed_count} shard(s) resumed from the journal, "
+            f"{engine.ledger.recorded_count} freshly executed and recorded"
+        )
     return "\n".join(lines)

@@ -55,11 +55,12 @@ class LeiShen:
         chain: "Chain",
         config: LeiShenConfig | None = None,
         labels: LabelDatabase | None = None,
+        tag_snapshot: dict | None = None,
     ) -> None:
         self.chain = chain
         self.config = config or LeiShenConfig()
         self.identifier = FlashLoanIdentifier()
-        self.tagger = AccountTagger(chain, labels)
+        self.tagger = AccountTagger(chain, labels, snapshot=tag_snapshot)
         self.simplifier = TransferSimplifier(self.config.simplifier)
         self.trade_identifier = TradeIdentifier()
         self.matcher = PatternMatcher(self.config.patterns)

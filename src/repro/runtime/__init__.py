@@ -1,0 +1,24 @@
+"""Durable execution runtime shared by every scan backend.
+
+The batch engine (:class:`~repro.engine.scan.ScanEngine`), the streaming
+engine (:class:`~repro.engine.stream.StreamEngine`) and the cluster
+coordinator (:class:`~repro.cluster.coordinator.Coordinator`) all
+execute the same deterministic shard partition; this package gives them
+one journaled execution layer underneath. A :class:`RunLedger` records
+every finished shard append-only on disk, so a scan interrupted at any
+point — a killed batch process, a SIGKILL'd coordinator host — resumes
+from the journal and re-runs only the shards that never landed, merging
+byte-identically to an uninterrupted run::
+
+    from repro.runtime import RunLedger
+    from repro.engine.scan import ScanEngine
+    from repro.workload.generator import WildScanConfig
+
+    config = WildScanConfig(scale=0.01, shards=8)
+    result = ScanEngine(config, ledger="scan.ledger").run()
+    # ... kill + restart: the same call resumes, skipping finished shards
+"""
+
+from .ledger import LEDGER_VERSION, LedgerError, RunLedger, ensure_ledger
+
+__all__ = ["LEDGER_VERSION", "LedgerError", "RunLedger", "ensure_ledger"]

@@ -1,0 +1,385 @@
+"""The run ledger: an append-only journal of shard outcomes.
+
+One ledger file describes one scan. The first line is a versioned header
+binding the file to a scan identity — ``(seed, scale, shard_count,
+config_digest)`` plus the full wire-encoded config — and every later
+line journals one finished shard as its lossless wire payload
+(:mod:`repro.engine.wire`)::
+
+    {"kind": "header", "ledger_version": 1, "wire_version": 1,
+     "seed": 7, "scale": 0.01, "shard_count": 8,
+     "config_digest": "ab12...", "config": {...}}
+    {"kind": "shard", "shard": 3, "payload": {...}}
+    {"kind": "shard", "shard": 0, "payload": {...}}
+
+Records are flushed and fsync'd one by one, so the file is exactly as
+durable as the shards it claims: a process killed mid-append leaves at
+worst one torn trailing line, which :meth:`RunLedger.open` tolerates
+(everything before it is intact). Any *other* malformation — a corrupt
+interior line, a header from a different ledger version, a payload with
+the wrong wire schema version, two divergent records for the same shard,
+or a config whose digest does not match — raises :class:`LedgerError`
+instead of producing a wrong merge.
+
+The merge lives behind the ledger: :meth:`RunLedger.merge` decodes every
+journaled payload and feeds them to
+:func:`~repro.engine.scan.merge_shard_results` in shard order, so a
+resumed run's result is byte-identical to an uninterrupted one — the
+codec round-trip is lossless and the merge never sees *where* a shard
+ran or *when* it was journaled.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..engine.scan import ShardResult, merge_shard_results
+from ..engine.wire import (
+    WIRE_VERSION,
+    config_digest,
+    config_from_wire,
+    config_to_wire,
+    shard_result_from_wire,
+    shard_result_to_wire,
+)
+
+__all__ = ["LEDGER_VERSION", "LedgerError", "RunLedger", "ensure_ledger"]
+
+#: ledger file format version; the header pins it and readers reject
+#: anything else (the journal outlives the process that wrote it).
+LEDGER_VERSION = 1
+
+
+class LedgerError(ValueError):
+    """The ledger cannot be used: version/config mismatch or corruption."""
+
+
+class RunLedger:
+    """Durable journal of one scan's shard outcomes.
+
+    Construct through :meth:`create`, :meth:`open` or
+    :meth:`resume_or_create`; engines normalize path-or-ledger arguments
+    through :func:`ensure_ledger`. Thread-safe appends are the caller's
+    responsibility (the coordinator records under its lock; the batch
+    and stream engines record from a single thread).
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        config,
+        shard_count: int,
+        *,
+        payloads: dict[int, dict] | None = None,
+        fresh: bool,
+    ) -> None:
+        self.path = path
+        self.config = config
+        self.shard_count = shard_count
+        self.config_digest = config_digest(config)
+        #: shard index -> wire payload, as journaled.
+        self._payloads: dict[int, dict] = payloads or {}
+        #: shards already in the file when it was opened (what a resume skips).
+        self.resumed_count = 0 if fresh else len(self._payloads)
+        #: shards appended by this process.
+        self.recorded_count = 0
+        #: idempotent re-records that were already journaled.
+        self.duplicates_ignored = 0
+        self._handle = None
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def create(cls, path, config, shard_count: int) -> "RunLedger":
+        """Start a fresh ledger at ``path`` (fails if the file exists)."""
+        if shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+        path = Path(path)
+        header = {
+            "kind": "header",
+            "ledger_version": LEDGER_VERSION,
+            "wire_version": WIRE_VERSION,
+            "seed": config.seed,
+            "scale": config.scale,
+            "shard_count": shard_count,
+            "config_digest": config_digest(config),
+            "config": config_to_wire(config),
+        }
+        with open(path, "x", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return cls(path, config, shard_count, fresh=True)
+
+    @classmethod
+    def open(cls, path, config=None, shard_count: int | None = None) -> "RunLedger":
+        """Load an existing ledger, verifying it belongs to this scan.
+
+        ``config``/``shard_count``, when given, must match the header —
+        a ``config_digest`` or shard-count mismatch raises
+        :class:`LedgerError` (resuming someone else's journal would merge
+        shards from a different scan). A torn trailing line (the mark of
+        a kill mid-append) is tolerated *and truncated away*, so records
+        appended by the resumed run land on a clean line boundary instead
+        of turning the tear into interior corruption at the next open.
+        """
+        path = Path(path)
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except FileNotFoundError:
+            raise LedgerError(f"no ledger at {path}") from None
+        if not lines:
+            raise LedgerError(f"{path}: empty file, not a ledger")
+        header = cls._parse_header(path, lines[0])
+        ledger_config = config_from_wire(header["config"])
+        if config is not None and config_digest(config) != header["config_digest"]:
+            raise LedgerError(
+                f"{path}: config digest mismatch — the ledger was written for "
+                f"(seed={header['seed']}, scale={header['scale']}, "
+                f"shard_count={header['shard_count']}); refusing to resume a "
+                f"different scan"
+            )
+        if shard_count is not None and shard_count != header["shard_count"]:
+            raise LedgerError(
+                f"{path}: shard count mismatch — ledger has "
+                f"{header['shard_count']}, caller expects {shard_count}"
+            )
+        payloads, torn = cls._parse_records(path, lines[1:], header["shard_count"])
+        if torn:
+            cls._truncate_torn_tail(path, lines)
+        return cls(
+            path, ledger_config, header["shard_count"],
+            payloads=payloads, fresh=False,
+        )
+
+    @classmethod
+    def resume_or_create(cls, path, config, shard_count: int) -> "RunLedger":
+        """Open ``path`` when it exists (verified), else start it fresh."""
+        if Path(path).exists():
+            return cls.open(path, config=config, shard_count=shard_count)
+        return cls.create(path, config, shard_count)
+
+    @classmethod
+    def for_config(cls, path, config) -> "RunLedger":
+        """Resume-or-create with the shard count resolved from ``config``
+        exactly as the engines resolve it (CLI/example convenience)."""
+        from ..engine.plan import build_schedule, resolve_shard_count
+
+        tasks = build_schedule(config.scale, config.seed)
+        return cls.resume_or_create(
+            path, config, resolve_shard_count(config.shards, len(tasks))
+        )
+
+    # -- header / record parsing ----------------------------------------
+
+    @staticmethod
+    def _parse_header(path: Path, line: str) -> dict:
+        try:
+            header = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise LedgerError(f"{path}: undecodable header line: {exc}") from None
+        if not isinstance(header, dict) or header.get("kind") != "header":
+            raise LedgerError(f"{path}: first line is not a ledger header")
+        version = header.get("ledger_version")
+        if version != LEDGER_VERSION:
+            raise LedgerError(
+                f"{path}: ledger format version mismatch — file says "
+                f"{version!r}, this build speaks v{LEDGER_VERSION}"
+            )
+        if header.get("wire_version") != WIRE_VERSION:
+            raise LedgerError(
+                f"{path}: wire schema version mismatch — file says "
+                f"{header.get('wire_version')!r}, this build speaks "
+                f"v{WIRE_VERSION}"
+            )
+        for field in ("seed", "scale", "shard_count", "config_digest", "config"):
+            if field not in header:
+                raise LedgerError(f"{path}: header is missing {field!r}")
+        return header
+
+    @staticmethod
+    def _parse_records(
+        path: Path, lines: list[str], shard_count: int
+    ) -> tuple[dict, bool]:
+        payloads: dict[int, dict] = {}
+        torn = False
+        last = len(lines) - 1
+        for number, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if number == last:
+                    torn = True  # torn trailing write: the kill's signature
+                    break
+                raise LedgerError(
+                    f"{path}: corrupt interior record at line {number + 2}"
+                ) from None
+            if not isinstance(record, dict) or record.get("kind") != "shard":
+                raise LedgerError(
+                    f"{path}: line {number + 2} is not a shard record"
+                )
+            shard = record.get("shard")
+            payload = record.get("payload")
+            if not isinstance(shard, int) or not 0 <= shard < shard_count:
+                raise LedgerError(
+                    f"{path}: line {number + 2} names shard {shard!r}, "
+                    f"outside 0..{shard_count - 1}"
+                )
+            if not isinstance(payload, dict) or payload.get("v") != WIRE_VERSION:
+                raise LedgerError(
+                    f"{path}: shard {shard} payload has wire version "
+                    f"{payload.get('v') if isinstance(payload, dict) else None!r}, "
+                    f"this build speaks v{WIRE_VERSION}"
+                )
+            if shard in payloads:
+                if payloads[shard] != payload:
+                    raise LedgerError(
+                        f"{path}: divergent duplicate records for shard {shard}"
+                    )
+                continue  # identical duplicate: first wins
+            payloads[shard] = payload
+        return payloads, torn
+
+    @staticmethod
+    def _truncate_torn_tail(path: Path, lines: list[str]) -> None:
+        """Cut the torn final line so appends resume on a line boundary."""
+        intact = sum(len(line.encode("utf-8")) + 1 for line in lines[:-1])
+        with open(path, "r+b") as handle:
+            handle.truncate(intact)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- journaling ------------------------------------------------------
+
+    def record(self, result: ShardResult) -> bool:
+        """Journal one finished shard; False if it was already journaled."""
+        return self.record_payload(
+            result.shard_index, shard_result_to_wire(result)
+        )
+
+    def record_payload(self, shard: int, payload: dict) -> bool:
+        """Journal one shard's wire payload durably (idempotent).
+
+        A shard already journaled with the same payload is skipped
+        (``False``; counted in ``duplicates_ignored``) — the late-result
+        path after a resume. A *different* payload for the same shard
+        raises :class:`LedgerError`: the determinism contract says that
+        cannot happen, so it marks corruption, not a race.
+        """
+        if not 0 <= shard < self.shard_count:
+            raise LedgerError(
+                f"shard {shard} outside 0..{self.shard_count - 1}"
+            )
+        if not isinstance(payload, dict) or payload.get("v") != WIRE_VERSION:
+            raise LedgerError(
+                f"shard {shard}: refusing to journal a payload with wire "
+                f"version {payload.get('v') if isinstance(payload, dict) else None!r}"
+            )
+        existing = self._payloads.get(shard)
+        if existing is not None:
+            if existing != payload:
+                raise LedgerError(
+                    f"shard {shard}: divergent result for an already-journaled "
+                    f"shard — same scan identity must produce identical shards"
+                )
+            self.duplicates_ignored += 1
+            return False
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(
+            json.dumps({"kind": "shard", "shard": shard, "payload": payload})
+            + "\n"
+        )
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._payloads[shard] = payload
+        self.recorded_count += 1
+        return True
+
+    # -- resume / merge --------------------------------------------------
+
+    @property
+    def completed_payloads(self) -> dict[int, dict]:
+        """Journaled shard payloads (shard index -> wire dict), read-only use."""
+        return self._payloads
+
+    def completed_results(self) -> dict[int, ShardResult]:
+        """Journaled shards decoded back to :class:`ShardResult`."""
+        return {
+            shard: shard_result_from_wire(payload)
+            for shard, payload in self._payloads.items()
+        }
+
+    def remaining(self) -> list[int]:
+        """Shard indices still missing from the journal, ascending."""
+        return [
+            shard for shard in range(self.shard_count)
+            if shard not in self._payloads
+        ]
+
+    @property
+    def is_complete(self) -> bool:
+        return len(self._payloads) == self.shard_count
+
+    def merge(self):
+        """Decode every journaled shard and merge, in shard order.
+
+        This is the single merge path for ledger-backed runs: batch,
+        stream and cluster all journal first and merge from the journal,
+        which is what makes an interrupted-and-resumed run byte-identical
+        to an uninterrupted one.
+        """
+        missing = self.remaining()
+        if missing:
+            raise LedgerError(
+                f"cannot merge an incomplete ledger: shard(s) {missing} "
+                f"not journaled"
+            )
+        outcomes = [
+            shard_result_from_wire(self._payloads[shard])
+            for shard in range(self.shard_count)
+        ]
+        return merge_shard_results(self.config, outcomes)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            finally:
+                self._handle = None
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def ensure_ledger(ledger, config, shard_count: int) -> RunLedger | None:
+    """Normalize an engine's ``ledger`` argument.
+
+    ``None`` passes through; a path resumes-or-creates; an existing
+    :class:`RunLedger` is verified against this scan's ``config_digest``
+    and shard count (mismatch raises :class:`LedgerError`).
+    """
+    if ledger is None:
+        return None
+    if isinstance(ledger, RunLedger):
+        if ledger.config_digest != config_digest(config):
+            raise LedgerError(
+                f"{ledger.path}: ledger was opened for a different config "
+                f"(digest mismatch)"
+            )
+        if ledger.shard_count != shard_count:
+            raise LedgerError(
+                f"{ledger.path}: ledger has shard_count={ledger.shard_count}, "
+                f"this run resolves {shard_count}"
+            )
+        return ledger
+    return RunLedger.resume_or_create(ledger, config, shard_count)

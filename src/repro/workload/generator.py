@@ -154,11 +154,12 @@ class WildScanner:
     processes. The result is byte-identical for any ``jobs`` value.
     """
 
-    def __init__(self, config: WildScanConfig | None = None) -> None:
+    def __init__(self, config: WildScanConfig | None = None, *, ledger=None) -> None:
         self.config = config or WildScanConfig()
+        self.ledger = ledger
 
     def run(self) -> WildScanResult:
         from ..engine import ScanEngine  # lazy: engine imports this module
 
-        return ScanEngine(self.config).run()
+        return ScanEngine(self.config, ledger=self.ledger).run()
 

@@ -1,0 +1,105 @@
+"""``ClusterStats`` / ``CapacitySnapshot`` dict round-trips.
+
+Both types cross process boundaries as JSON (bench artifacts, scaling
+logs), so ``to_dict`` → ``from_dict`` must be lossless and strict:
+unknown fields mean the payload came from a different build and are
+rejected rather than silently dropped.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.coordinator import CapacitySnapshot, ClusterStats
+
+
+def _stats() -> ClusterStats:
+    return ClusterStats(
+        workers_seen=3,
+        assignments=11,
+        requeues=2,
+        heartbeat_requeues=1,
+        worker_losses=1,
+        shard_errors=1,
+        duplicates_suppressed=2,
+        workers_excluded=1,
+        local_fallback_shards=1,
+        workers_spawned=2,
+        workers_drained=1,
+        workers_readmitted=1,
+        probation_passes=1,
+        probation_failures=0,
+        resumed_shards=3,
+    )
+
+
+def _snapshot() -> CapacitySnapshot:
+    return CapacitySnapshot(
+        shard_count=8,
+        completed=3,
+        pending=2,
+        running=3,
+        live_workers=("a", "b"),
+        idle_workers=("b",),
+        retiring_workers=("c",),
+        excluded_ages={"d": 1.5},
+        stopping=False,
+        failed=False,
+    )
+
+
+class TestClusterStatsRoundTrip:
+    def test_round_trip_is_lossless(self):
+        stats = _stats()
+        assert ClusterStats.from_dict(stats.to_dict()) == stats
+
+    def test_round_trip_survives_json(self):
+        stats = _stats()
+        decoded = json.loads(json.dumps(stats.to_dict()))
+        assert ClusterStats.from_dict(decoded) == stats
+
+    def test_to_dict_covers_every_field(self):
+        assert set(_stats().to_dict()) == set(ClusterStats.__dataclass_fields__)
+
+    def test_unknown_field_rejected(self):
+        payload = dict(_stats().to_dict(), surprise=1)
+        with pytest.raises(ValueError, match="unknown"):
+            ClusterStats.from_dict(payload)
+
+    def test_resumed_shards_defaults_to_zero(self):
+        assert ClusterStats().resumed_shards == 0
+
+
+class TestCapacitySnapshotRoundTrip:
+    def test_round_trip_is_lossless(self):
+        snapshot = _snapshot()
+        assert CapacitySnapshot.from_dict(snapshot.to_dict()) == snapshot
+
+    def test_round_trip_survives_json(self):
+        snapshot = _snapshot()
+        decoded = json.loads(json.dumps(snapshot.to_dict()))
+        assert CapacitySnapshot.from_dict(decoded) == snapshot
+
+    def test_round_trip_preserves_derived_views(self):
+        rebuilt = CapacitySnapshot.from_dict(_snapshot().to_dict())
+        assert rebuilt.outstanding == 5
+        assert rebuilt.demand == 5
+        assert not rebuilt.finished
+
+    def test_to_dict_covers_every_field(self):
+        assert set(_snapshot().to_dict()) == set(
+            CapacitySnapshot.__dataclass_fields__
+        )
+
+    def test_unknown_field_rejected(self):
+        payload = dict(_snapshot().to_dict(), surprise=1)
+        with pytest.raises(ValueError, match="unknown"):
+            CapacitySnapshot.from_dict(payload)
+
+    def test_missing_field_rejected(self):
+        payload = _snapshot().to_dict()
+        del payload["pending"]
+        with pytest.raises(ValueError, match="missing"):
+            CapacitySnapshot.from_dict(payload)

@@ -1,0 +1,102 @@
+"""Wire schema versioning: explicit versions, strict field validation.
+
+Every top-level wire payload (config, shard result) carries an explicit
+``"v"`` schema version. Decoders reject a wrong version and any
+unknown/missing field with a clear ``ValueError`` instead of merging a
+payload written by a different build — the silent-wrong-merge bug class
+this satellite closes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.wire import (
+    WIRE_VERSION,
+    config_digest,
+    config_from_wire,
+    config_to_wire,
+    shard_result_from_wire,
+    shard_result_to_wire,
+)
+from repro.engine.scan import ShardResult
+from repro.workload.generator import WildScanConfig
+
+
+@pytest.fixture()
+def config():
+    return WildScanConfig(scale=0.01, seed=7, shards=4)
+
+
+@pytest.fixture()
+def shard_payload():
+    return shard_result_to_wire(ShardResult(shard_index=2, total_transactions=5))
+
+
+class TestVersionField:
+    def test_config_payload_carries_version(self, config):
+        assert config_to_wire(config)["v"] == WIRE_VERSION
+
+    def test_shard_payload_carries_version(self, shard_payload):
+        assert shard_payload["v"] == WIRE_VERSION
+
+    def test_config_version_mismatch_rejected(self, config):
+        payload = dict(config_to_wire(config), v=WIRE_VERSION + 1)
+        with pytest.raises(ValueError, match="wire schema version"):
+            config_from_wire(payload)
+
+    def test_config_missing_version_rejected(self, config):
+        payload = dict(config_to_wire(config))
+        del payload["v"]
+        with pytest.raises(ValueError):
+            config_from_wire(payload)
+
+    def test_shard_version_mismatch_rejected(self, shard_payload):
+        payload = dict(shard_payload, v=WIRE_VERSION + 1)
+        with pytest.raises(ValueError, match="wire schema version"):
+            shard_result_from_wire(payload)
+
+
+class TestStrictFields:
+    def test_unknown_config_field_rejected(self, config):
+        payload = dict(config_to_wire(config), surprise=1)
+        with pytest.raises(ValueError, match="unknown"):
+            config_from_wire(payload)
+
+    def test_missing_config_field_rejected(self, config):
+        payload = dict(config_to_wire(config))
+        del payload["scale"]
+        with pytest.raises(ValueError, match="missing"):
+            config_from_wire(payload)
+
+    def test_unknown_shard_field_rejected(self, shard_payload):
+        payload = dict(shard_payload, surprise=1)
+        with pytest.raises(ValueError, match="unknown"):
+            shard_result_from_wire(payload)
+
+    def test_missing_shard_field_rejected(self, shard_payload):
+        payload = dict(shard_payload)
+        del payload["row_counts"]
+        with pytest.raises(ValueError, match="missing"):
+            shard_result_from_wire(payload)
+
+
+class TestConfigDigest:
+    def test_digest_is_deterministic(self, config):
+        assert config_digest(config) == config_digest(config)
+        rebuilt = WildScanConfig(scale=0.01, seed=7, shards=4)
+        assert config_digest(config) == config_digest(rebuilt)
+
+    def test_digest_changes_with_scan_identity(self, config):
+        other_seed = WildScanConfig(scale=0.01, seed=8, shards=4)
+        other_scale = WildScanConfig(scale=0.02, seed=7, shards=4)
+        digests = {
+            config_digest(config),
+            config_digest(other_seed),
+            config_digest(other_scale),
+        }
+        assert len(digests) == 3
+
+    def test_digest_ignores_jobs(self, config):
+        more_jobs = WildScanConfig(scale=0.01, seed=7, shards=4, jobs=8)
+        assert config_digest(config) == config_digest(more_jobs)

@@ -1,0 +1,84 @@
+"""CLI surface of the run ledger: --ledger / --resume on scan/stream/cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+class TestScanSubcommand:
+    def test_scan_renders_without_ledger(self, capsys):
+        assert main(["scan", "--scale", "0.005", "--shards", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Wild scan at scale 0.005" in out
+        assert "ledger:" not in out
+
+    def test_scan_journal_then_resume(self, tmp_path, capsys):
+        path = str(tmp_path / "run.ledger")
+        assert main(["scan", "--scale", "0.005", "--shards", "4",
+                     "--ledger", path]) == 0
+        first = capsys.readouterr().out
+        assert "0 shard(s) resumed" in first
+        assert "4 freshly executed" in first
+
+        assert main(["scan", "--scale", "0.005", "--shards", "4",
+                     "--resume", path]) == 0
+        second = capsys.readouterr().out
+        assert "4 shard(s) resumed" in second
+        assert "0 freshly executed" in second
+
+
+class TestStreamSubcommand:
+    def test_stream_journal_then_resume(self, tmp_path, capsys):
+        path = str(tmp_path / "run.ledger")
+        args = ["stream", "--scale", "0.005", "--shards", "4", "--jobs", "2"]
+        assert main([*args, "--ledger", path]) == 0
+        first = capsys.readouterr().out
+        assert "4 freshly executed" in first
+        assert main([*args, "--resume", path]) == 0
+        second = capsys.readouterr().out
+        assert "4 shard(s) resumed" in second
+
+
+class TestClusterSubcommand:
+    def test_cluster_journal_then_resume(self, tmp_path, capsys):
+        path = str(tmp_path / "run.ledger")
+        args = ["cluster", "--scale", "0.005", "--shards", "4",
+                "--workers", "2", "--no-verify"]
+        assert main([*args, "--ledger", path]) == 0
+        capsys.readouterr()
+        assert main([*args, "--resume", path]) == 0
+        second = capsys.readouterr().out
+        assert "4 shard(s) resumed from the journal" in second
+
+
+class TestFlagValidation:
+    def test_ledger_and_resume_mutually_exclusive(self, tmp_path):
+        path = str(tmp_path / "run.ledger")
+        with pytest.raises(SystemExit):
+            main(["scan", "--ledger", path, "--resume", path])
+
+    def test_resume_requires_existing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["scan", "--resume", str(tmp_path / "absent.ledger")])
+
+    def test_ledger_rejected_for_table_experiments(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["table4", "--ledger", str(tmp_path / "run.ledger")])
+
+    def test_ledger_rejected_for_worker_mode(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--connect", "127.0.0.1:9", "--ledger",
+                  str(tmp_path / "run.ledger")])
+
+    def test_config_mismatch_fails_loudly(self, tmp_path, capsys):
+        from repro.runtime import LedgerError
+
+        path = str(tmp_path / "run.ledger")
+        assert main(["scan", "--scale", "0.005", "--shards", "4",
+                     "--ledger", path]) == 0
+        capsys.readouterr()
+        with pytest.raises(LedgerError, match="config digest mismatch"):
+            main(["scan", "--scale", "0.01", "--shards", "4",
+                  "--resume", path])

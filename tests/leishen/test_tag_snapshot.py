@@ -1,0 +1,132 @@
+"""Tag-cache warm start: snapshots must never change a tag result.
+
+``AccountTagger.label_sync_snapshot()`` captures the synced label and
+creation-tree state right after a deterministic world build; installing
+it into an identically built chain skips the cold sync. The contract
+pinned here: warm start is *safe-or-ignored* — it either reproduces the
+cold tagger bit for bit, or (on any counter mismatch) is silently
+dropped and the cold sync runs instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.scan import (
+    build_shard_context,
+    clear_tag_snapshots,
+    finalize_shard,
+    run_shard,
+    tag_snapshot_for,
+)
+from repro.leishen.tagging import AccountTagger
+from repro.workload.generator import WildScanConfig
+
+SCALE = 0.005
+SEED = 7
+SHARDS = 4
+
+
+@pytest.fixture(autouse=True)
+def _fresh_snapshot_store():
+    clear_tag_snapshots()
+    yield
+    clear_tag_snapshots()
+
+
+def _config() -> WildScanConfig:
+    return WildScanConfig(scale=SCALE, seed=SEED, shards=SHARDS)
+
+
+class TestSnapshotEquivalence:
+    def test_warm_tagger_resolves_identical_tags(self):
+        cold_ctx = build_shard_context(_config(), 0, SHARDS)
+        cold_tagger = cold_ctx.detector.tagger
+        assert not cold_tagger.warm_started
+        snapshot = cold_tagger.label_sync_snapshot()
+
+        warm_ctx = build_shard_context(
+            _config(), 0, SHARDS, tag_snapshot=snapshot
+        )
+        warm_tagger = warm_ctx.detector.tagger
+        assert warm_tagger.warm_started
+        chain = warm_ctx.detector.chain
+        addresses = set(chain.created_by) | set(chain.labels)
+        assert addresses, "world build produced no accounts to tag"
+        for address in sorted(addresses):
+            assert warm_tagger.tag_of(address) == cold_tagger.tag_of(address)
+
+    def test_warm_shard_result_byte_identical(self):
+        """A full shard executed on a warm-started tagger produces the
+        same ShardResult as the cold build — detections, counters, all."""
+        cfg = _config()
+        from repro.engine.plan import build_schedule, shard_schedule
+
+        parts = shard_schedule(build_schedule(cfg.scale, cfg.seed), SHARDS)
+        cold = run_shard((cfg, 1, SHARDS, parts[1]))
+        snapshot = tag_snapshot_for(cfg.seed, cfg.scale, 1, SHARDS)
+        assert snapshot is not None  # captured by the first build
+        clear_tag_snapshots()
+        warm = run_shard((cfg, 1, SHARDS, parts[1], snapshot))
+        assert warm.total_transactions == cold.total_transactions
+        assert [d.tx_hash for d in warm.detections] == [
+            d.tx_hash for d in cold.detections
+        ]
+        assert warm.row_counts == cold.row_counts
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        ctx = build_shard_context(_config(), 0, SHARDS)
+        snapshot = ctx.detector.tagger.label_sync_snapshot()
+        decoded = json.loads(json.dumps(snapshot))
+        tagger = AccountTagger(ctx.detector.chain, snapshot=decoded)
+        assert tagger.warm_started
+
+
+class TestSnapshotRejection:
+    def test_foreign_chain_snapshot_ignored(self):
+        """A snapshot from shard 0 must be rejected by shard 1's chain
+        (different namespace), falling back to the cold sync."""
+        ctx0 = build_shard_context(_config(), 0, SHARDS)
+        snapshot = ctx0.detector.tagger.label_sync_snapshot()
+        ctx1_ctx = build_shard_context(
+            _config(), 1, SHARDS, tag_snapshot=snapshot
+        )
+        assert not ctx1_ctx.detector.tagger.warm_started
+
+    def test_stale_generation_snapshot_ignored(self):
+        ctx = build_shard_context(_config(), 0, SHARDS)
+        snapshot = ctx.detector.tagger.label_sync_snapshot()
+        stale = dict(snapshot, version=snapshot["version"] - 1)
+        tagger = AccountTagger(ctx.detector.chain, snapshot=stale)
+        assert not tagger.warm_started
+
+    def test_malformed_snapshot_ignored(self):
+        ctx = build_shard_context(_config(), 0, SHARDS)
+        tagger = AccountTagger(ctx.detector.chain, snapshot={"nonsense": True})
+        assert not tagger.warm_started
+        # and the cold sync still produced a working tagger
+        chain = ctx.detector.chain
+        for address in list(chain.labels)[:3]:
+            assert tagger.tag_of(address) is not None
+
+
+class TestProcessLevelStore:
+    def test_rebuilding_same_shard_warm_starts(self):
+        first = build_shard_context(_config(), 2, SHARDS)
+        assert not first.detector.tagger.warm_started
+        second = build_shard_context(_config(), 2, SHARDS)
+        assert second.detector.tagger.warm_started
+
+    def test_store_is_keyed_by_shard(self):
+        build_shard_context(_config(), 0, SHARDS)
+        assert tag_snapshot_for(SEED, SCALE, 0, SHARDS) is not None
+        assert tag_snapshot_for(SEED, SCALE, 3, SHARDS) is None
+
+    def test_clear_resets_the_store(self):
+        build_shard_context(_config(), 0, SHARDS)
+        clear_tag_snapshots()
+        assert tag_snapshot_for(SEED, SCALE, 0, SHARDS) is None
+        rebuilt = build_shard_context(_config(), 0, SHARDS)
+        assert not rebuilt.detector.tagger.warm_started
