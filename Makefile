@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-smoke stream-smoke cluster-smoke elastic-smoke resume-smoke
+.PHONY: test bench bench-smoke stream-smoke cluster-smoke elastic-smoke resume-smoke fullscale-smoke profile
 
 ## tier-1 test suite (what CI gates on)
 test:
@@ -37,3 +37,16 @@ elastic-smoke:
 ## records resumed-vs-cold wall-clock plus shards-skipped counters
 resume-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_smoke.py --resume
+
+## end-to-end full-scale bench (sequential vs. parallel vs. pre-screen
+## off vs. snapshot warm-start, identity always asserted); regenerates
+## BENCH_fullscale.json and PROFILE_wildscan.json. Scale 1.0 takes
+## minutes — override with e.g. `make fullscale-smoke SCALE=0.05`
+SCALE ?= 1.0
+fullscale-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_smoke.py --fullscale --scale $(SCALE)
+
+## per-stage profile of the batch wild scan at a moderate scale; prints
+## the stage table and writes PROFILE_wildscan.json
+profile:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.experiments.runner scan --scale 0.1 --profile

@@ -30,8 +30,18 @@ identity always asserted), regenerating ``BENCH_resume.json``::
 
     PYTHONPATH=src python benchmarks/run_smoke.py --resume
 
+``--fullscale`` runs the end-to-end full-scale bench (sequential vs.
+parallel vs. pre-screen-off vs. snapshot-warm-start, identity always
+asserted via the wire encoding), regenerating ``BENCH_fullscale.json``
+and ``PROFILE_wildscan.json``. The default ``--scale 1.0`` takes
+minutes; pass a smaller scale for a quick pass::
+
+    PYTHONPATH=src python benchmarks/run_smoke.py --fullscale
+    PYTHONPATH=src python benchmarks/run_smoke.py --fullscale --scale 0.05
+
 or via ``make bench-smoke`` / ``make stream-smoke`` / ``make
-cluster-smoke`` / ``make elastic-smoke`` / ``make resume-smoke``.
+cluster-smoke`` / ``make elastic-smoke`` / ``make resume-smoke`` /
+``make fullscale-smoke`` / ``make profile``.
 """
 
 from __future__ import annotations
@@ -46,23 +56,28 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.engine.bench import (
     DEFAULT_ARTIFACT,
     DEFAULT_CLUSTER_ARTIFACT,
+    DEFAULT_FULLSCALE_ARTIFACT,
     DEFAULT_RESUME_ARTIFACT,
     DEFAULT_STREAM_ARTIFACT,
     run_cluster_bench,
+    run_fullscale_bench,
     run_resume_bench,
     run_stream_bench,
     run_wildscan_bench,
     write_artifact,
 )
+from repro.runtime.profile import DEFAULT_PROFILE_ARTIFACT
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--scale", type=float, default=0.01,
-                        help="population scale (1.0 = the paper's 272,984 txs)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="population scale (1.0 = the paper's 272,984 txs; "
+                        "default 0.01, or 1.0 with --fullscale)")
     parser.add_argument("--seed", type=int, default=7)
-    parser.add_argument("--jobs", type=int, nargs="+", default=[1, 4],
-                        help="jobs values to time (default: 1 4)")
+    parser.add_argument("--jobs", type=int, nargs="+", default=None,
+                        help="jobs values to time (default: 1 4, or "
+                        "1 <cpu_count> with --fullscale)")
     parser.add_argument("--shards", type=int, default=None,
                         help="pin the shard count (default: automatic)")
     parser.add_argument("--repeats", type=int, default=1,
@@ -83,6 +98,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--interrupt-after", type=int, default=None,
                         help="resume only: shards pre-recorded before the "
                         "simulated kill (default: half the shard count)")
+    parser.add_argument("--fullscale", action="store_true",
+                        help="bench the end-to-end scan (BENCH_fullscale.json "
+                        "+ PROFILE_wildscan.json): sequential vs. parallel "
+                        "vs. pre-screen-off vs. warm-start, identity always "
+                        "asserted; defaults to --scale 1.0")
+    parser.add_argument("--profile-out", type=Path, default=None,
+                        help="fullscale only: stage-profile artifact path "
+                        "(default PROFILE_wildscan.json)")
     parser.add_argument("--workers", type=int, nargs="+", default=[1, 2],
                         help="cluster only: worker counts to time (default: 1 2)")
     parser.add_argument("--queue-depth", type=int, default=None,
@@ -95,11 +118,24 @@ def main(argv: list[str] | None = None) -> int:
     repo_root = Path(__file__).resolve().parent.parent
     if args.elastic:
         args.cluster = True
-    if sum((args.stream, args.cluster, args.resume)) > 1:
+    if sum((args.stream, args.cluster, args.resume, args.fullscale)) > 1:
         parser.error(
-            "--stream, --cluster/--elastic and --resume are mutually exclusive"
+            "--stream, --cluster/--elastic, --resume and --fullscale are "
+            "mutually exclusive"
         )
-    if args.resume:
+    if args.scale is None:
+        args.scale = 1.0 if args.fullscale else 0.01
+    jobs_values = tuple(args.jobs) if args.jobs is not None else (1, 4)
+    if args.fullscale:
+        report = run_fullscale_bench(
+            scale=args.scale,
+            seed=args.seed,
+            jobs_values=tuple(args.jobs) if args.jobs is not None else None,
+            shards=args.shards,
+            profile_path=args.profile_out or repo_root / DEFAULT_PROFILE_ARTIFACT,
+        )
+        output = args.output or repo_root / DEFAULT_FULLSCALE_ARTIFACT
+    elif args.resume:
         report = run_resume_bench(
             scale=args.scale,
             seed=args.seed,
@@ -120,7 +156,7 @@ def main(argv: list[str] | None = None) -> int:
         report = run_stream_bench(
             scale=args.scale,
             seed=args.seed,
-            jobs_values=tuple(args.jobs),
+            jobs_values=jobs_values,
             shards=args.shards,
             queue_depth=args.queue_depth,
             block_size=args.block_size,
@@ -130,7 +166,7 @@ def main(argv: list[str] | None = None) -> int:
         report = run_wildscan_bench(
             scale=args.scale,
             seed=args.seed,
-            jobs_values=tuple(args.jobs),
+            jobs_values=jobs_values,
             shards=args.shards,
             repeats=args.repeats,
         )

@@ -61,7 +61,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..engine.plan import build_schedule, resolve_shard_count
-from ..engine.scan import merge_shard_results, run_shard, tag_snapshot_for
+from ..engine.scan import context_snapshot_for, merge_shard_results, run_shard
 from ..engine.wire import config_to_wire, shard_result_from_wire, shard_result_to_wire
 from .protocol import (
     PROTOCOL_VERSION,
@@ -108,6 +108,10 @@ class ClusterStats:
     probation_failures: int = 0
     #: shards loaded from a run ledger instead of executed (resume).
     resumed_shards: int = 0
+    #: merged per-stage profile payload after a ``config.profile`` run
+    #: (``None`` otherwise — which is what bench artifacts record, since
+    #: benches never profile; observability only, never result identity).
+    profile: dict | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -126,6 +130,7 @@ class ClusterStats:
             "probation_passes": self.probation_passes,
             "probation_failures": self.probation_failures,
             "resumed_shards": self.resumed_shards,
+            "profile": self.profile,
         }
 
     @classmethod
@@ -293,6 +298,15 @@ class Coordinator:
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._completed: dict[int, dict] = {}
+        #: per-shard profile payloads reported by workers/fallback when
+        #: ``config.profile``; merged into :attr:`profile` after ``run``.
+        #: Kept out of ``_completed`` (and therefore the ledger journal):
+        #: profiles are observability, never part of result identity.
+        self._profiles: dict[int, dict] = {}
+        #: merged per-stage profile after a ``config.profile`` run
+        #: (``None`` otherwise; ledger-resumed shards carry no profile,
+        #: which ``counters["shards_profiled"]`` makes visible).
+        self.profile = None
         if self.ledger is not None and self.ledger.completed_payloads:
             self._completed.update(self.ledger.completed_payloads)
             self.stats.resumed_shards = len(self._completed)
@@ -392,6 +406,14 @@ class Coordinator:
                     outcomes = None
         finally:
             self.shutdown()
+        if getattr(self.config, "profile", False):
+            from ..runtime.profile import merge_profiles
+
+            with self._lock:
+                self.profile = merge_profiles(
+                    [self._profiles[i] for i in sorted(self._profiles)]
+                )
+                self.stats.profile = self.profile
         if outcomes is None:
             # journaled run: the merge decodes from the ledger, so a
             # resumed run and an uninterrupted one produce the identical
@@ -438,6 +460,8 @@ class Coordinator:
                         self._completed[index] = payload
                         self.stats.local_fallback_shards += 1
                         self._journal_locked(index, payload)
+                        if outcome.profile is not None:
+                            self._profiles[index] = outcome.profile
                     self._cond.notify_all()
         finally:
             self._cond.acquire()
@@ -710,17 +734,19 @@ class Coordinator:
                 "shard": shard,
                 "shard_count": self.shard_count,
             }
-            # warm-start hint: if this process already built the shard
-            # (local fallback, thread workers, a previous assignment),
-            # ship the tagger's label-sync snapshot so the worker skips
-            # the cold creation/label scan. Workers validate it against
-            # their freshly built chain — a mismatch is ignored, never
-            # applied, so the hint cannot change results.
-            snapshot = tag_snapshot_for(
-                self.config.seed, self.config.scale, shard, self.shard_count
-            )
+            # warm-start hint: if this process already built a world with
+            # the shard's chain name (local fallback, thread workers, a
+            # previous assignment — any seed/scale, since the build
+            # consumes no RNG), ship the full context snapshot (tagger
+            # label-sync state + pre-screen address table) so the worker
+            # skips both cold scans. Workers validate it against their
+            # freshly built chain — a mismatch is ignored, never applied,
+            # so the hint cannot change results.
+            snapshot = context_snapshot_for(shard, self.shard_count)
             if snapshot is not None:
-                assignment["tag_snapshot"] = snapshot
+                assignment["context_snapshot"] = snapshot.to_wire()
+            if getattr(self.config, "profile", False):
+                assignment["profile"] = True
             send_message(conn, assignment)
             return True
 
@@ -740,6 +766,9 @@ class Coordinator:
                 self._completed[shard] = payload
                 worker.completed += 1
                 self._journal_locked(shard, payload)
+                profile = message.get("profile")
+                if isinstance(profile, dict):
+                    self._profiles[shard] = profile
             self._cond.notify_all()
 
     def _handle_shard_error(self, worker: _WorkerState, message: dict) -> None:

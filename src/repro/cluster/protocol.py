@@ -61,7 +61,10 @@ __all__ = [
 #: v3: versioned wire payloads (``"v"`` on config and shard-result
 #: frames, strict field validation) and the optional ``tag_snapshot``
 #: warm-start hint on ``assign``.
-PROTOCOL_VERSION = 3
+#: v4: full ``context_snapshot`` warm-start capsules (tagger + pre-screen
+#: state) on ``assign``, plus the optional ``profile`` request flag on
+#: ``assign`` and the per-shard ``profile`` payload on ``result``.
+PROTOCOL_VERSION = 4
 
 #: upper bound on one frame; full-scale shard results stay far below this.
 MAX_FRAME_BYTES = 256 * 1024 * 1024

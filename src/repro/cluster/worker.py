@@ -39,6 +39,7 @@ import dataclasses
 import os
 import socket
 import threading
+import time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -291,6 +292,10 @@ class ClusterWorker:
             # descriptors are authoritative; re-derive the config so the
             # shard's world is a pure function of what was assigned.
             config = dataclasses.replace(config, seed=seed, scale=scale)
+        if message.get("profile") and not getattr(config, "profile", False):
+            # the profile flag rides the assignment, not the config wire
+            # (it is an execution knob, excluded from the config digest).
+            config = dataclasses.replace(config, profile=True)
         parts = parts_cache.get(descriptor)
         if parts is None:
             tasks = build_schedule(scale, seed)
@@ -299,13 +304,24 @@ class ClusterWorker:
             ctx = build_shard_context(
                 config, shard, shard_count,
                 tag_snapshot=message.get("tag_snapshot"),
+                context_snapshot=message.get("context_snapshot"),
             )
+            prof = ctx.profiler
             for number, task in enumerate(parts[shard]):
                 if self.task_hook is not None:
                     self.task_hook(self, shard, number)
-                labeled = execute_task(ctx, task)
-                if labeled is not None:
-                    detect_task(ctx, labeled)
+                if prof is None:
+                    labeled = execute_task(ctx, task)
+                    if labeled is not None:
+                        detect_task(ctx, labeled)
+                else:
+                    started = time.perf_counter_ns()
+                    labeled = execute_task(ctx, task)
+                    prof.add("execute", time.perf_counter_ns() - started)
+                    if labeled is not None:
+                        started = time.perf_counter_ns()
+                        detect_task(ctx, labeled)
+                        prof.add("detect", time.perf_counter_ns() - started)
                 summary.tasks_executed += 1
             result = finalize_shard(ctx)
         except (WorkerKilled, ConnectionClosed, OSError):
@@ -314,9 +330,14 @@ class ClusterWorker:
             summary.shard_errors += 1
             self._send({"type": "shard-error", "shard": shard, "error": repr(exc)})
             return
-        self._send(
-            {"type": "result", "shard": shard, "payload": shard_result_to_wire(result)}
-        )
+        reply = {
+            "type": "result", "shard": shard, "payload": shard_result_to_wire(result)
+        }
+        if result.profile is not None:
+            # observability sidecar: rides the result frame but stays out
+            # of the wire payload (and therefore the coordinator journal).
+            reply["profile"] = result.profile
+        self._send(reply)
         summary.shards_completed += 1
 
     def _send(self, message: dict) -> None:

@@ -19,15 +19,18 @@ import time
 from pathlib import Path
 
 __all__ = [
+    "effective_cpu_count",
     "run_wildscan_bench",
     "run_stream_bench",
     "run_cluster_bench",
     "run_resume_bench",
+    "run_fullscale_bench",
     "write_artifact",
     "DEFAULT_ARTIFACT",
     "DEFAULT_STREAM_ARTIFACT",
     "DEFAULT_CLUSTER_ARTIFACT",
     "DEFAULT_RESUME_ARTIFACT",
+    "DEFAULT_FULLSCALE_ARTIFACT",
 ]
 
 #: canonical artifact location (repo root, tracked across PRs).
@@ -41,6 +44,23 @@ DEFAULT_CLUSTER_ARTIFACT = "BENCH_cluster.json"
 
 #: run-ledger resume artifact (repo root, tracked across PRs).
 DEFAULT_RESUME_ARTIFACT = "BENCH_resume.json"
+
+#: full-scale (scale=1.0) end-to-end artifact (repo root, tracked across PRs).
+DEFAULT_FULLSCALE_ARTIFACT = "BENCH_fullscale.json"
+
+
+def effective_cpu_count() -> int:
+    """CPUs this process may actually use.
+
+    ``os.cpu_count()`` reports the host's cores, but cgroup/affinity
+    limits (CI runners, containers, ``taskset``) can pin the process to
+    fewer — the honest denominator for any speedup claim. Falls back to
+    ``os.cpu_count()`` where affinity masks don't exist (e.g. macOS).
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or (os.cpu_count() or 1)
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
 
 
 def run_wildscan_bench(
@@ -103,7 +123,8 @@ def run_wildscan_bench(
         "scale": scale,
         "seed": seed,
         "shards": shards,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": effective_cpu_count(),
+        "os_cpu_count": os.cpu_count(),
         "runs": runs,
         "speedup_best_parallel_vs_sequential": speedup,
     }
@@ -168,7 +189,8 @@ def run_stream_bench(
         "shards": shards,
         "queue_depth": queue_depth,
         "block_size": block_size,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": effective_cpu_count(),
+        "os_cpu_count": os.cpu_count(),
         "batch_elapsed_s": round(batch_elapsed, 4),
         "batch_detected": batch.detected_count,
         "runs": runs,
@@ -281,7 +303,8 @@ def run_cluster_bench(
         "scale": scale,
         "seed": seed,
         "shards": shards,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": effective_cpu_count(),
+        "os_cpu_count": os.cpu_count(),
         "batch_elapsed_s": round(batch_elapsed, 4),
         "batch_detected": batch.detected_count,
         "runs": runs,
@@ -428,7 +451,8 @@ def run_resume_bench(
         "seed": seed,
         "shards": shards,
         "jobs": jobs,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": effective_cpu_count(),
+        "os_cpu_count": os.cpu_count(),
         "cold_run": {
             "elapsed_s": round(cold_elapsed, 4),
             "shards_resumed": cold_ledger.resumed_count,
@@ -451,6 +475,167 @@ def run_resume_bench(
         },
         "speedup_resumed_vs_cold": speedup,
     }
+
+
+def run_fullscale_bench(
+    scale: float = 1.0,
+    seed: int = 7,
+    jobs_values: tuple[int, ...] | None = None,
+    shards: int | None = None,
+    profile_path: str | Path | None = None,
+) -> dict:
+    """The end-to-end full-scale benchmark: scale-1.0 scans, all paths.
+
+    Four measured configurations over the same ``(seed, scale, shards)``:
+
+    1. **sequential** (``jobs=1``) — the reference run;
+    2. **parallel** — one run per remaining ``jobs_values`` entry
+       (default: the effective CPU count), chunk-submitted over the
+       process pool;
+    3. **pre-screen off** — the fastest jobs value with ``prescreen=False``;
+    4. **warm-start** — a sequential rerun in the same process, so every
+       shard build amortizes through the context-snapshot cache; this run
+       also profiles (``profile=True``) and its merged stage profile is
+       written to ``profile_path`` when given.
+
+    The identity assertion is always on: every run's detections must be
+    byte-identical (via the wire encoding) to the sequential reference —
+    across jobs counts, with/without pre-screen, with/without snapshot
+    warm-start. Wall-clock lands in the report only; speedup enforcement
+    lives in ``benchmarks/test_bench_fullscale.py`` behind
+    ``REPRO_BENCH_STRICT=1`` (a 1-CPU runner cannot beat sequential).
+    """
+    from ..workload.generator import WildScanConfig
+    from .scan import ScanEngine, clear_context_snapshots
+    from .wire import detection_to_wire
+
+    cpus = effective_cpu_count()
+    if jobs_values is None:
+        jobs_values = (1, cpus if cpus > 1 else 2)
+    jobs_values = tuple(dict.fromkeys(jobs_values))
+    if jobs_values[0] != 1:
+        jobs_values = (1, *jobs_values)
+
+    def fingerprint(result) -> str:
+        return json.dumps(
+            {
+                "total": result.total_transactions,
+                "detections": [detection_to_wire(d) for d in result.detections],
+                "rows": {
+                    name: [row.n, row.tp, row.fp]
+                    for name, row in sorted(result.rows.items())
+                },
+            },
+            sort_keys=True,
+        )
+
+    def timed_run(config):
+        engine = ScanEngine(config)
+        start = time.perf_counter()
+        result = engine.run()
+        return result, time.perf_counter() - start, engine
+
+    runs = []
+    reference = None
+    total = detected = 0
+    warm_result = warm_elapsed = warm_engine = None
+    for jobs in jobs_values:
+        clear_context_snapshots()  # cold build per run: honest timings
+        config = WildScanConfig(scale=scale, seed=seed, jobs=jobs, shards=shards)
+        result, elapsed, _ = timed_run(config)
+        fp = fingerprint(result)
+        if reference is None:
+            reference = fp
+        elif fp != reference:
+            raise AssertionError(
+                f"identity violation: jobs={jobs} changed the detections"
+            )
+        total, detected = result.total_transactions, result.detected_count
+        runs.append(
+            {
+                "jobs": jobs,
+                "elapsed_s": round(elapsed, 4),
+                "txs_per_s": round(total / elapsed, 1) if elapsed else 0.0,
+                "total_transactions": total,
+                "detected": detected,
+            }
+        )
+        if jobs == 1:
+            # 4. warm start, measured while the sequential run's in-process
+            # snapshot cache is still hot (parallel runs build in worker
+            # subprocesses, so the parent cache would be cold afterwards).
+            # This run also profiles; the merged stage profile is the one
+            # written to ``profile_path``.
+            warm_config = WildScanConfig(
+                scale=scale, seed=seed, jobs=1, shards=shards, profile=True
+            )
+            warm_result, warm_elapsed, warm_engine = timed_run(warm_config)
+            if fingerprint(warm_result) != reference:
+                raise AssertionError(
+                    "identity violation: snapshot warm-start changed the "
+                    "detections"
+                )
+
+    by_jobs = {run["jobs"]: run for run in runs}
+    sequential_elapsed = by_jobs[1]["elapsed_s"]
+    speedup = None
+    parallel_runs = [run for run in runs if run["jobs"] != 1]
+    if parallel_runs:
+        fastest = min(parallel_runs, key=lambda run: run["elapsed_s"])
+        if fastest["elapsed_s"]:
+            speedup = round(sequential_elapsed / fastest["elapsed_s"], 2)
+        fastest_jobs = fastest["jobs"]
+    else:
+        fastest_jobs = 1
+
+    # 3. pre-screen off: the skip must be invisible in the result bytes.
+    clear_context_snapshots()
+    off_config = WildScanConfig(
+        scale=scale, seed=seed, jobs=fastest_jobs, shards=shards, prescreen=False
+    )
+    off_result, off_elapsed, _ = timed_run(off_config)
+    if fingerprint(off_result) != reference:
+        raise AssertionError(
+            "identity violation: disabling the pre-screen changed the detections"
+        )
+
+    warm_counters = (warm_engine.profile or {}).get("counters", {})
+
+    report = {
+        "benchmark": "fullscale_wildscan",
+        "scale": scale,
+        "seed": seed,
+        "shards": shards,
+        "cpu_count": cpus,
+        "os_cpu_count": os.cpu_count(),
+        "total_transactions": total,
+        "detected": detected,
+        "runs": runs,
+        "speedup_best_parallel_vs_sequential": speedup,
+        "prescreen_off_run": {
+            "jobs": fastest_jobs,
+            "elapsed_s": round(off_elapsed, 4),
+            "identical": True,
+        },
+        "warm_start_run": {
+            "jobs": 1,
+            "elapsed_s": round(warm_elapsed, 4),
+            "identical": True,
+            "warm_starts": warm_counters.get("warm_starts", 0),
+            "speedup_vs_cold_sequential": round(
+                sequential_elapsed / warm_elapsed, 2
+            )
+            if warm_elapsed
+            else None,
+        },
+    }
+    if profile_path is not None and warm_engine.profile is not None:
+        from ..runtime.profile import write_profile
+
+        report["profile_artifact"] = str(
+            write_profile(warm_engine.profile, profile_path)
+        )
+    return report
 
 
 def write_artifact(report: dict, path: str | Path = DEFAULT_ARTIFACT) -> Path:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
+from time import perf_counter_ns
 
 from ..chain.errors import ChainError
 from ..world import DeFiWorld, ETHEREUM_PROFILE
@@ -38,15 +39,19 @@ from .plan import (
 __all__ = [
     "ScanEngine",
     "ShardContext",
+    "ShardContextSnapshot",
     "ShardResult",
     "build_replay_context",
     "build_shard_context",
+    "clear_context_snapshots",
     "clear_tag_snapshots",
+    "context_snapshot_for",
     "detect_task",
     "execute_task",
     "finalize_shard",
     "merge_shard_results",
     "run_shard",
+    "run_shard_batch",
     "tag_snapshot_for",
 ]
 
@@ -60,6 +65,11 @@ class ShardResult:
     detections: list = field(default_factory=list)
     #: pattern name -> (n, tp, fp)
     row_counts: dict = field(default_factory=dict)
+    #: per-stage profile payload (:mod:`repro.runtime.profile`) when the
+    #: shard ran with ``config.profile`` — observability only, so it is
+    #: deliberately excluded from the wire schema and the run ledger and
+    #: can never perturb a merged result or a resumable journal.
+    profile: dict | None = None
 
 
 def _shard_profile(shard_index: int, shard_count: int):
@@ -93,30 +103,121 @@ class ShardContext:
     analyzer: object
     result: ShardResult
     rows: dict
+    #: optional :class:`~repro.leishen.prescreen.PreScreen` consulted by
+    #: :func:`detect_task` before full detection (``None`` when the
+    #: config disables screening or the context has no world).
+    prescreen: object = None
+    #: optional :class:`~repro.runtime.profile.StageProfiler`; ``None``
+    #: keeps the scan loop free of timing overhead.
+    profiler: object = None
 
 
-#: Process-level cache of tag-sync snapshots keyed by
-#: ``(seed, scale, shard_index, shard_count)``. A shard's post-build
-#: tagger state is a pure function of that key, so any rebuild of the
-#: same shard in this process (bench repeats, in-process pool fallback,
-#: cluster requeues on a reused worker) warm-starts from the first
-#: build's snapshot instead of re-scanning creations and labels.
-_TAG_SNAPSHOTS: dict[tuple, dict] = {}
-_TAG_SNAPSHOT_LIMIT = 256
+@dataclass(slots=True)
+class ShardContextSnapshot:
+    """Everything needed to warm-start one shard-world build.
+
+    Extends the PR-5 tag-cache snapshot into a full context checkpoint:
+    the tagger's label-sync state, the pre-screen's harvested address
+    table, and the detector construction inputs recorded for validation.
+    The capsule is plain-dict/JSON-safe so the cluster coordinator can
+    ship it inside an assignment message and a cold worker can skip both
+    the label sync and the pre-screen harvest.
+
+    Both consumers re-validate against the chain they actually built
+    (version counters inside ``tag_snapshot``/``prescreen``), so a stale
+    or mismatched snapshot is silently ignored and can never change a
+    result byte — warm-starting is purely an amortization.
+    """
+
+    #: the shard world's chain name — the snapshot's identity. The world
+    #: build consumes no RNG, so the post-build chain state (creations,
+    #: labels, contracts) is a pure function of the chain name alone,
+    #: independent of seed/scale/shard_count. One snapshot therefore
+    #: warms every configuration whose shard maps to the same name.
+    chain_name: str
+    #: tagger label-sync state (:meth:`AccountTagger.label_sync_snapshot`).
+    tag_snapshot: dict
+    #: pre-screen address table (:meth:`PreScreen.to_wire`), or ``None``
+    #: when the originating build ran with screening disabled.
+    prescreen: dict | None = None
+    #: detector construction inputs at snapshot time, for validation and
+    #: observability (never replayed into a build).
+    build_params: dict = field(default_factory=dict)
+
+    def to_wire(self) -> dict:
+        return {
+            "chain_name": self.chain_name,
+            "tag_snapshot": self.tag_snapshot,
+            "prescreen": self.prescreen,
+            "build_params": dict(self.build_params),
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "ShardContextSnapshot | None":
+        """Decode a shipped snapshot; ``None`` for malformed payloads
+        (a worker on a newer/older peer just cold-builds instead)."""
+        if not isinstance(payload, dict):
+            return None
+        chain_name = payload.get("chain_name")
+        tag_snapshot = payload.get("tag_snapshot")
+        if not isinstance(chain_name, str) or not isinstance(tag_snapshot, dict):
+            return None
+        prescreen = payload.get("prescreen")
+        if prescreen is not None and not isinstance(prescreen, dict):
+            prescreen = None
+        build_params = payload.get("build_params")
+        return cls(
+            chain_name=chain_name,
+            tag_snapshot=tag_snapshot,
+            prescreen=prescreen,
+            build_params=dict(build_params) if isinstance(build_params, dict) else {},
+        )
 
 
-def clear_tag_snapshots() -> None:
-    """Drop the process-level tag-snapshot cache (test isolation)."""
-    _TAG_SNAPSHOTS.clear()
+#: Process-level cache of context snapshots keyed by chain name (see
+#: :class:`ShardContextSnapshot` for why the name alone is the identity).
+#: Any rebuild of a same-named shard world in this process — bench
+#: repeats, in-process pool fallback, cluster requeues on a reused
+#: worker, *and* different seed/scale runs — warm-starts from the first
+#: build instead of re-scanning creations and labels.
+_CONTEXT_SNAPSHOTS: dict[str, ShardContextSnapshot] = {}
+_CONTEXT_SNAPSHOT_LIMIT = 256
+
+
+def clear_context_snapshots() -> None:
+    """Drop the process-level context-snapshot cache (test isolation)."""
+    _CONTEXT_SNAPSHOTS.clear()
+
+
+#: Back-compat alias (PR-5 name; same cache, broader contents now).
+clear_tag_snapshots = clear_context_snapshots
+
+
+def _shard_chain_name(shard_index: int, shard_count: int) -> str:
+    return _shard_profile(shard_index, shard_count).chain_name
+
+
+def context_snapshot_for(
+    shard_index: int, shard_count: int
+) -> ShardContextSnapshot | None:
+    """The cached context snapshot for one shard build, if this process
+    has built a world with that shard's chain name before (the cluster
+    coordinator attaches it to assignments so workers warm-start)."""
+    return _CONTEXT_SNAPSHOTS.get(_shard_chain_name(shard_index, shard_count))
 
 
 def tag_snapshot_for(
     seed: int, scale: float, shard_index: int, shard_count: int
 ) -> dict | None:
-    """The cached tag-sync snapshot for one shard build, if this process
-    has built that shard before (the cluster coordinator attaches it to
-    assignments so workers can skip the cold label sync)."""
-    return _TAG_SNAPSHOTS.get((seed, scale, shard_index, shard_count))
+    """The cached tag-sync snapshot for one shard build (PR-5 API).
+
+    ``seed``/``scale`` are accepted for signature compatibility but do
+    not narrow the lookup: the world build consumes no RNG, so the
+    snapshot is valid for every seed/scale sharing the chain name.
+    """
+    del seed, scale  # not part of the build identity
+    snapshot = context_snapshot_for(shard_index, shard_count)
+    return snapshot.tag_snapshot if snapshot is not None else None
 
 
 def build_shard_context(
@@ -124,42 +225,83 @@ def build_shard_context(
     shard_index: int,
     shard_count: int,
     tag_snapshot: dict | None = None,
+    context_snapshot: "ShardContextSnapshot | dict | None" = None,
 ) -> ShardContext:
     """Build one shard's world and detector stack from ``(cfg, shard)``.
 
     Everything downstream is a pure function of these inputs, which is
     what makes batch and streaming execution interchangeable.
 
-    ``tag_snapshot`` optionally warm-starts the detector's account
-    tagger (see :meth:`repro.leishen.tagging.AccountTagger`); a snapshot
-    that does not match the freshly built chain is ignored, so a stale
-    snapshot can never change the result. Snapshots are also cached
-    per-process by ``(seed, scale, shard, shard_count)`` so repeated
-    builds of the same shard skip the cold label sync automatically.
+    ``context_snapshot`` (a :class:`ShardContextSnapshot` or its wire
+    dict) warm-starts both the detector's account tagger and the flash
+    loan pre-screen; ``tag_snapshot`` is the narrower PR-5 form carrying
+    the tagger state only. Either kind is re-validated against the
+    freshly built chain and ignored on mismatch, so a stale snapshot can
+    never change the result. Builds also consult (and populate) the
+    process-level snapshot cache keyed by chain name, so repeated builds
+    of a same-named shard world skip the cold syncs automatically.
     """
     # local imports keep worker startup lean under the spawn start method
     from ..leishen.heuristics import YieldAggregatorHeuristic
+    from ..leishen.prescreen import PreScreen
     from ..leishen.profit import ProfitAnalyzer
     from ..workload.attacks import WildAttackInjector
     from ..workload.generator import PatternRow
     from ..workload.profiles import WildMarket
 
+    profiling = bool(getattr(cfg, "profile", False))
+    started = perf_counter_ns() if profiling else 0
     rng = random.Random(shard_seed(cfg.seed, shard_index))
     world = DeFiWorld(profile=_shard_profile(shard_index, shard_count))
     world.chain.keep_history = cfg.keep_history
     market = WildMarket(world, rng)
     injector = WildAttackInjector(market, rng, cfg.scale)
-    snapshot_key = (cfg.seed, cfg.scale, shard_index, shard_count)
-    if tag_snapshot is None:
-        tag_snapshot = _TAG_SNAPSHOTS.get(snapshot_key)
+    chain_name = world.chain.name
+    if isinstance(context_snapshot, dict):
+        context_snapshot = ShardContextSnapshot.from_wire(context_snapshot)
+    if context_snapshot is None:
+        context_snapshot = _CONTEXT_SNAPSHOTS.get(chain_name)
+    if context_snapshot is not None and context_snapshot.chain_name != chain_name:
+        context_snapshot = None
+    if tag_snapshot is None and context_snapshot is not None:
+        tag_snapshot = context_snapshot.tag_snapshot
     if cfg.pattern_config is not None:
         detector = world.detector(patterns=cfg.pattern_config, tag_snapshot=tag_snapshot)
     else:
         detector = world.detector(tag_snapshot=tag_snapshot)
-    if snapshot_key not in _TAG_SNAPSHOTS:
-        if len(_TAG_SNAPSHOTS) >= _TAG_SNAPSHOT_LIMIT:
-            _TAG_SNAPSHOTS.pop(next(iter(_TAG_SNAPSHOTS)))
-        _TAG_SNAPSHOTS[snapshot_key] = detector.tagger.label_sync_snapshot()
+    prescreen = None
+    if getattr(cfg, "prescreen", True):
+        snapshot_table = (
+            context_snapshot.prescreen if context_snapshot is not None else None
+        )
+        if snapshot_table is not None:
+            # from_wire validates the table's sync counters against the
+            # chain and cold-harvests on any mismatch.
+            prescreen = PreScreen.from_wire(snapshot_table, chain=world.chain)
+        else:
+            prescreen = PreScreen(world.chain)
+    if chain_name not in _CONTEXT_SNAPSHOTS:
+        if len(_CONTEXT_SNAPSHOTS) >= _CONTEXT_SNAPSHOT_LIMIT:
+            _CONTEXT_SNAPSHOTS.pop(next(iter(_CONTEXT_SNAPSHOTS)))
+        _CONTEXT_SNAPSHOTS[chain_name] = ShardContextSnapshot(
+            chain_name=chain_name,
+            tag_snapshot=detector.tagger.label_sync_snapshot(),
+            prescreen=prescreen.to_wire() if prescreen is not None else None,
+            build_params={
+                "shard_count": shard_count,
+                "keep_history": bool(cfg.keep_history),
+                "chain_version": world.chain.version,
+            },
+        )
+    profiler = None
+    if profiling:
+        from ..runtime.profile import StageProfiler
+
+        profiler = StageProfiler()
+        profiler.add("build_context", perf_counter_ns() - started)
+        if tag_snapshot is not None or context_snapshot is not None:
+            profiler.count("warm_starts")
+        detector.profiler = profiler
     return ShardContext(
         cfg=cfg,
         shard_index=shard_index,
@@ -170,6 +312,8 @@ def build_shard_context(
         analyzer=ProfitAnalyzer(world.registry),
         result=ShardResult(shard_index=shard_index),
         rows={name: PatternRow(name) for name in ("KRP", "SBS", "MBS")},
+        prescreen=prescreen,
+        profiler=profiler,
     )
 
 
@@ -244,7 +388,26 @@ def execute_task(ctx: ShardContext, task: Task):
 
 
 def detect_task(ctx: ShardContext, labeled) -> None:
-    """Run detection on one executed transaction, into the shard result."""
+    """Run detection on one executed transaction, into the shard result.
+
+    Consults the shard's flash-loan pre-screen first: a transaction whose
+    raw trace provably contains no borrow skips tagging/simplification
+    entirely. Screening only rejects on necessary conditions of the
+    provider fingerprints, so the skip never changes a result byte.
+    """
+    prescreen = ctx.prescreen
+    if prescreen is not None:
+        prof = ctx.profiler
+        if prof is None:
+            if not prescreen.admits(labeled.trace):
+                return
+        else:
+            started = perf_counter_ns()
+            admitted = prescreen.admits(labeled.trace)
+            prof.add("prescreen", perf_counter_ns() - started)
+            if not admitted:
+                prof.count("screened_out")
+                return
     detect_into(ctx.cfg, labeled, ctx.detector, ctx.heuristic, ctx.analyzer,
                 ctx.result.detections, ctx.rows)
 
@@ -254,6 +417,16 @@ def finalize_shard(ctx: ShardContext) -> ShardResult:
     ctx.result.row_counts = {
         name: [row.n, row.tp, row.fp] for name, row in ctx.rows.items()
     }
+    prof = ctx.profiler
+    if prof is not None:
+        prof.count("transactions", ctx.result.total_transactions)
+        prof.count("detections", len(ctx.result.detections))
+        prescreen = ctx.prescreen
+        if prescreen is not None:
+            prof.count("prescreen_admitted", prescreen.admitted)
+            prof.count("prescreen_screened", prescreen.screened)
+            prof.count("prescreen_fast_hits", prescreen.fast_hits)
+        ctx.result.profile = prof.to_dict()
     return ctx.result
 
 
@@ -262,18 +435,59 @@ def run_shard(args: tuple) -> ShardResult:
 
     Module-level (not a method) so it pickles under every multiprocessing
     start method. The payload is ``(cfg, shard_index, shard_count,
-    tasks)`` with an optional fifth element: a tag-sync snapshot that
-    warm-starts the shard's account tagger (ignored when it does not
-    match the freshly built chain).
+    tasks)`` with an optional fifth element that warm-starts the build: a
+    full context-snapshot wire dict (distinguished by its ``chain_name``
+    key) or a bare PR-5 tag-sync snapshot. Either is ignored when it does
+    not match the freshly built chain.
     """
     cfg, shard_index, shard_count, tasks = args[:4]
-    tag_snapshot = args[4] if len(args) > 4 else None
-    ctx = build_shard_context(cfg, shard_index, shard_count, tag_snapshot=tag_snapshot)
-    for task in tasks:
-        labeled = execute_task(ctx, task)
-        if labeled is not None:
-            detect_task(ctx, labeled)
+    snapshot = args[4] if len(args) > 4 else None
+    tag_snapshot = context_snapshot = None
+    if isinstance(snapshot, dict):
+        if "chain_name" in snapshot:
+            context_snapshot = snapshot
+        else:
+            tag_snapshot = snapshot
+    elif isinstance(snapshot, ShardContextSnapshot):
+        context_snapshot = snapshot
+    ctx = build_shard_context(
+        cfg,
+        shard_index,
+        shard_count,
+        tag_snapshot=tag_snapshot,
+        context_snapshot=context_snapshot,
+    )
+    prof = ctx.profiler
+    if prof is None:
+        for task in tasks:
+            labeled = execute_task(ctx, task)
+            if labeled is not None:
+                detect_task(ctx, labeled)
+    else:
+        for task in tasks:
+            started = perf_counter_ns()
+            labeled = execute_task(ctx, task)
+            prof.add("execute", perf_counter_ns() - started)
+            if labeled is not None:
+                started = perf_counter_ns()
+                detect_task(ctx, labeled)
+                prof.add("detect", perf_counter_ns() - started)
     return finalize_shard(ctx)
+
+
+def run_shard_batch(payloads: list[tuple]) -> list[ShardResult]:
+    """Worker entry point for chunked submission: run several shard
+    payloads sequentially inside one worker process.
+
+    Chunking amortizes per-task pool overhead (pickling, dispatch) and —
+    because consecutive payloads of a striped chunk often rebuild
+    same-named shard worlds across scan repeats — lets the in-process
+    snapshot cache warm later builds. Results come back in payload order;
+    the caller owns merge ordering, so chunking never affects the merged
+    result.
+    """
+    run = run_shard  # module-global lookup: tests may monkeypatch run_shard
+    return [run(payload) for payload in payloads]
 
 
 def merge_shard_results(config, outcomes: list[ShardResult]):
@@ -355,6 +569,10 @@ class ScanEngine:
         #: (``None`` for unjournaled runs); exposes ``resumed_count`` /
         #: ``recorded_count`` for reporting.
         self.ledger = None
+        #: merged per-stage profile payload after a ``config.profile``
+        #: run (``None`` otherwise). Observability only — never part of
+        #: the returned result or the ledger journal.
+        self.profile = None
 
     # ------------------------------------------------------------------
 
@@ -385,6 +603,10 @@ class ScanEngine:
             outcomes = self._run_parallel(
                 payloads, min(jobs, len(payloads)), on_shard=record
             )
+        if getattr(cfg, "profile", False):
+            from ..runtime.profile import merge_profiles
+
+            self.profile = merge_profiles([o.profile for o in outcomes])
         if ledger is not None:
             return ledger.merge()
         return self._merge(outcomes)
@@ -409,15 +631,23 @@ class ScanEngine:
     def _run_parallel(
         payloads: list[tuple], workers: int, on_shard=None
     ) -> list[ShardResult]:
-        """Fan the shard payloads over a process pool.
+        """Fan the shard payloads over a process pool, in worker-sized chunks.
+
+        Payloads are striped into one chunk per worker
+        (``payloads[i::workers]``) and each chunk is submitted as a single
+        :func:`run_shard_batch` task, so a scan pays one pickle/dispatch
+        round-trip per worker instead of one per shard. Striping keeps the
+        chunks balanced under the round-robin shard partition. Chunking is
+        pure submission mechanics: ``on_shard`` (the ledger's ``record``)
+        still fires once per shard as chunk results land, and the final
+        sort by shard index keeps the merge order — and therefore the
+        merged result — byte-identical to per-shard submission.
 
         Pool breakage (restricted environments, OOM-killed workers) falls
-        back to in-process execution — but only for the shards that did
-        not complete; finished shard results are kept. A genuine exception
-        raised *inside* a worker is not pool breakage and propagates.
-        ``on_shard`` (the ledger's ``record``) runs in this process as
-        each shard result lands, in completion order, so a kill mid-run
-        leaves every finished shard journaled.
+        back to in-process execution — but only for the shards whose
+        chunk did not complete; finished chunk results are kept. A genuine
+        exception raised *inside* a worker is not pool breakage and
+        propagates.
         """
         import multiprocessing
 
@@ -426,24 +656,30 @@ class ScanEngine:
 
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-        completed: dict[int, ShardResult] = {}
+        chunks = [payloads[i::workers] for i in range(workers)]
+        chunks = [chunk for chunk in chunks if chunk]
+        completed: dict[int, ShardResult] = {}  # payload index -> result
         try:
             with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-                futures: dict[int, object] = {}
+                futures: dict[int, object] = {}  # chunk index -> future
                 try:
-                    for index, payload in enumerate(payloads):
-                        futures[index] = pool.submit(run_shard, payload)
+                    for chunk_index, chunk in enumerate(chunks):
+                        futures[chunk_index] = pool.submit(run_shard_batch, chunk)
                 except (OSError, PermissionError):
                     futures.clear()  # process spawning denied outright
-                for index, future in futures.items():
+                for chunk_index, future in futures.items():
                     try:
-                        completed[index] = future.result()
+                        results = future.result()
                     except BrokenProcessPool:
                         break  # pool died; the rest re-runs in-process below
-                    if on_shard is not None:
-                        on_shard(completed[index])
+                    # chunk position offset within payloads: payload j of
+                    # striped chunk i came from payloads[i + j*workers]
+                    for offset, result in enumerate(results):
+                        completed[chunk_index + offset * workers] = result
+                        if on_shard is not None:
+                            on_shard(result)
         except (OSError, PermissionError, BrokenProcessPool):
-            pass  # pool setup/teardown failure; completed shards are kept
+            pass  # pool setup/teardown failure; completed chunks are kept
         outcomes = []
         for index, payload in enumerate(payloads):
             if index in completed:

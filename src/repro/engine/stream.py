@@ -110,6 +110,9 @@ class StreamResult:
     queue_depth: int
     block_size: int
     max_queue_depth: int = 0
+    #: merged per-stage profile payload when the run had
+    #: ``config.profile`` (observability only, never part of ``result``).
+    profile: dict | None = None
 
     @property
     def total_transactions(self) -> int:
@@ -397,6 +400,11 @@ class StreamEngine:
             raise errors[0]
 
         ordered = [shard_results[index] for index in sorted(shard_results)]
+        profile = None
+        if getattr(cfg, "profile", False):
+            from ..runtime.profile import merge_profiles
+
+            profile = merge_profiles([outcome.profile for outcome in ordered])
         if ledger is not None:
             for outcome in ordered:
                 ledger.record(outcome)
@@ -412,6 +420,7 @@ class StreamEngine:
             queue_depth=self.queue_depth,
             block_size=self.block_size,
             max_queue_depth=max_depth,
+            profile=profile,
         )
 
     @staticmethod
@@ -460,12 +469,21 @@ def screen_blocks(
     detector,
     blocks: Iterable[tuple[int, Sequence]],
     on_alert: Callable[[ScreenedTransaction], None] | None = None,
+    prescreen=None,
 ) -> Iterator[ScreenedTransaction]:
     """Screen recorded blocks — ``(number, traces)`` pairs, e.g. from
     :meth:`~repro.chain.explorer.ChainExplorer.blocks_between` — through a
     detector, yielding every flash-loan transaction in block order with
     its per-transaction detection latency. Non-flash-loan transactions
-    are skipped, as in the paper's deployment mode."""
+    are skipped, as in the paper's deployment mode.
+
+    ``prescreen`` (a :class:`~repro.leishen.prescreen.PreScreen` over the
+    recording chain) is installed on the detector for the scan: replayed
+    history is dominated by non-flash-loan traffic, exactly where the
+    necessary-condition skip saves the most work without changing any
+    verdict."""
+    if prescreen is not None:
+        detector.prescreen = prescreen
     for number, traces in blocks:
         for trace in traces:
             started = time.perf_counter()

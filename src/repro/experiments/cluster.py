@@ -38,16 +38,23 @@ def run_local(
     min_workers: int = 0,
     max_workers: int | None = None,
     ledger=None,
+    prescreen: bool = True,
+    profile: bool = False,
 ):
-    """Coordinator + ``workers`` local workers; returns (result, stats, s).
+    """Coordinator + ``workers`` local workers; returns
+    ``(result, stats, elapsed_s, profile_payload)``.
 
     ``ledger`` (a path or an open :class:`repro.runtime.RunLedger`)
     journals every completed shard; a killed coordinator resumes from
     the same path, scheduling only the shards the journal is missing.
+    ``profile=True`` asks every worker for its per-shard stage profile
+    (protocol v4); the coordinator's merged payload is returned last.
     """
     from ..cluster import run_cluster_scan
 
-    config = WildScanConfig(scale=scale, seed=seed, shards=shards)
+    config = WildScanConfig(
+        scale=scale, seed=seed, shards=shards, prescreen=prescreen, profile=profile
+    )
     options = {}
     if heartbeat_timeout is not None:
         options["heartbeat_timeout"] = heartbeat_timeout
@@ -59,7 +66,7 @@ def run_local(
         )
     start = time.perf_counter()
     result, stats = run_cluster_scan(config, workers=workers, **options)
-    return result, stats, time.perf_counter() - start
+    return result, stats, time.perf_counter() - start, getattr(stats, "profile", None)
 
 
 def _summary_lines(result, stats, elapsed: float, workers_label: str) -> list[str]:
@@ -102,14 +109,17 @@ def render_local(
     max_workers: int | None = None,
     verify: bool = True,
     ledger=None,
+    prescreen: bool = True,
+    profile: bool = False,
+    profile_out=None,
 ) -> str:
     """Single-machine cluster run; optionally verify against the batch
     engine (doubles the work — skip with ``--no-verify`` at full scale)."""
-    result, stats, elapsed = run_local(
+    result, stats, elapsed, profile_payload = run_local(
         scale=scale, seed=seed, workers=workers, shards=shards,
         heartbeat_timeout=heartbeat_timeout,
         autoscale=autoscale, min_workers=min_workers, max_workers=max_workers,
-        ledger=ledger,
+        ledger=ledger, prescreen=prescreen, profile=profile,
     )
     lines = _summary_lines(
         result, stats, elapsed, f"{stats.workers_seen} local worker(s)"
@@ -128,6 +138,14 @@ def render_local(
                 "identity violation: cluster scan diverged from ScanEngine.run()"
             )
         lines.append("identity: merged result byte-identical to the batch engine")
+    if profile_payload is not None:
+        from ..runtime.profile import render_profile, write_profile
+
+        lines.append(render_profile(profile_payload))
+        if profile_out is not None:
+            lines.append(
+                f"profile written to {write_profile(profile_payload, profile_out)}"
+            )
     return "\n".join(lines)
 
 
@@ -139,11 +157,16 @@ def render_serve(
     port: int = 9733,
     heartbeat_timeout: float | None = None,
     ledger=None,
+    prescreen: bool = True,
+    profile: bool = False,
+    profile_out=None,
 ) -> str:
     """Coordinator-only mode: wait for remote workers, then merge."""
     from ..cluster import Coordinator
 
-    config = WildScanConfig(scale=scale, seed=seed, shards=shards)
+    config = WildScanConfig(
+        scale=scale, seed=seed, shards=shards, prescreen=prescreen, profile=profile
+    )
     options = {}
     if heartbeat_timeout is not None:
         options["heartbeat_timeout"] = heartbeat_timeout
@@ -161,12 +184,19 @@ def render_serve(
     with coordinator:
         result = coordinator.run()
     elapsed = time.perf_counter() - start
-    return "\n".join(
-        _summary_lines(
-            result, coordinator.stats, elapsed,
-            f"{coordinator.stats.workers_seen} remote worker(s)",
-        )
+    lines = _summary_lines(
+        result, coordinator.stats, elapsed,
+        f"{coordinator.stats.workers_seen} remote worker(s)",
     )
+    if coordinator.profile is not None:
+        from ..runtime.profile import render_profile, write_profile
+
+        lines.append(render_profile(coordinator.profile))
+        if profile_out is not None:
+            lines.append(
+                f"profile written to {write_profile(coordinator.profile, profile_out)}"
+            )
+    return "\n".join(lines)
 
 
 def render_worker(connect: str) -> str:

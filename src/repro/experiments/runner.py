@@ -29,6 +29,9 @@ def _run_one(
     queue_depth: int | None = None,
     block_size: int | None = None,
     ledger: str | None = None,
+    prescreen: bool = True,
+    profile: bool = False,
+    profile_out: str | None = None,
 ) -> str:
     if name == "fig1":
         return fig1.render()
@@ -49,11 +52,15 @@ def _run_one(
     if name == "ablations":
         return ablations.render()
     if name == "scan":
-        return scan.render(scale=scale, jobs=jobs, shards=shards, ledger=ledger)
+        return scan.render(
+            scale=scale, jobs=jobs, shards=shards, ledger=ledger,
+            prescreen=prescreen, profile=profile, profile_out=profile_out,
+        )
     if name == "stream":
         return stream.render(
             scale=scale, jobs=jobs, shards=shards,
             queue_depth=queue_depth, block_size=block_size, ledger=ledger,
+            prescreen=prescreen, profile=profile, profile_out=profile_out,
         )
     raise ValueError(f"unknown experiment {name!r}")
 
@@ -183,6 +190,26 @@ def main(argv: list[str] | None = None) -> int:
         help="scan/stream/cluster: resume an existing run ledger at PATH "
         "(like --ledger, but the file must already exist)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="scan/stream/cluster: collect per-stage timers/counters and "
+        "print the merged stage profile (results are unchanged)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=None,
+        help="scan/stream/cluster: also write the stage profile as a JSON "
+        "artifact at PATH (implies --profile; default "
+        "PROFILE_wildscan.json when --profile is given alone)",
+    )
+    parser.add_argument(
+        "--no-prescreen",
+        action="store_true",
+        help="scan/stream/cluster: disable the flash-loan pre-screen fast "
+        "path (results are byte-identical either way; for A/B timing)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
@@ -217,6 +244,16 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"--resume: no ledger at {args.resume!r}")
     if ledger is not None and args.connect:
         parser.error("--ledger/--resume apply to the coordinator, not --connect")
+    if args.profile_out is not None:
+        args.profile = True
+    elif args.profile:
+        from ..runtime.profile import DEFAULT_PROFILE_ARTIFACT
+
+        args.profile_out = DEFAULT_PROFILE_ARTIFACT
+    if (args.profile or args.no_prescreen) and args.experiment not in (
+        "scan", "stream", "cluster",
+    ):
+        parser.error("--profile/--no-prescreen only apply to scan, stream and cluster")
     scale = 1.0 if args.full else args.scale
 
     if args.experiment == "cluster":
@@ -227,6 +264,8 @@ def main(argv: list[str] | None = None) -> int:
             output = cluster.render_serve(
                 scale=scale, shards=args.shards, host=args.host, port=args.port,
                 heartbeat_timeout=args.heartbeat_timeout, ledger=ledger,
+                prescreen=not args.no_prescreen, profile=args.profile,
+                profile_out=args.profile_out,
             )
         else:
             output = cluster.render_local(
@@ -236,6 +275,8 @@ def main(argv: list[str] | None = None) -> int:
                 max_workers=args.max_workers,
                 verify=not args.no_verify,
                 ledger=ledger,
+                prescreen=not args.no_prescreen, profile=args.profile,
+                profile_out=args.profile_out,
             )
         print(f"=== cluster ({time.perf_counter() - start:.1f}s) ===")
         print(output)
@@ -249,6 +290,8 @@ def main(argv: list[str] | None = None) -> int:
             name, scale, jobs=args.jobs, shards=args.shards,
             queue_depth=args.queue_depth, block_size=args.block_size,
             ledger=ledger,
+            prescreen=not args.no_prescreen, profile=args.profile,
+            profile_out=args.profile_out,
         )
         elapsed = time.perf_counter() - start
         print(f"=== {name} ({elapsed:.1f}s) ===")

@@ -26,16 +26,24 @@ def run(
     jobs: int = 1,
     shards: int | None = None,
     ledger=None,
+    prescreen: bool = True,
+    profile: bool = False,
 ):
     """Run the batch scan; returns ``(result, engine, elapsed_s)``.
 
     ``ledger`` is a path (or an open :class:`repro.runtime.RunLedger`):
     completed shards are journaled as they finish and already-journaled
     shards are skipped, so a killed run resumes where it left off.
+    ``prescreen``/``profile`` are execution knobs only — neither changes
+    a result byte; a profiled run leaves the merged stage profile on
+    ``engine.profile``.
     """
     from ..engine import ScanEngine
 
-    config = WildScanConfig(scale=scale, seed=seed, jobs=jobs, shards=shards)
+    config = WildScanConfig(
+        scale=scale, seed=seed, jobs=jobs, shards=shards,
+        prescreen=prescreen, profile=profile,
+    )
     engine = ScanEngine(config, ledger=ledger)
     start = time.perf_counter()
     result = engine.run()
@@ -48,9 +56,13 @@ def render(
     jobs: int = 1,
     shards: int | None = None,
     ledger=None,
+    prescreen: bool = True,
+    profile: bool = False,
+    profile_out=None,
 ) -> str:
     result, engine, elapsed = run(
-        scale=scale, seed=seed, jobs=jobs, shards=shards, ledger=ledger
+        scale=scale, seed=seed, jobs=jobs, shards=shards, ledger=ledger,
+        prescreen=prescreen, profile=profile,
     )
     txs_per_s = result.total_transactions / elapsed if elapsed else 0.0
     lines = [
@@ -65,4 +77,10 @@ def render(
             f"{engine.ledger.resumed_count} shard(s) resumed from the journal, "
             f"{engine.ledger.recorded_count} freshly executed and recorded"
         )
+    if engine.profile is not None:
+        from ..runtime.profile import render_profile, write_profile
+
+        lines.append(render_profile(engine.profile))
+        if profile_out is not None:
+            lines.append(f"profile written to {write_profile(engine.profile, profile_out)}")
     return "\n".join(lines)

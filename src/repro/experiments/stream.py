@@ -22,6 +22,8 @@ def run(
     queue_depth: int | None = None,
     block_size: int | None = None,
     ledger=None,
+    prescreen: bool = True,
+    profile: bool = False,
 ) -> StreamResult:
     """``ledger`` (path or open RunLedger) journals shard results at end
     of stream and skips already-journaled shards on resume; use
@@ -29,6 +31,7 @@ def run(
     return run_with_engine(
         scale=scale, seed=seed, jobs=jobs, shards=shards,
         queue_depth=queue_depth, block_size=block_size, ledger=ledger,
+        prescreen=prescreen, profile=profile,
     )[0]
 
 
@@ -40,8 +43,13 @@ def run_with_engine(
     queue_depth: int | None = None,
     block_size: int | None = None,
     ledger=None,
+    prescreen: bool = True,
+    profile: bool = False,
 ) -> tuple[StreamResult, StreamEngine]:
-    config = WildScanConfig(scale=scale, seed=seed, jobs=jobs, shards=shards)
+    config = WildScanConfig(
+        scale=scale, seed=seed, jobs=jobs, shards=shards,
+        prescreen=prescreen, profile=profile,
+    )
     kwargs = {}
     if queue_depth is not None:
         kwargs["queue_depth"] = queue_depth
@@ -58,10 +66,14 @@ def render(
     queue_depth: int | None = None,
     block_size: int | None = None,
     ledger=None,
+    prescreen: bool = True,
+    profile: bool = False,
+    profile_out=None,
 ) -> str:
     streamed, engine = run_with_engine(
         scale=scale, jobs=jobs, shards=shards,
         queue_depth=queue_depth, block_size=block_size, ledger=ledger,
+        prescreen=prescreen, profile=profile,
     )
     result = streamed.result
     alert_blocks = [stats for stats in streamed.blocks if stats.detections]
@@ -92,4 +104,12 @@ def render(
             f"{engine.ledger.resumed_count} shard(s) resumed from the journal, "
             f"{engine.ledger.recorded_count} freshly executed and recorded"
         )
+    if streamed.profile is not None:
+        from ..runtime.profile import render_profile, write_profile
+
+        lines.append(render_profile(streamed.profile))
+        if profile_out is not None:
+            lines.append(
+                f"profile written to {write_profile(streamed.profile, profile_out)}"
+            )
     return "\n".join(lines)

@@ -6,6 +6,7 @@ from .heuristics import DEFAULT_AGGREGATOR_APPS, YieldAggregatorHeuristic
 from .identify import FlashLoan, FlashLoanIdentifier, PROVIDERS
 from .labels import LabelDatabase, app_name_of_label
 from .patterns import AttackPattern, PatternConfig, PatternMatch, PatternMatcher
+from .prescreen import BLOOM_THRESHOLD, AddressBloom, PreScreen
 from .profit import ProfitAnalyzer, ProfitBreakdown, profit_statistics
 from .report import AttackReport, pair_volatilities, price_volatility
 from .simplify import AppTransfer, SimplifierConfig, TransferSimplifier
@@ -14,10 +15,12 @@ from .trades import Trade, TradeIdentifier, TradeKind
 
 __all__ = [
     "AccountTagger",
+    "AddressBloom",
     "AppTransfer",
     "AttackPattern",
     "AttackReport",
     "BLACKHOLE_TAG",
+    "BLOOM_THRESHOLD",
     "DEFAULT_AGGREGATOR_APPS",
     "FlashLoan",
     "FlashLoanIdentifier",
@@ -28,6 +31,7 @@ __all__ = [
     "PatternConfig",
     "PatternMatch",
     "PatternMatcher",
+    "PreScreen",
     "ProfitAnalyzer",
     "ProfitBreakdown",
     "SimplifierConfig",

@@ -18,6 +18,7 @@ whose ``is_attack`` reflects whether any pattern matched.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 from typing import TYPE_CHECKING
 
 from ..chain.trace import TransactionTrace
@@ -45,6 +46,10 @@ class LeiShenConfig:
     #: ablation switch: skip tagging/simplification and run patterns on
     #: raw account-level transfers (DESIGN.md ablation 1).
     use_app_level_transfers: bool = True
+    #: execution knob for the lifting kernels: ``None`` auto-dispatches
+    #: on trace size, ``True``/``False`` pin the numpy/object path (see
+    #: :mod:`repro.leishen.lifting`). Never changes a result byte.
+    vectorize: bool | None = None
 
 
 class LeiShen:
@@ -61,9 +66,19 @@ class LeiShen:
         self.config = config or LeiShenConfig()
         self.identifier = FlashLoanIdentifier()
         self.tagger = AccountTagger(chain, labels, snapshot=tag_snapshot)
-        self.simplifier = TransferSimplifier(self.config.simplifier)
-        self.trade_identifier = TradeIdentifier()
+        self.simplifier = TransferSimplifier(
+            self.config.simplifier, vectorize=self.config.vectorize
+        )
+        self.trade_identifier = TradeIdentifier(vectorize=self.config.vectorize)
         self.matcher = PatternMatcher(self.config.patterns)
+        #: optional :class:`~repro.leishen.prescreen.PreScreen` consulted
+        #: before identification. Rejection is provably result-neutral
+        #: (the screen checks necessary conditions of the fingerprints),
+        #: so installing one never changes what ``analyze`` returns.
+        self.prescreen = None
+        #: optional :class:`~repro.runtime.profile.StageProfiler`;
+        #: ``None`` keeps the pipeline free of timing overhead.
+        self.profiler = None
 
     # ------------------------------------------------------------------
 
@@ -71,7 +86,25 @@ class LeiShen:
         """Run the pipeline; ``None`` when ``trace`` is not a flash loan tx."""
         if not trace.success:
             return None
-        flash_loans = self.identifier.identify(trace)
+        prof = self.profiler
+        now = perf_counter_ns if prof is not None else None
+        if self.prescreen is not None:
+            if prof is None:
+                if not self.prescreen.admits(trace):
+                    return None
+            else:
+                started = now()
+                admitted = self.prescreen.admits(trace)
+                prof.add("prescreen", now() - started)
+                if not admitted:
+                    prof.count("screened_out")
+                    return None
+        if prof is None:
+            flash_loans = self.identifier.identify(trace)
+        else:
+            started = now()
+            flash_loans = self.identifier.identify(trace)
+            prof.add("identify", now() - started)
         if not flash_loans:
             return None
         # Seven of the 22 studied flpAttacks borrow from more than one
@@ -81,7 +114,12 @@ class LeiShen:
         for loan in flash_loans:
             if loan.borrower not in borrowers:
                 borrowers.append(loan.borrower)
+        if prof is not None:
+            started = now()
         tagged = self.tagger.tag_transfers(trace.transfers)
+        if prof is not None:
+            prof.add("tag", now() - started)
+            started = now()
         if self.config.use_app_level_transfers:
             app_transfers = self.simplifier.simplify(tagged)
         else:
@@ -98,7 +136,13 @@ class LeiShen:
                 )
                 for t in trace.transfers
             ]
+        if prof is not None:
+            prof.add("simplify", now() - started)
+            started = now()
         trades = self.trade_identifier.identify(app_transfers)
+        if prof is not None:
+            prof.add("trades", now() - started)
+            started = now()
         if self.config.use_app_level_transfers:
             borrower_tags = tuple(self.tagger.tag_of(b) for b in borrowers)
         else:
@@ -110,6 +154,8 @@ class LeiShen:
                 continue  # untaggable borrower, or same creation-root tag
             seen_tags.add(tag)
             matches.extend(self.matcher.match(trades, tag))
+        if prof is not None:
+            prof.add("match", now() - started)
         report = AttackReport(
             tx_hash=trace.tx_hash,
             flash_loans=flash_loans,

@@ -1,0 +1,253 @@
+"""Vectorized transfer lifting: numpy kernels behind simplify/identify.
+
+The per-transaction object pipeline (:class:`~repro.leishen.simplify
+.TransferSimplifier`, :class:`~repro.leishen.trades.TradeIdentifier`)
+spends its time evaluating the same small predicates row by row in
+Python. This module evaluates those predicates over *arrays* of
+``(from, to, token, amount)`` rows instead — one batch per transaction
+(or many transactions concatenated, with boundary masks) — in the style
+of the Aegis synthetic-benchmark exemplar, then materializes objects
+only at the few positions the predicates selected.
+
+Two invariants make the kernels drop-in:
+
+- **Exact semantics.** Tags and tokens are interned to integer codes
+  (``None`` -> -1) so every equality the object path tests becomes an
+  integer comparison; *amount* comparisons — the merge tolerance and the
+  fee-burn ratio, whose operands overflow int64 (token amounts reach
+  10^26) — are never vectorized: they run on the original Python ints
+  with the original float expressions, only at candidate positions the
+  integer masks already selected. Greedy consumption order (3-window
+  before 2-window, first-match-wins shape priority) is preserved by
+  running the consume loop in Python over precomputed masks.
+- **Auto dispatch.** Arrays win only past a size threshold (numpy call
+  overhead dominates a 13-row trace); below ``VECTOR_MIN_ROWS`` the
+  wrappers keep the tuned object path. ``tests/leishen/test_lifting.py``
+  pins byte-equality of both paths either way.
+
+numpy is an optional accelerator: when missing, ``HAVE_NUMPY`` is False
+and the wrappers never dispatch here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+try:  # pragma: no cover - exercised implicitly by dispatch tests
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = [
+    "HAVE_NUMPY",
+    "VECTOR_MIN_ROWS",
+    "TagInterner",
+    "lift_codes",
+    "merge_candidates_exist",
+    "fee_burn_candidates",
+    "trade_shape_masks",
+]
+
+HAVE_NUMPY = _np is not None
+
+#: minimum row count before the vector path beats the object path
+#: (numpy's per-call overhead amortizes at roughly this many rows).
+VECTOR_MIN_ROWS = 32
+
+#: interner code reserved for ``None`` (untaggable) senders/receivers.
+NONE_CODE = -1
+
+
+class TagInterner:
+    """Interns hashable values (tags, token addresses) to dense ints.
+
+    ``None`` always maps to :data:`NONE_CODE`; everything else gets the
+    next dense code, so equality of codes is exactly equality of values
+    and a fresh interner per batch keeps code tables tiny.
+    """
+
+    __slots__ = ("codes",)
+
+    def __init__(self) -> None:
+        self.codes: dict = {}
+
+    def code(self, value) -> int:
+        if value is None:
+            return NONE_CODE
+        code = self.codes.get(value)
+        if code is None:
+            code = len(self.codes)
+            self.codes[value] = code
+        return code
+
+    def code_of(self, value, default: int = -2) -> int:
+        """The existing code for ``value`` without interning it — used to
+        look up sentinels (the BlackHole tag) that may be absent from the
+        batch; ``default`` must never collide with a real code."""
+        if value is None:
+            return NONE_CODE
+        return self.codes.get(value, default)
+
+
+def lift_codes(rows: Sequence, interner: TagInterner):
+    """Intern one batch of ``(sender, receiver, token)`` triples into
+    three int64 code arrays. Callers extract the triples from their row
+    type (``TaggedTransfer`` tag fields, ``AppTransfer`` fields) so one
+    kernel serves both stages."""
+    code = interner.code
+    n = len(rows)
+    senders = _np.empty(n, dtype=_np.int64)
+    receivers = _np.empty(n, dtype=_np.int64)
+    tokens = _np.empty(n, dtype=_np.int64)
+    for i, (sender, receiver, token) in enumerate(rows):
+        senders[i] = code(sender)
+        receivers[i] = code(receiver)
+        tokens[i] = code(token)
+    return senders, receivers, tokens
+
+
+# ---------------------------------------------------------------------------
+# simplify: rule masks + merge candidate pre-check
+# ---------------------------------------------------------------------------
+
+
+def keep_mask(
+    senders,
+    receivers,
+    *,
+    remove_intra: bool,
+    weth_code: int,
+):
+    """Survivor mask for simplification rules 1 and 2 over code arrays.
+
+    Rule 1 drops rows whose sender is taggable and equals the receiver;
+    rule 2 drops rows touching the WETH tag (``weth_code`` is -2-ish
+    when the batch never saw the tag, matching nothing).
+    """
+    keep = _np.ones(len(senders), dtype=bool)
+    if remove_intra:
+        keep &= ~((senders != NONE_CODE) & (senders == receivers))
+    if weth_code is not None:
+        keep &= (senders != weth_code) & (receivers != weth_code)
+    return keep
+
+
+def merge_candidates_exist(senders, receivers, tokens, boundaries=None) -> bool:
+    """Whether any *adjacent* pair could start an inter-app merge.
+
+    Evaluates every integer-code condition of
+    ``TransferSimplifier._mergeable`` (same token, intermediary hop
+    through a taggable receiver) across all adjacent pairs at once; the
+    amount-tolerance condition is deliberately ignored, making this a
+    necessary-condition pre-check: ``False`` proves the merge fixpoint
+    is the identity and can be skipped wholesale — the common case.
+    ``boundaries`` (optional bool array, True at each batch's last row)
+    invalidates pairs straddling two transactions.
+    """
+    if len(senders) < 2:
+        return False
+    first_r = receivers[:-1]
+    cand = (
+        (tokens[:-1] == tokens[1:])
+        & (first_r != NONE_CODE)
+        & (first_r == senders[1:])
+        & (first_r != senders[:-1])
+        & (first_r != receivers[1:])
+    )
+    if boundaries is not None:
+        cand &= ~boundaries[:-1]
+    return bool(cand.any())
+
+
+# ---------------------------------------------------------------------------
+# trades: fee-burn candidates + greedy shape masks
+# ---------------------------------------------------------------------------
+
+
+def fee_burn_candidates(senders, receivers, tokens, blackhole_code: int):
+    """Indices whose integer conditions allow a fee burn (amount check
+    stays in Python): receiver is the BlackHole, same token as the
+    previous row, and the sender touches the previous row's endpoints."""
+    n = len(receivers)
+    if n < 2:
+        return ()
+    cand = _np.zeros(n, dtype=bool)
+    cand[1:] = (
+        (receivers[1:] == blackhole_code)
+        & (tokens[1:] == tokens[:-1])
+        & ((senders[1:] == senders[:-1]) | (senders[1:] == receivers[:-1]))
+    )
+    return _np.nonzero(cand)[0]
+
+
+#: shape ids for the greedy scan (priority order inside each window size).
+SWAP3, MINT3, REMOVE3 = 1, 2, 3
+SWAP2, MINT2_A, MINT2_B, REMOVE2_A, REMOVE2_B = 1, 2, 3, 4, 5
+
+
+def trade_shape_masks(senders, receivers, tokens, blackhole_code: int):
+    """Precompute Table III shape codes for every window start.
+
+    Returns ``(shape3, shape2)`` int8 arrays of length ``n``: the shape
+    matched by the 3-window/2-window starting at each index (0 = none),
+    encoding exactly the first-match priority of ``_match3``/``_match2``.
+    The greedy consume loop then only reads two precomputed codes per
+    step.
+    """
+    n = len(senders)
+    shape3 = _np.zeros(n, dtype=_np.int8)
+    shape2 = _np.zeros(n, dtype=_np.int8)
+    bh = blackhole_code
+    if n >= 2:
+        s1, r1, t1 = senders[:-1], receivers[:-1], tokens[:-1]
+        s2, r2, t2 = senders[1:], receivers[1:], tokens[1:]
+        nn2 = (s1 != NONE_CODE) & (r1 != NONE_CODE) & (s2 != NONE_CODE) & (r2 != NONE_CODE)
+        base2 = nn2 & (t1 != t2)
+        swap2 = base2 & (s1 == r2) & (r1 == s2) & (s1 != bh) & (r1 != bh)
+        mint2a = base2 & (s2 == bh) & (r2 == s1) & (r1 != bh) & (s1 != bh)
+        mint2b = base2 & (s1 == bh) & (r1 == s2) & (r2 != bh) & (s2 != bh)
+        rem2a = base2 & (r1 == bh) & (r2 == s1) & (s1 != bh) & (s2 != bh)
+        rem2b = base2 & (r2 == bh) & (r1 == s2) & (s2 != bh) & (s1 != bh)
+        codes2 = _np.zeros(n - 1, dtype=_np.int8)
+        # reverse priority: earlier shapes overwrite later ones.
+        codes2[rem2b] = REMOVE2_B
+        codes2[rem2a] = REMOVE2_A
+        codes2[mint2b] = MINT2_B
+        codes2[mint2a] = MINT2_A
+        codes2[swap2] = SWAP2
+        shape2[: n - 1] = codes2
+    if n >= 3:
+        s1, r1, t1 = senders[:-2], receivers[:-2], tokens[:-2]
+        s2, r2, t2 = senders[1:-1], receivers[1:-1], tokens[1:-1]
+        s3, r3, t3 = senders[2:], receivers[2:], tokens[2:]
+        nn3 = (
+            (s1 != NONE_CODE) & (r1 != NONE_CODE)
+            & (s2 != NONE_CODE) & (r2 != NONE_CODE)
+            & (s3 != NONE_CODE) & (r3 != NONE_CODE)
+        )
+        base3 = nn3 & (t1 != t2) & (t1 != t3) & (t2 != t3)
+        swap3 = (
+            base3
+            & (s1 == r2) & (r2 == r3)
+            & (r1 == s2) & (s2 == s3)
+            & (s1 != bh) & (r1 != bh)
+        )
+        mint3 = (
+            base3
+            & (s1 == s2) & (s1 == r3)
+            & (r1 == r2)
+            & (s3 == bh) & (s1 != bh) & (r1 != bh)
+        )
+        rem3 = (
+            base3
+            & (r1 == bh)
+            & (r2 == s1) & (r3 == s1)
+            & (s2 == s3)
+            & (s1 != bh) & (s2 != bh)
+        )
+        codes3 = _np.zeros(n - 2, dtype=_np.int8)
+        codes3[rem3] = REMOVE3
+        codes3[mint3] = MINT3
+        codes3[swap3] = SWAP3
+        shape3[: n - 2] = codes3
+    return shape3, shape2

@@ -20,5 +20,22 @@ byte-identically to an uninterrupted run::
 """
 
 from .ledger import LEDGER_VERSION, LedgerError, RunLedger, ensure_ledger
+from .profile import (
+    DEFAULT_PROFILE_ARTIFACT,
+    StageProfiler,
+    merge_profiles,
+    render_profile,
+    write_profile,
+)
 
-__all__ = ["LEDGER_VERSION", "LedgerError", "RunLedger", "ensure_ledger"]
+__all__ = [
+    "LEDGER_VERSION",
+    "LedgerError",
+    "RunLedger",
+    "ensure_ledger",
+    "DEFAULT_PROFILE_ARTIFACT",
+    "StageProfiler",
+    "merge_profiles",
+    "render_profile",
+    "write_profile",
+]

@@ -1,0 +1,196 @@
+"""Vector/object byte-equality for the lifted simplify/identify kernels.
+
+The numpy path of :mod:`repro.leishen.lifting` is only admissible if it
+is indistinguishable from the per-row object path on *every* input, so
+these tests fuzz randomized transfer batches (huge int amounts, boundary
+tolerances, BlackHole/WETH/None tags) through both paths and require
+exact equality — plus the auto-dispatch contract around
+``VECTOR_MIN_ROWS`` and graceful degradation when numpy is absent.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.chain import Address, ETHER
+from repro.leishen import (
+    AppTransfer,
+    BLACKHOLE_TAG,
+    SimplifierConfig,
+    TaggedTransfer,
+    TradeIdentifier,
+    TransferSimplifier,
+)
+from repro.leishen.lifting import HAVE_NUMPY, VECTOR_MIN_ROWS, TagInterner
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+WETH_TOKEN = Address("0x" + "ee" * 20)
+TOKENS = (ETHER, WETH_TOKEN, *(Address("0x" + f"{i:02x}" * 20) for i in (1, 2, 3)))
+TAGS = (None, "A", "B", "Kyber", "Uniswap", "Wrapped Ether", BLACKHOLE_TAG)
+ACCT = Address("0x" + "99" * 20)
+
+
+def random_tagged(rng: random.Random, n: int) -> list[TaggedTransfer]:
+    rows = []
+    for seq in range(n):
+        # amounts span int64-overflowing token units and tiny dust, with
+        # occasional near-duplicates of the previous amount to land in
+        # (and just outside) the merge tolerance / fee-burn ratio.
+        if rows and rng.random() < 0.3:
+            base = rows[-1].amount
+            amount = max(1, base + rng.choice((0, 1, -1, base // 1000, base // 4)))
+        else:
+            amount = rng.choice((1, 7, 10**3, 10**18, 3 * 10**26))
+        rows.append(
+            TaggedTransfer(
+                seq=seq,
+                tag_sender=rng.choice(TAGS),
+                tag_receiver=rng.choice(TAGS),
+                amount=amount,
+                token=rng.choice(TOKENS),
+                sender=ACCT,
+                receiver=ACCT,
+            )
+        )
+    return rows
+
+
+def to_app(rows: list[TaggedTransfer]) -> list[AppTransfer]:
+    return [
+        AppTransfer(
+            seq=row.seq, sender=row.tag_sender, receiver=row.tag_receiver,
+            amount=row.amount, token=row.token,
+        )
+        for row in rows
+    ]
+
+
+def make_simplifier(vectorize):
+    return TransferSimplifier(
+        SimplifierConfig(weth_tokens=frozenset({WETH_TOKEN})), vectorize=vectorize
+    )
+
+
+@needs_numpy
+class TestSimplifyEquality:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_vector_matches_object_path(self, seed):
+        rng = random.Random(seed)
+        rows = random_tagged(rng, rng.randrange(0, 3 * VECTOR_MIN_ROWS))
+        assert (
+            make_simplifier(True).simplify(rows)
+            == make_simplifier(False).simplify(rows)
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_batch_matches_per_transaction(self, seed):
+        rng = random.Random(1000 + seed)
+        batches = [
+            random_tagged(rng, rng.randrange(0, 20)) for _ in range(rng.randrange(1, 8))
+        ]
+        vector = make_simplifier(True)
+        assert vector.simplify_batch(batches) == [
+            make_simplifier(False).simplify(batch) for batch in batches
+        ]
+
+    def test_merge_never_crosses_batch_boundaries(self):
+        # two halves of a perfect relay split across transactions must
+        # NOT merge, even though their concatenation would.
+        first = [
+            TaggedTransfer(
+                seq=0, tag_sender="A", tag_receiver="Kyber", amount=100,
+                token=TOKENS[2], sender=ACCT, receiver=ACCT,
+            )
+        ]
+        second = [
+            TaggedTransfer(
+                seq=1, tag_sender="Kyber", tag_receiver="B", amount=100,
+                token=TOKENS[2], sender=ACCT, receiver=ACCT,
+            )
+        ]
+        merged = make_simplifier(True).simplify(first + second)
+        split = make_simplifier(True).simplify_batch([first, second])
+        assert len(merged) == 1
+        assert [len(out) for out in split] == [1, 1]
+
+
+@needs_numpy
+class TestIdentifyEquality:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_vector_matches_object_path(self, seed):
+        rng = random.Random(2000 + seed)
+        transfers = to_app(random_tagged(rng, rng.randrange(0, 3 * VECTOR_MIN_ROWS)))
+        assert (
+            TradeIdentifier(vectorize=True).identify(transfers)
+            == TradeIdentifier(vectorize=False).identify(transfers)
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_full_pipeline_equality(self, seed):
+        # simplify -> identify, both stages on each path, end to end.
+        rng = random.Random(3000 + seed)
+        rows = random_tagged(rng, rng.randrange(4, 2 * VECTOR_MIN_ROWS))
+        via_vector = TradeIdentifier(vectorize=True).identify(
+            make_simplifier(True).simplify(rows)
+        )
+        via_object = TradeIdentifier(vectorize=False).identify(
+            make_simplifier(False).simplify(rows)
+        )
+        assert via_vector == via_object
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_identify_batch_matches_per_list(self, seed):
+        rng = random.Random(4000 + seed)
+        batches = [
+            to_app(random_tagged(rng, rng.randrange(0, 20)))
+            for _ in range(rng.randrange(1, 6))
+        ]
+        assert TradeIdentifier(vectorize=True).identify_batch(batches) == [
+            TradeIdentifier(vectorize=False).identify(batch) for batch in batches
+        ]
+
+
+@needs_numpy
+class TestDispatch:
+    def test_auto_dispatch_uses_vector_past_threshold(self, monkeypatch):
+        calls = []
+        original = TransferSimplifier._simplify_vector
+        monkeypatch.setattr(
+            TransferSimplifier,
+            "_simplify_vector",
+            lambda self, rows: calls.append(len(rows)) or original(self, rows),
+        )
+        simplifier = make_simplifier(None)
+        small = random_tagged(random.Random(1), VECTOR_MIN_ROWS - 1)
+        large = random_tagged(random.Random(2), VECTOR_MIN_ROWS)
+        simplifier.simplify(small)
+        assert calls == []  # below threshold: object path
+        simplifier.simplify(large)
+        assert calls == [VECTOR_MIN_ROWS]
+
+    def test_forced_object_path_never_vectorizes(self, monkeypatch):
+        def boom(self, rows):  # pragma: no cover - failure path
+            raise AssertionError("vector path used despite vectorize=False")
+
+        monkeypatch.setattr(TransferSimplifier, "_simplify_vector", boom)
+        rows = random_tagged(random.Random(3), 2 * VECTOR_MIN_ROWS)
+        make_simplifier(False).simplify(rows)
+
+
+class TestInterner:
+    def test_none_is_reserved_and_codes_are_dense(self):
+        interner = TagInterner()
+        assert interner.code(None) == -1
+        codes = [interner.code(tag) for tag in ("a", "b", "a", "c")]
+        assert codes == [0, 1, 0, 2]
+
+    def test_code_of_never_interns(self):
+        interner = TagInterner()
+        assert interner.code_of("missing") == -2
+        assert interner.code_of("missing", default=-7) == -7
+        assert interner.codes == {}
+        interner.code("present")
+        assert interner.code_of("present") == 0
