@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-smoke stream-smoke cluster-smoke elastic-smoke resume-smoke fullscale-smoke profile
+.PHONY: test bench bench-smoke stream-smoke cluster-smoke elastic-smoke resume-smoke failover-smoke fullscale-smoke profile
 
 ## tier-1 test suite (what CI gates on)
 test:
@@ -37,6 +37,14 @@ elastic-smoke:
 ## records resumed-vs-cold wall-clock plus shards-skipped counters
 resume-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_smoke.py --resume
+
+## coordinator-failover survivability bench; regenerates
+## BENCH_failover.json — SIGKILLs the forked primary mid-scan, the hot
+## standby adopts the journal and multi-address workers reconnect
+## (identity always asserted), plus compacted-vs-uncompacted ledger
+## open timings
+failover-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_smoke.py --failover
 
 ## end-to-end full-scale bench (sequential vs. parallel vs. pre-screen
 ## off vs. snapshot warm-start, identity always asserted); regenerates

@@ -39,9 +39,17 @@ minutes; pass a smaller scale for a quick pass::
     PYTHONPATH=src python benchmarks/run_smoke.py --fullscale
     PYTHONPATH=src python benchmarks/run_smoke.py --fullscale --scale 0.05
 
+``--failover`` runs the survivability bench (SIGKILL the forked primary
+coordinator mid-scan, hot standby adopts the journal, multi-address
+workers reconnect, identity always asserted; plus compacted-vs-
+uncompacted ledger open timings), regenerating ``BENCH_failover.json``::
+
+    PYTHONPATH=src python benchmarks/run_smoke.py --failover
+    PYTHONPATH=src python benchmarks/run_smoke.py --failover --autoscale
+
 or via ``make bench-smoke`` / ``make stream-smoke`` / ``make
 cluster-smoke`` / ``make elastic-smoke`` / ``make resume-smoke`` /
-``make fullscale-smoke`` / ``make profile``.
+``make fullscale-smoke`` / ``make failover-smoke`` / ``make profile``.
 """
 
 from __future__ import annotations
@@ -56,10 +64,12 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.engine.bench import (
     DEFAULT_ARTIFACT,
     DEFAULT_CLUSTER_ARTIFACT,
+    DEFAULT_FAILOVER_ARTIFACT,
     DEFAULT_FULLSCALE_ARTIFACT,
     DEFAULT_RESUME_ARTIFACT,
     DEFAULT_STREAM_ARTIFACT,
     run_cluster_bench,
+    run_failover_bench,
     run_fullscale_bench,
     run_resume_bench,
     run_stream_bench,
@@ -98,6 +108,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--interrupt-after", type=int, default=None,
                         help="resume only: shards pre-recorded before the "
                         "simulated kill (default: half the shard count)")
+    parser.add_argument("--failover", action="store_true",
+                        help="bench coordinator failover (BENCH_failover.json): "
+                        "SIGKILL the forked primary mid-scan, standby adopts "
+                        "the ledger, workers fail over; plus compacted-vs-"
+                        "uncompacted ledger open timings")
+    parser.add_argument("--autoscale", action="store_true",
+                        help="failover only: run an ElasticPool on the adopted "
+                        "coordinator as well")
     parser.add_argument("--fullscale", action="store_true",
                         help="bench the end-to-end scan (BENCH_fullscale.json "
                         "+ PROFILE_wildscan.json): sequential vs. parallel "
@@ -118,10 +136,12 @@ def main(argv: list[str] | None = None) -> int:
     repo_root = Path(__file__).resolve().parent.parent
     if args.elastic:
         args.cluster = True
-    if sum((args.stream, args.cluster, args.resume, args.fullscale)) > 1:
+    if sum(
+        (args.stream, args.cluster, args.resume, args.fullscale, args.failover)
+    ) > 1:
         parser.error(
-            "--stream, --cluster/--elastic, --resume and --fullscale are "
-            "mutually exclusive"
+            "--stream, --cluster/--elastic, --resume, --fullscale and "
+            "--failover are mutually exclusive"
         )
     if args.scale is None:
         args.scale = 1.0 if args.fullscale else 0.01
@@ -135,6 +155,15 @@ def main(argv: list[str] | None = None) -> int:
             profile_path=args.profile_out or repo_root / DEFAULT_PROFILE_ARTIFACT,
         )
         output = args.output or repo_root / DEFAULT_FULLSCALE_ARTIFACT
+    elif args.failover:
+        report = run_failover_bench(
+            scale=args.scale,
+            seed=args.seed,
+            shards=args.shards if args.shards is not None else 8,
+            workers=max(args.workers) if args.workers else 2,
+            autoscale=args.autoscale,
+        )
+        output = args.output or repo_root / DEFAULT_FAILOVER_ARTIFACT
     elif args.resume:
         report = run_resume_bench(
             scale=args.scale,

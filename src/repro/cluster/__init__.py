@@ -29,7 +29,11 @@ excluded workers on probation — :mod:`repro.cluster.autoscale`)::
 
 Multiple machines: run ``experiments cluster --serve`` on the
 coordinator host and ``experiments cluster --connect HOST:PORT`` on each
-worker host.
+worker host. Journaled runs can additionally run ``--standby`` on a
+second host (same ledger path): it probes the primary, and if the
+primary dies mid-scan it adopts the journal and finishes the run —
+workers given both addresses (``--connect HOST:PORT,HOST:PORT``) fail
+over through their reconnect loop (:mod:`repro.cluster.standby`).
 """
 
 from .autoscale import ElasticPool
@@ -43,6 +47,7 @@ from .protocol import (
     recv_message,
     send_message,
 )
+from .standby import StandbyCoordinator, StandbyError
 from .worker import ClusterWorker, WorkerKilled, WorkerSummary
 
 __all__ = [
@@ -57,6 +62,8 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "StandbyCoordinator",
+    "StandbyError",
     "WorkerKilled",
     "WorkerSummary",
     "recv_message",

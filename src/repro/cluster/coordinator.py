@@ -257,6 +257,8 @@ class Coordinator:
         max_worker_strikes: int = DEFAULT_MAX_WORKER_STRIKES,
         local_fallback: bool = True,
         ledger=None,
+        server_socket: socket.socket | None = None,
+        failover_addresses=None,
     ) -> None:
         if heartbeat_timeout <= 0:
             raise ValueError(f"heartbeat_timeout must be > 0, got {heartbeat_timeout}")
@@ -307,8 +309,16 @@ class Coordinator:
         #: (``None`` otherwise; ledger-resumed shards carry no profile,
         #: which ``counters["shards_profiled"]`` makes visible).
         self.profile = None
-        if self.ledger is not None and self.ledger.completed_payloads:
-            self._completed.update(self.ledger.completed_payloads)
+        if self.ledger is not None:
+            # Seed completion from the journal (possibly another
+            # coordinator's — the hot-standby adoption path). Shards
+            # folded into a compacted snapshot prefix have no individual
+            # payload; the merge always comes from ``ledger.merge()``
+            # when a ledger is attached, so ``None`` placeholders are
+            # only ever used for membership.
+            payloads = self.ledger.completed_payloads
+            for shard in self.ledger.completed_shards():
+                self._completed[shard] = payloads.get(shard)
             self.stats.resumed_shards = len(self._completed)
         self._pending: deque[int] = deque(
             index for index in range(self.shard_count) if index not in self._completed
@@ -320,10 +330,22 @@ class Coordinator:
         self._threads: list[threading.Thread] = []
         self._pool = None  # attached ElasticPool, if any
 
-        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._server.bind((host, port))
-        self._server.listen(16)
+        #: standby coordinator addresses broadcast to workers in the
+        #: welcome, so a fleet pointed at the primary alone still learns
+        #: where to reconnect if the primary dies (protocol v5).
+        self.failover_addresses: list[tuple[str, int]] = [
+            (str(a), int(p)) for a, p in (failover_addresses or [])
+        ]
+        if server_socket is not None:
+            # Adopt a pre-bound listening socket: the hot-standby bound
+            # and advertised this address while the primary was alive,
+            # so workers' connect lists stay valid across adoption.
+            self._server = server_socket
+        else:
+            self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._server.bind((host, port))
+            self._server.listen(16)
         self._server.settimeout(0.2)
         self.address: tuple[str, int] = self._server.getsockname()[:2]
         self._started = False
@@ -645,6 +667,7 @@ class Coordinator:
                     "config": config_to_wire(self.config),
                     "shard_count": self.shard_count,
                     "heartbeat_interval": self.heartbeat_interval,
+                    "failover": [list(a) for a in self.failover_addresses],
                 },
             )
             while True:

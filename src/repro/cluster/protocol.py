@@ -19,7 +19,8 @@ Message vocabulary (see the coordinator/worker modules for the flow):
 coordinator → worker
 ========================  =======================================================
 ``welcome``               scan config (wire form), ``shard_count``, heartbeat
-                          interval, protocol version
+                          interval, protocol version, ``failover`` standby
+                          address list
 ``assign``                one shard descriptor: ``seed``, ``scale``, ``shard``
                           (index), ``shard_count``
 ``heartbeat``             park ping, sent every heartbeat interval while the
@@ -64,7 +65,12 @@ __all__ = [
 #: v4: full ``context_snapshot`` warm-start capsules (tagger + pre-screen
 #: state) on ``assign``, plus the optional ``profile`` request flag on
 #: ``assign`` and the per-shard ``profile`` payload on ``result``.
-PROTOCOL_VERSION = 4
+#: v5: hot-standby failover — ``welcome`` carries a ``failover`` address
+#: list that workers merge into their connect list, and workers accept a
+#: multi-address connect list, rotating through it in the reconnect loop
+#: (a v4 worker pinned to one address would strand itself when the
+#: primary coordinator dies).
+PROTOCOL_VERSION = 5
 
 #: upper bound on one frame; full-scale shard results stay far below this.
 MAX_FRAME_BYTES = 256 * 1024 * 1024

@@ -26,6 +26,14 @@ be re-admitted on probation by :mod:`repro.cluster.autoscale`. The loop
 ends on :meth:`ClusterWorker.stop`, on ``reconnect_tries`` consecutive
 fruitless sessions, or on a kill.
 
+The connect target is a *list* of coordinator addresses (protocol v5):
+the worker connects to the first that answers, stays sticky on it while
+sessions succeed, and rotates to the next — a hot-standby coordinator —
+when a connect fails or a session ends in a disconnect. The ``welcome``
+may carry further ``failover`` addresses, which are merged into the
+list, so a fleet launched with only the primary's address still fails
+over to a standby the primary knew about.
+
 Shard failures are reported as ``shard-error`` and the worker keeps
 serving; an abrupt death can be simulated through ``task_hook`` raising
 :class:`WorkerKilled` (the fault-injection tests' kill switch — the
@@ -86,6 +94,8 @@ class WorkerSummary:
     sessions: int = 0
     #: backoff-then-retry cycles the reconnect loop went through.
     reconnects: int = 0
+    #: times the worker moved to a different coordinator address.
+    failovers: int = 0
 
 
 class ClusterWorker:
@@ -104,7 +114,7 @@ class ClusterWorker:
 
     def __init__(
         self,
-        address: tuple[str, int],
+        address,
         *,
         name: str | None = None,
         connect_timeout: float = 10.0,
@@ -115,7 +125,6 @@ class ClusterWorker:
         reconnect_tries: int = 8,
         task_hook: Callable[["ClusterWorker", int, int], None] | None = None,
     ) -> None:
-        host, port = address
         if recv_timeout is not None and recv_timeout <= 0:
             raise ValueError(f"recv_timeout must be > 0, got {recv_timeout}")
         if reconnect_backoff <= 0:
@@ -124,7 +133,10 @@ class ClusterWorker:
             )
         if reconnect_tries < 0:
             raise ValueError(f"reconnect_tries must be >= 0, got {reconnect_tries}")
-        self.address = (host, int(port))
+        #: ordered connect list: primary first, then standbys. The first
+        #: address that answers becomes sticky until it fails.
+        self.addresses = self._normalize_addresses(address)
+        self._cursor = 0
         self.name = name or f"worker-{socket.gethostname()}-{os.getpid()}"
         self.connect_timeout = connect_timeout
         self.recv_timeout = recv_timeout
@@ -138,6 +150,39 @@ class ClusterWorker:
         self._sock: socket.socket | None = None
         self._send_lock = threading.Lock()
         self._halt = threading.Event()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The coordinator address the worker currently prefers."""
+        return self.addresses[self._cursor]
+
+    @staticmethod
+    def _normalize_addresses(address) -> list[tuple[str, int]]:
+        """Accept one ``(host, port)`` pair or a sequence of them."""
+        if (
+            isinstance(address, (tuple, list))
+            and len(address) == 2
+            and isinstance(address[0], str)
+        ):
+            candidates = [address]
+        else:
+            candidates = list(address)
+        addresses: list[tuple[str, int]] = []
+        for host, port in candidates:
+            pair = (str(host), int(port))
+            if pair not in addresses:
+                addresses.append(pair)
+        if not addresses:
+            raise ValueError("worker needs at least one coordinator address")
+        return addresses
+
+    def _learn_addresses(self, pairs) -> None:
+        """Merge ``failover`` addresses from a welcome into the list."""
+        for pair in pairs or []:
+            host, port = pair
+            normalized = (str(host), int(port))
+            if normalized not in self.addresses:
+                self.addresses.append(normalized)
 
     # ------------------------------------------------------------------
 
@@ -171,9 +216,7 @@ class ClusterWorker:
                 + summary.tasks_executed
             )
             try:
-                sock = socket.create_connection(
-                    self.address, timeout=self.connect_timeout
-                )
+                sock = self._connect(summary)
             except OSError:
                 if not self.reconnect:
                     raise
@@ -186,6 +229,12 @@ class ClusterWorker:
                     break
                 except (ConnectionClosed, OSError):
                     summary.disconnected = True
+                    # a dead coordinator rarely sends FIN before dying —
+                    # prefer the next address (the standby) right away
+                    # instead of re-courting the corpse.
+                    if len(self.addresses) > 1:
+                        self._cursor = (self._cursor + 1) % len(self.addresses)
+                        summary.failovers += 1
             if not self.reconnect or self._halt.is_set():
                 break
             progressed = (
@@ -208,6 +257,27 @@ class ClusterWorker:
 
     # ------------------------------------------------------------------
 
+    def _connect(self, summary: WorkerSummary) -> socket.socket:
+        """Connect to the first answering address, starting at the
+        sticky cursor and rotating through the rest; raises the last
+        ``OSError`` when every address refuses."""
+        last_error: OSError | None = None
+        for offset in range(len(self.addresses)):
+            index = (self._cursor + offset) % len(self.addresses)
+            try:
+                sock = socket.create_connection(
+                    self.addresses[index], timeout=self.connect_timeout
+                )
+            except OSError as exc:
+                last_error = exc
+                continue
+            if index != self._cursor:
+                self._cursor = index
+                summary.failovers += 1
+            return sock
+        assert last_error is not None
+        raise last_error
+
     def _serve_session(self, sock: socket.socket, summary: WorkerSummary) -> None:
         """One connect → hello → serve-until-drained session."""
         summary.disconnected = False
@@ -229,6 +299,7 @@ class ClusterWorker:
                     f"coordinator speaks {welcome.get('protocol')!r}"
                 )
             summary.sessions += 1
+            self._learn_addresses(welcome.get("failover"))
             config = config_from_wire(welcome["config"])
             shard_count = welcome["shard_count"]
             interval = float(welcome.get("heartbeat_interval", 1.0))

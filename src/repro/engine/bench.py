@@ -25,12 +25,14 @@ __all__ = [
     "run_cluster_bench",
     "run_resume_bench",
     "run_fullscale_bench",
+    "run_failover_bench",
     "write_artifact",
     "DEFAULT_ARTIFACT",
     "DEFAULT_STREAM_ARTIFACT",
     "DEFAULT_CLUSTER_ARTIFACT",
     "DEFAULT_RESUME_ARTIFACT",
     "DEFAULT_FULLSCALE_ARTIFACT",
+    "DEFAULT_FAILOVER_ARTIFACT",
 ]
 
 #: canonical artifact location (repo root, tracked across PRs).
@@ -47,6 +49,9 @@ DEFAULT_RESUME_ARTIFACT = "BENCH_resume.json"
 
 #: full-scale (scale=1.0) end-to-end artifact (repo root, tracked across PRs).
 DEFAULT_FULLSCALE_ARTIFACT = "BENCH_fullscale.json"
+
+#: coordinator-failover survivability artifact (repo root, tracked across PRs).
+DEFAULT_FAILOVER_ARTIFACT = "BENCH_failover.json"
 
 
 def effective_cpu_count() -> int:
@@ -636,6 +641,313 @@ def run_fullscale_bench(
             write_profile(warm_engine.profile, profile_path)
         )
     return report
+
+
+def _failover_primary_main(
+    path: str, port: int, scale: float, seed: int, shards: int | None
+) -> None:
+    """Forked child: a primary coordinator serving a journaled scan.
+
+    The failover bench SIGKILLs this process mid-run — no cleanup, no
+    goodbye, possibly a torn journal tail.
+    """
+    from ..cluster import Coordinator
+    from ..workload.generator import WildScanConfig
+
+    config = WildScanConfig(scale=scale, seed=seed, shards=shards)
+    coordinator = Coordinator(
+        config, host="127.0.0.1", port=port, ledger=path, local_fallback=False
+    )
+    coordinator.start()
+    coordinator.run()
+
+
+def _journaled_ledger_shards(path: Path) -> int:
+    """Intact journaled shards (snapshot prefix + tail; torn tail ignored)."""
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except (FileNotFoundError, UnicodeDecodeError):
+        return 0
+    count = 0
+    for line in lines[1:]:
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            break
+        if record.get("kind") == "shard":
+            count += 1
+        elif record.get("kind") == "snapshot":
+            count += record.get("shards", 0)
+    return count
+
+
+def run_failover_bench(
+    scale: float = 0.01,
+    seed: int = 7,
+    shards: int | None = 8,
+    workers: int = 2,
+    autoscale: bool = False,
+    task_delay: float = 0.005,
+    compact_shard_counts: tuple[int, ...] = (8, 32),
+) -> dict:
+    """The survivability benchmark: kill the primary, adopt, stay identical.
+
+    Two measured sections for ``BENCH_failover.json``:
+
+    1. **failover** — a primary coordinator runs a journaled scan in a
+       forked child process while reconnecting workers (multi-address
+       connect list: primary + standby) execute deliberately slowed
+       shards. As soon as one shard is journaled the child is SIGKILLed.
+       The hot standby's probe detects the refused serve socket, adopts
+       the journal (resuming every journaled shard, truncating any torn
+       tail), the workers fail over through their reconnect loop —
+       optionally alongside an :class:`~repro.cluster.autoscale.ElasticPool`
+       (``autoscale=True``) on the adopted coordinator — and the scan
+       finishes. Recorded: detection/adoption/recovery wall-clock,
+       shards journaled at the kill, resumed shards, worker failovers.
+       Where ``fork`` is unavailable the kill degrades to a pre-seeded
+       journal with a never-alive primary (``"real_kill": false``).
+    2. **compaction** — for each shard count, a fully journaled ledger is
+       timed through ``RunLedger.open()`` before and after compaction:
+       open cost tracks the journaled *record* count, so the compacted
+       file (one snapshot record) opens in near-constant time while the
+       uncompacted cost grows with shard count.
+
+    The identity assertions are always on: the failed-over merged result
+    must be byte-identical (wire encoding) to an uninterrupted in-process
+    run, and every compacted ledger must merge byte-identical to its
+    uncompacted self. Recovery-time budgets live in
+    ``benchmarks/test_bench_failover.py`` behind ``REPRO_BENCH_STRICT=1``.
+    """
+    import multiprocessing
+    import signal
+    import socket as socket_module
+    import tempfile
+    import threading
+
+    from ..cluster import ClusterWorker, StandbyCoordinator
+    from ..runtime import RunLedger
+    from ..workload.generator import WildScanConfig
+    from .plan import build_schedule, resolve_shard_count, shard_schedule
+    from .scan import ScanEngine, run_shard
+    from .wire import detection_to_wire
+
+    def fingerprint(result) -> str:
+        return json.dumps(
+            {
+                "total": result.total_transactions,
+                "detections": [detection_to_wire(d) for d in result.detections],
+                "rows": {
+                    name: [row.n, row.tp, row.fp]
+                    for name, row in sorted(result.rows.items())
+                },
+            },
+            sort_keys=True,
+        )
+
+    def reserve_port() -> tuple[str, int]:
+        probe = socket_module.socket(socket_module.AF_INET, socket_module.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        address = probe.getsockname()[:2]
+        probe.close()
+        return address
+
+    config = WildScanConfig(scale=scale, seed=seed, shards=shards)
+    start = time.perf_counter()
+    reference_result = ScanEngine(config).run()
+    uninterrupted_elapsed = time.perf_counter() - start
+    reference = fingerprint(reference_result)
+
+    # -- section 1: kill the primary mid-scan, adopt, finish ------------
+    can_fork = "fork" in multiprocessing.get_all_start_methods()
+    with tempfile.TemporaryDirectory(prefix="repro-failover-bench-") as tmp:
+        path = Path(tmp) / "run.ledger"
+        primary_address = reserve_port()
+        child = None
+        if can_fork:
+            ctx = multiprocessing.get_context("fork")
+            child = ctx.Process(
+                target=_failover_primary_main,
+                args=(str(path), primary_address[1], scale, seed, shards),
+                daemon=True,
+            )
+            try:
+                child.start()
+            except (OSError, PermissionError):
+                child = None  # sandboxed: degrade to the pre-seeded path
+        real_kill = child is not None
+        if not real_kill:
+            # no forked primary to kill: emulate its remains — a journal
+            # holding the first half of the shards (never-alive primary).
+            tasks = build_schedule(scale, seed)
+            count = resolve_shard_count(shards, len(tasks))
+            parts = shard_schedule(tasks, count)
+            seeded = RunLedger.create(path, config, count)
+            for index in range(max(1, count // 2)):
+                seeded.record(run_shard((config, index, count, parts[index])))
+            seeded.close()
+
+        standby = StandbyCoordinator(
+            config,
+            primary=primary_address,
+            ledger=path,
+            probe_interval=0.05,
+            probe_failures=3,
+            coordinator_options={"local_fallback": True},
+        )
+        standby.start()
+        hook = (
+            (lambda worker, shard, number: time.sleep(task_delay))
+            if task_delay
+            else None
+        )
+        fleet = []
+        for index in range(workers):
+            worker = ClusterWorker(
+                [primary_address, standby.address],
+                name=f"failover-{index}",
+                connect_timeout=2.0,
+                reconnect=True,
+                reconnect_backoff=0.05,
+                reconnect_max_delay=0.25,
+                reconnect_tries=400,
+                task_hook=hook,
+            )
+            box: list = []
+            thread = threading.Thread(
+                target=lambda w=worker, b=box: b.append(w.run()), daemon=True
+            )
+            thread.start()
+            fleet.append((worker, thread, box))
+        try:
+            if real_kill:
+                deadline = time.monotonic() + 300.0
+                while time.monotonic() < deadline:
+                    if _journaled_ledger_shards(path) >= 1:
+                        break
+                    if not child.is_alive():
+                        break
+                    time.sleep(0.01)
+                kill_started = time.perf_counter()
+                if child.is_alive():
+                    os.kill(child.pid, signal.SIGKILL)
+                child.join(timeout=10.0)
+            else:
+                kill_started = time.perf_counter()
+            journaled_at_kill = _journaled_ledger_shards(path)
+            if not standby.wait_for_primary_death(timeout=120.0):
+                raise AssertionError("standby never detected the primary's death")
+            detect_elapsed = time.perf_counter() - kill_started
+            start = time.perf_counter()
+            result = standby.adopt_and_run(
+                timeout=600.0,
+                autoscale=autoscale,
+                max_workers=max(2, workers),
+                autoscale_options={"poll_interval": 0.02} if autoscale else None,
+            )
+            adopted_elapsed = time.perf_counter() - start
+            recovery_elapsed = time.perf_counter() - kill_started
+        finally:
+            for worker, _, _ in fleet:
+                worker.stop()
+            for _, thread, _ in fleet:
+                thread.join(timeout=10.0)
+            standby.shutdown()
+            if child is not None and child.is_alive():
+                child.terminate()
+                child.join(timeout=5.0)
+
+        if fingerprint(result) != reference:
+            raise AssertionError(
+                "identity violation: the failed-over scan changed the "
+                "detections relative to an uninterrupted run"
+            )
+        stats = standby.stats
+        failover_run = {
+            "real_kill": real_kill,
+            "workers": workers,
+            "autoscale": autoscale,
+            "journaled_at_kill": journaled_at_kill,
+            "detect_s": round(detect_elapsed, 4),
+            "adopted_run_s": round(adopted_elapsed, 4),
+            "recovery_s": round(recovery_elapsed, 4),
+            "resumed_shards": stats.resumed_shards,
+            "assignments": stats.assignments,
+            "duplicates_suppressed": stats.duplicates_suppressed,
+            "local_fallback_shards": stats.local_fallback_shards,
+            "worker_failovers": sum(
+                box[0].failovers for _, _, box in fleet if box
+            ),
+            "identical": True,
+        }
+
+    # -- section 2: open()/replay cost, compacted vs uncompacted --------
+    compaction_runs = []
+    for requested in compact_shard_counts:
+        tasks = build_schedule(scale, seed)
+        count = resolve_shard_count(requested, len(tasks))
+        compact_config = WildScanConfig(scale=scale, seed=seed, shards=requested)
+        parts = shard_schedule(tasks, count)
+        with tempfile.TemporaryDirectory(prefix="repro-compact-bench-") as tmp:
+            ledger_path = Path(tmp) / "full.ledger"
+            full = RunLedger.create(ledger_path, compact_config, count)
+            for index in range(count):
+                full.record(run_shard((compact_config, index, count, parts[index])))
+            full.close()
+
+            def open_best(repeats: int = 5) -> tuple[float, "RunLedger"]:
+                best = None
+                opened = None
+                for _ in range(repeats):
+                    if opened is not None:
+                        opened.close()
+                    began = time.perf_counter()
+                    opened = RunLedger.open(
+                        ledger_path, config=compact_config, shard_count=count
+                    )
+                    elapsed = time.perf_counter() - began
+                    best = elapsed if best is None else min(best, elapsed)
+                return best, opened
+
+            uncompacted_open, opened = open_best()
+            uncompacted_fp = fingerprint(opened.merge())
+            opened.compact()  # fold the whole journal, rotate the file
+            opened.close()
+            compacted_open, opened = open_best()
+            compacted_fp = fingerprint(opened.merge())
+            opened.close()
+            if compacted_fp != uncompacted_fp:
+                raise AssertionError(
+                    f"identity violation: compaction at {count} shards "
+                    f"changed the merged result"
+                )
+        compaction_runs.append(
+            {
+                "shards": count,
+                "uncompacted_records": count,
+                "compacted_records": 1,
+                "uncompacted_open_ms": round(uncompacted_open * 1000, 3),
+                "compacted_open_ms": round(compacted_open * 1000, 3),
+                "open_speedup": round(uncompacted_open / compacted_open, 2)
+                if compacted_open
+                else None,
+                "identical": True,
+            }
+        )
+
+    return {
+        "benchmark": "coordinator_failover",
+        "scale": scale,
+        "seed": seed,
+        "shards": shards,
+        "cpu_count": effective_cpu_count(),
+        "os_cpu_count": os.cpu_count(),
+        "uninterrupted_elapsed_s": round(uninterrupted_elapsed, 4),
+        "total_transactions": reference_result.total_transactions,
+        "detected": reference_result.detected_count,
+        "failover_run": failover_run,
+        "compaction_runs": compaction_runs,
+    }
 
 
 def write_artifact(report: dict, path: str | Path = DEFAULT_ARTIFACT) -> Path:

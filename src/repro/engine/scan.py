@@ -582,7 +582,7 @@ class ScanEngine:
         shard_count = resolve_shard_count(cfg.shards, len(tasks))
         ledger = self._resolve_ledger(shard_count)
         parts = shard_schedule(tasks, shard_count)
-        done = set(ledger.completed_payloads) if ledger is not None else ()
+        done = ledger.completed_shards() if ledger is not None else frozenset()
         payloads = [
             (cfg, index, shard_count, part)
             for index, part in enumerate(parts)

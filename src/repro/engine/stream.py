@@ -275,7 +275,7 @@ class StreamEngine:
             ledger = ensure_ledger(self._ledger_spec, cfg, shard_count)
             self.ledger = ledger
         done_shards = (
-            frozenset(ledger.completed_payloads) if ledger is not None else frozenset()
+            ledger.completed_shards() if ledger is not None else frozenset()
         )
         if source is None:
             source = schedule_block_stream(tasks, self.block_size)

@@ -9,8 +9,12 @@ modes, selected by the CLI flags:
   workers — the single-machine path;
 - ``--serve``: coordinator only, listening for remote workers on
   ``--host``/``--port``;
-- ``--connect HOST:PORT``: worker only, serving a remote coordinator
-  until drained.
+- ``--connect HOST:PORT[,HOST:PORT...]``: worker only, serving whichever
+  listed coordinator answers (primary first, failover standby next)
+  until drained;
+- ``--standby HOST:PORT``: hot-standby coordinator — follow the primary
+  at that address, probe its liveness, and adopt the shared
+  ``--ledger`` journal when it dies, finishing the scan.
 
 ``--autoscale`` turns the fixed local spawn into an elastic pool
 (:mod:`repro.cluster.autoscale`): ``--workers`` becomes the initial pool
@@ -25,7 +29,17 @@ import time
 
 from ..workload.generator import WildScanConfig, WildScanner
 
-__all__ = ["run_local", "render_local", "render_serve", "render_worker"]
+__all__ = [
+    "run_local", "render_local", "render_serve", "render_standby",
+    "render_worker",
+]
+
+
+def _parse_address(text: str, flag: str) -> tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"{flag} expects HOST:PORT, got {text!r}")
+    return host, int(port)
 
 
 def run_local(
@@ -38,6 +52,7 @@ def run_local(
     min_workers: int = 0,
     max_workers: int | None = None,
     ledger=None,
+    compact_every: int | None = None,
     prescreen: bool = True,
     profile: bool = False,
 ):
@@ -47,14 +62,18 @@ def run_local(
     ``ledger`` (a path or an open :class:`repro.runtime.RunLedger`)
     journals every completed shard; a killed coordinator resumes from
     the same path, scheduling only the shards the journal is missing.
-    ``profile=True`` asks every worker for its per-shard stage profile
-    (protocol v4); the coordinator's merged payload is returned last.
+    ``compact_every`` folds the journal into a snapshot record every N
+    appended shards. ``profile=True`` asks every worker for its
+    per-shard stage profile (protocol v4); the coordinator's merged
+    payload is returned last.
     """
     from ..cluster import run_cluster_scan
+    from .scan import _maybe_compacting
 
     config = WildScanConfig(
         scale=scale, seed=seed, shards=shards, prescreen=prescreen, profile=profile
     )
+    ledger = _maybe_compacting(ledger, config, compact_every)
     options = {}
     if heartbeat_timeout is not None:
         options["heartbeat_timeout"] = heartbeat_timeout
@@ -109,6 +128,7 @@ def render_local(
     max_workers: int | None = None,
     verify: bool = True,
     ledger=None,
+    compact_every: int | None = None,
     prescreen: bool = True,
     profile: bool = False,
     profile_out=None,
@@ -119,7 +139,8 @@ def render_local(
         scale=scale, seed=seed, workers=workers, shards=shards,
         heartbeat_timeout=heartbeat_timeout,
         autoscale=autoscale, min_workers=min_workers, max_workers=max_workers,
-        ledger=ledger, prescreen=prescreen, profile=profile,
+        ledger=ledger, compact_every=compact_every,
+        prescreen=prescreen, profile=profile,
     )
     lines = _summary_lines(
         result, stats, elapsed, f"{stats.workers_seen} local worker(s)"
@@ -157,16 +178,19 @@ def render_serve(
     port: int = 9733,
     heartbeat_timeout: float | None = None,
     ledger=None,
+    compact_every: int | None = None,
     prescreen: bool = True,
     profile: bool = False,
     profile_out=None,
 ) -> str:
     """Coordinator-only mode: wait for remote workers, then merge."""
     from ..cluster import Coordinator
+    from .scan import _maybe_compacting
 
     config = WildScanConfig(
         scale=scale, seed=seed, shards=shards, prescreen=prescreen, profile=profile
     )
+    ledger = _maybe_compacting(ledger, config, compact_every)
     options = {}
     if heartbeat_timeout is not None:
         options["heartbeat_timeout"] = heartbeat_timeout
@@ -199,21 +223,97 @@ def render_serve(
     return "\n".join(lines)
 
 
+def render_standby(
+    scale: float = 0.1,
+    seed: int = 7,
+    shards: int | None = None,
+    primary: str = "",
+    host: str = "0.0.0.0",
+    port: int = 0,
+    heartbeat_timeout: float | None = None,
+    ledger=None,
+    prescreen: bool = True,
+    profile: bool = False,
+) -> str:
+    """Hot-standby mode: follow the primary coordinator at ``primary``
+    (``HOST:PORT``), adopt the shared ``ledger`` journal when the
+    liveness probe declares it dead, and finish the scan on this
+    standby's own serve socket. Workers should list both addresses:
+    ``--connect PRIMARY,STANDBY``."""
+    from ..cluster import StandbyCoordinator
+
+    if ledger is None:
+        raise ValueError("--standby requires --ledger/--resume (the shared journal)")
+    config = WildScanConfig(
+        scale=scale, seed=seed, shards=shards, prescreen=prescreen, profile=profile
+    )
+    options = {}
+    if heartbeat_timeout is not None:
+        options["heartbeat_timeout"] = heartbeat_timeout
+    standby = StandbyCoordinator(
+        config,
+        primary=_parse_address(primary, "--standby"),
+        ledger=ledger,
+        host=host,
+        port=port,
+        coordinator_options=options or None,
+    )
+    standby.start()
+    bound_host, bound_port = standby.address
+    primary_host, primary_port = standby.primary
+    print(
+        f"standby following {primary_host}:{primary_port}, adoption address "
+        f"{bound_host}:{bound_port} — point workers at both: --connect "
+        f"{primary_host}:{primary_port},{bound_host}:{bound_port}",
+        flush=True,
+    )
+    try:
+        standby.wait_for_primary_death()
+        detect_s = standby.death_detected_at - standby.started_at
+        print(
+            f"primary dead after {detect_s:.2f}s of following "
+            f"({standby.probe_count} probe(s)) — adopting the journal",
+            flush=True,
+        )
+        start = time.perf_counter()
+        result = standby.adopt_and_run()
+        elapsed = time.perf_counter() - start
+        stats = standby.stats
+    finally:
+        standby.shutdown()
+    lines = _summary_lines(
+        result, stats, elapsed, f"{stats.workers_seen} failed-over worker(s)"
+    )
+    lines.append(
+        f"failover: {stats.resumed_shards} shard(s) adopted from the dead "
+        f"primary's journal, {stats.assignments} reassigned"
+    )
+    return "\n".join(lines)
+
+
 def render_worker(connect: str) -> str:
-    """Worker mode: serve the coordinator at ``HOST:PORT`` until drained."""
+    """Worker mode: serve a coordinator from the comma-separated
+    ``HOST:PORT[,HOST:PORT...]`` list (primary first, standbys after)
+    until drained; a dead address rotates to the next."""
     from ..cluster import ClusterWorker
 
-    host, _, port = connect.rpartition(":")
-    if not host or not port.isdigit():
-        raise ValueError(f"--connect expects HOST:PORT, got {connect!r}")
-    summary = ClusterWorker((host, int(port))).run()
+    addresses = [
+        _parse_address(entry.strip(), "--connect")
+        for entry in connect.split(",") if entry.strip()
+    ]
+    if not addresses:
+        raise ValueError(f"--connect expects HOST:PORT[,HOST:PORT...], got {connect!r}")
+    summary = ClusterWorker(addresses).run()
     state = (
         "killed" if summary.killed
         else "coordinator vanished" if summary.disconnected
         else "drained"
     )
+    failed_over = (
+        f", {summary.failovers} coordinator failover(s)" if summary.failovers else ""
+    )
     return (
         f"worker {summary.name}: {summary.shards_completed} shard(s) completed, "
         f"{summary.shard_errors} shard error(s), {summary.tasks_executed} task(s) "
-        f"executed — {state}"
+        f"executed{failed_over} — {state}"
     )

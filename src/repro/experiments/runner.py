@@ -29,6 +29,7 @@ def _run_one(
     queue_depth: int | None = None,
     block_size: int | None = None,
     ledger: str | None = None,
+    compact_every: int | None = None,
     prescreen: bool = True,
     profile: bool = False,
     profile_out: str | None = None,
@@ -54,12 +55,14 @@ def _run_one(
     if name == "scan":
         return scan.render(
             scale=scale, jobs=jobs, shards=shards, ledger=ledger,
+            compact_every=compact_every,
             prescreen=prescreen, profile=profile, profile_out=profile_out,
         )
     if name == "stream":
         return stream.render(
             scale=scale, jobs=jobs, shards=shards,
             queue_depth=queue_depth, block_size=block_size, ledger=ledger,
+            compact_every=compact_every,
             prescreen=prescreen, profile=profile, profile_out=profile_out,
         )
     raise ValueError(f"unknown experiment {name!r}")
@@ -125,10 +128,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--connect",
+        metavar="HOST:PORT[,HOST:PORT...]",
+        default=None,
+        help="cluster only: worker mode — serve a coordinator from the "
+        "comma-separated address list (primary first, failover standbys "
+        "after) until drained; a dead address rotates to the next",
+    )
+    parser.add_argument(
+        "--standby",
         metavar="HOST:PORT",
         default=None,
-        help="cluster only: worker mode — serve the coordinator at "
-        "HOST:PORT until drained",
+        help="cluster only: hot-standby mode — follow the primary "
+        "coordinator at HOST:PORT, probe its liveness, and adopt the "
+        "shared --ledger journal when it dies, finishing the scan on "
+        "this process's own --host/--port socket",
     )
     parser.add_argument(
         "--host",
@@ -191,6 +204,16 @@ def main(argv: list[str] | None = None) -> int:
         "(like --ledger, but the file must already exist)",
     )
     parser.add_argument(
+        "--compact-every",
+        type=int,
+        metavar="N",
+        default=None,
+        help="scan/stream/cluster with --ledger/--resume: fold the "
+        "journal into a single snapshot record every N appended shards "
+        "(crash-safe rotation; replay cost stays flat instead of "
+        "growing with the shard count)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="scan/stream/cluster: collect per-stage timers/counters and "
@@ -228,15 +251,31 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"--max-workers must be >= 1, got {args.max_workers}")
     elif args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
-    if args.serve and args.connect:
-        parser.error("--serve and --connect are mutually exclusive")
-    if args.autoscale and (args.serve or args.connect):
+    if sum(map(bool, (args.serve, args.connect, args.standby))) > 1:
+        parser.error("--serve, --connect and --standby are mutually exclusive")
+    if args.autoscale and (args.serve or args.connect or args.standby):
         parser.error("--autoscale only applies to local cluster runs")
+    if (args.serve or args.connect or args.standby) and args.experiment != "cluster":
+        parser.error("--serve/--connect/--standby only apply to cluster")
     if args.ledger and args.resume:
         parser.error("--ledger and --resume are mutually exclusive")
     ledger = args.ledger or args.resume
     if ledger is not None and args.experiment not in ("scan", "stream", "cluster"):
         parser.error("--ledger/--resume only apply to scan, stream and cluster")
+    if args.standby and ledger is None:
+        parser.error("--standby requires --ledger/--resume (the shared journal)")
+    if args.compact_every is not None:
+        if args.compact_every < 1:
+            parser.error(
+                f"--compact-every must be >= 1, got {args.compact_every}"
+            )
+        if ledger is None:
+            parser.error("--compact-every requires --ledger/--resume")
+        if args.standby:
+            parser.error(
+                "--compact-every does not apply to --standby (give it to "
+                "the primary; the standby adopts the journal as-is)"
+            )
     if args.resume:
         import os
 
@@ -260,10 +299,18 @@ def main(argv: list[str] | None = None) -> int:
         start = time.perf_counter()
         if args.connect:
             output = cluster.render_worker(args.connect)
+        elif args.standby:
+            output = cluster.render_standby(
+                scale=scale, shards=args.shards, primary=args.standby,
+                host=args.host, port=args.port,
+                heartbeat_timeout=args.heartbeat_timeout, ledger=ledger,
+                prescreen=not args.no_prescreen, profile=args.profile,
+            )
         elif args.serve:
             output = cluster.render_serve(
                 scale=scale, shards=args.shards, host=args.host, port=args.port,
                 heartbeat_timeout=args.heartbeat_timeout, ledger=ledger,
+                compact_every=args.compact_every,
                 prescreen=not args.no_prescreen, profile=args.profile,
                 profile_out=args.profile_out,
             )
@@ -274,7 +321,7 @@ def main(argv: list[str] | None = None) -> int:
                 autoscale=args.autoscale, min_workers=args.min_workers,
                 max_workers=args.max_workers,
                 verify=not args.no_verify,
-                ledger=ledger,
+                ledger=ledger, compact_every=args.compact_every,
                 prescreen=not args.no_prescreen, profile=args.profile,
                 profile_out=args.profile_out,
             )
@@ -289,7 +336,7 @@ def main(argv: list[str] | None = None) -> int:
         output = _run_one(
             name, scale, jobs=args.jobs, shards=args.shards,
             queue_depth=args.queue_depth, block_size=args.block_size,
-            ledger=ledger,
+            ledger=ledger, compact_every=args.compact_every,
             prescreen=not args.no_prescreen, profile=args.profile,
             profile_out=args.profile_out,
         )

@@ -22,6 +22,7 @@ def run(
     queue_depth: int | None = None,
     block_size: int | None = None,
     ledger=None,
+    compact_every: int | None = None,
     prescreen: bool = True,
     profile: bool = False,
 ) -> StreamResult:
@@ -31,7 +32,7 @@ def run(
     return run_with_engine(
         scale=scale, seed=seed, jobs=jobs, shards=shards,
         queue_depth=queue_depth, block_size=block_size, ledger=ledger,
-        prescreen=prescreen, profile=profile,
+        compact_every=compact_every, prescreen=prescreen, profile=profile,
     )[0]
 
 
@@ -43,6 +44,7 @@ def run_with_engine(
     queue_depth: int | None = None,
     block_size: int | None = None,
     ledger=None,
+    compact_every: int | None = None,
     prescreen: bool = True,
     profile: bool = False,
 ) -> tuple[StreamResult, StreamEngine]:
@@ -50,6 +52,9 @@ def run_with_engine(
         scale=scale, seed=seed, jobs=jobs, shards=shards,
         prescreen=prescreen, profile=profile,
     )
+    from .scan import _maybe_compacting
+
+    ledger = _maybe_compacting(ledger, config, compact_every)
     kwargs = {}
     if queue_depth is not None:
         kwargs["queue_depth"] = queue_depth
@@ -66,6 +71,7 @@ def render(
     queue_depth: int | None = None,
     block_size: int | None = None,
     ledger=None,
+    compact_every: int | None = None,
     prescreen: bool = True,
     profile: bool = False,
     profile_out=None,
@@ -73,7 +79,7 @@ def render(
     streamed, engine = run_with_engine(
         scale=scale, jobs=jobs, shards=shards,
         queue_depth=queue_depth, block_size=block_size, ledger=ledger,
-        prescreen=prescreen, profile=profile,
+        compact_every=compact_every, prescreen=prescreen, profile=profile,
     )
     result = streamed.result
     alert_blocks = [stats for stats in streamed.blocks if stats.detections]

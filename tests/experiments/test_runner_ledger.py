@@ -53,6 +53,55 @@ class TestClusterSubcommand:
         assert "4 shard(s) resumed from the journal" in second
 
 
+class TestCompactEvery:
+    def test_scan_compacts_and_resumes(self, tmp_path, capsys):
+        from repro.runtime import RunLedger
+        from repro.workload.generator import WildScanConfig
+
+        path = str(tmp_path / "run.ledger")
+        args = ["scan", "--scale", "0.005", "--shards", "4", "--ledger", path]
+        assert main([*args, "--compact-every", "2"]) == 0
+        first = capsys.readouterr().out
+        assert "4 freshly executed" in first
+
+        replay = RunLedger.open(
+            path, config=WildScanConfig(scale=0.005, seed=7, shards=4),
+            shard_count=4,
+        )
+        assert replay.snapshot_shards == 4  # fully folded journal
+        replay.close()
+
+        assert main(["scan", "--scale", "0.005", "--shards", "4",
+                     "--resume", path]) == 0
+        second = capsys.readouterr().out
+        assert "4 shard(s) resumed" in second
+
+
+class TestStandbyCLI:
+    def test_standby_adopts_a_complete_journal(self, tmp_path, capsys):
+        """End-to-end --standby: the primary address is already dead and
+        the journal already complete, so adoption merges immediately."""
+        import socket
+
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        dead = "%s:%d" % probe.getsockname()[:2]
+        probe.close()
+
+        path = str(tmp_path / "run.ledger")
+        assert main(["scan", "--scale", "0.005", "--shards", "4",
+                     "--ledger", path]) == 0
+        capsys.readouterr()
+
+        assert main(["cluster", "--scale", "0.005", "--shards", "4",
+                     "--standby", dead, "--host", "127.0.0.1", "--port", "0",
+                     "--resume", path]) == 0
+        out = capsys.readouterr().out
+        assert "standby following" in out
+        assert "adopting the journal" in out
+        assert "4 shard(s) adopted from the dead primary's journal" in out
+
+
 class TestFlagValidation:
     def test_ledger_and_resume_mutually_exclusive(self, tmp_path):
         path = str(tmp_path / "run.ledger")
@@ -71,6 +120,33 @@ class TestFlagValidation:
         with pytest.raises(SystemExit):
             main(["cluster", "--connect", "127.0.0.1:9", "--ledger",
                   str(tmp_path / "run.ledger")])
+
+    def test_compact_every_requires_ledger(self):
+        with pytest.raises(SystemExit):
+            main(["scan", "--compact-every", "2"])
+
+    def test_compact_every_must_be_positive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["scan", "--ledger", str(tmp_path / "run.ledger"),
+                  "--compact-every", "0"])
+
+    def test_standby_requires_ledger(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--standby", "127.0.0.1:9733"])
+
+    def test_standby_and_serve_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--standby", "127.0.0.1:9733", "--serve",
+                  "--ledger", str(tmp_path / "run.ledger")])
+
+    def test_standby_rejected_outside_cluster(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["scan", "--standby", "127.0.0.1:9733",
+                  "--ledger", str(tmp_path / "run.ledger")])
+
+    def test_connect_rejects_malformed_address_list(self):
+        with pytest.raises(ValueError, match="--connect expects HOST:PORT"):
+            main(["cluster", "--connect", "127.0.0.1:9733,badaddress"])
 
     def test_config_mismatch_fails_loudly(self, tmp_path, capsys):
         from repro.runtime import LedgerError

@@ -192,6 +192,353 @@ class TestDurabilityAndCorruption:
             RunLedger.open(path, config=config)
 
 
+class TestTornTailByteAccounting:
+    """Regressions for the two torn-tail classification/truncation bugs:
+    parsing must split records on ``b"\\n"`` alone (never ``\\r`` and
+    friends), and a torn partial record followed by trailing blank lines
+    is a torn *tail*, not interior corruption."""
+
+    def test_carriage_return_bearing_torn_tail(self, tmp_path, config, outcomes):
+        """A torn tail with a stray ``\\r`` used to be split into extra
+        'lines' by ``str.splitlines()``, truncating mid-record and turning
+        a tolerable tear into interior corruption at the next open."""
+        path = tmp_path / "run.ledger"
+        ledger = RunLedger.create(path, config, 4)
+        for outcome in outcomes[:2]:
+            ledger.record(outcome)
+        ledger.close()
+        with open(path, "ab") as handle:
+            handle.write(b'{"kind": "shard", "shard": 2, "pay\rl')
+        resumed = RunLedger.open(path, config=config, shard_count=4)
+        assert sorted(resumed.completed_payloads) == [0, 1]
+        assert path.read_bytes().endswith(b"}\n")  # whole tear cut away
+        for outcome in outcomes[2:]:
+            resumed.record(outcome)
+        resumed.close()
+        replay = RunLedger.open(path, config=config, shard_count=4)
+        assert replay.is_complete
+
+    def test_crlf_converted_ledger_still_parses(self, tmp_path, config, outcomes):
+        """A ledger copied through a CRLF filesystem: ``\\r`` before the
+        newline is JSON whitespace, so every record still decodes."""
+        path = tmp_path / "run.ledger"
+        ledger = RunLedger.create(path, config, 4)
+        for outcome in outcomes:
+            ledger.record(outcome)
+        ledger.close()
+        path.write_bytes(path.read_bytes().replace(b"\n", b"\r\n"))
+        replay = RunLedger.open(path, config=config, shard_count=4)
+        assert replay.is_complete
+
+    def test_torn_tail_followed_by_blank_line_tolerated(
+        self, tmp_path, config, outcomes
+    ):
+        """The tear landed after the partial record's bytes but an earlier
+        flush already wrote ``\\n``: the partial line is followed by a
+        trailing blank line. That is still a torn tail — it used to raise
+        ``LedgerError`` because only the literal last line was checked."""
+        path = tmp_path / "run.ledger"
+        ledger = RunLedger.create(path, config, 4)
+        ledger.record(outcomes[0])
+        ledger.close()
+        with open(path, "ab") as handle:
+            handle.write(b'{"kind": "shard", "shard": 2, "payl\n\n')
+        resumed = RunLedger.open(path, config=config, shard_count=4)
+        assert sorted(resumed.completed_payloads) == [0]
+        for outcome in outcomes[1:]:
+            resumed.record(outcome)
+        resumed.close()
+        assert RunLedger.open(path, config=config, shard_count=4).is_complete
+
+    def test_partial_record_before_valid_record_still_raises(
+        self, tmp_path, config, outcomes
+    ):
+        """The other ordering stays loud: a partial record with a *real*
+        record after it cannot be a tear — records append one at a time —
+        so it is interior corruption."""
+        path = tmp_path / "run.ledger"
+        ledger = RunLedger.create(path, config, 4)
+        ledger.record(outcomes[0])
+        ledger.close()
+        valid = path.read_text().splitlines()[1]
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "shard", "shard": 2, "payl\n')
+            handle.write(valid + "\n")
+        with pytest.raises(LedgerError, match="corrupt interior record"):
+            RunLedger.open(path, config=config)
+
+    def test_undecodable_utf8_tail_tolerated(self, tmp_path, config, outcomes):
+        """A tear can land mid-codepoint; invalid UTF-8 on the tail line
+        classifies exactly like invalid JSON."""
+        path = tmp_path / "run.ledger"
+        ledger = RunLedger.create(path, config, 4)
+        ledger.record(outcomes[0])
+        ledger.close()
+        with open(path, "ab") as handle:
+            handle.write(b'{"kind": "shard", "shard": 2, "p\xff\xfe')
+        resumed = RunLedger.open(path, config=config, shard_count=4)
+        assert sorted(resumed.completed_payloads) == [0]
+
+
+class TestDirectoryFsync:
+    def test_create_fsyncs_parent_directory(self, tmp_path, config, monkeypatch):
+        """The new-file durability gap: creating the journal must fsync
+        the directory entry, not just the file."""
+        synced = []
+        monkeypatch.setattr(
+            RunLedger, "_fsync_dir", staticmethod(lambda d: synced.append(d))
+        )
+        path = tmp_path / "run.ledger"
+        RunLedger.create(path, config, 4)
+        assert synced == [path.parent]
+
+    def test_compaction_rename_fsyncs_parent_directory(
+        self, tmp_path, config, outcomes, monkeypatch
+    ):
+        path = tmp_path / "run.ledger"
+        ledger = RunLedger.create(path, config, 4)
+        ledger.record(outcomes[0])
+        synced = []
+        monkeypatch.setattr(
+            RunLedger, "_fsync_dir", staticmethod(lambda d: synced.append(d))
+        )
+        assert ledger.compact() is True
+        assert synced == [path.parent]
+
+
+def _fingerprint(result) -> str:
+    """Canonical bytes of a merged result (what byte-identity means)."""
+    from repro.engine.wire import detection_to_wire
+
+    return json.dumps(
+        {
+            "total_transactions": result.total_transactions,
+            "detections": [detection_to_wire(d) for d in result.detections],
+            "rows": {
+                name: (row.n, row.tp, row.fp)
+                for name, row in sorted(result.rows.items())
+            },
+        },
+        sort_keys=True,
+    )
+
+
+class TestCompaction:
+    def test_compact_folds_prefix_and_rotates(self, tmp_path, config, outcomes):
+        path = tmp_path / "run.ledger"
+        ledger = RunLedger.create(path, config, 4)
+        for outcome in outcomes[:2]:
+            ledger.record(outcome)
+        assert ledger.compact() is True
+        assert ledger.snapshot_shards == 2
+        assert ledger.generation == 1
+        assert ledger.compactions == 1
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["kind"] == "header"
+        snapshot = json.loads(lines[1])
+        assert snapshot["kind"] == "snapshot"
+        assert snapshot["shards"] == 2
+        assert snapshot["generation"] == 1
+        assert len(lines) == 2  # no tail yet: two shards became one record
+        assert not list(tmp_path.glob("run.ledger.*"))  # rotation renamed
+
+    def test_compact_with_no_contiguous_prefix_is_noop(
+        self, tmp_path, config, outcomes
+    ):
+        path = tmp_path / "run.ledger"
+        ledger = RunLedger.create(path, config, 4)
+        ledger.record(outcomes[1])  # shard 1: shard 0 still missing
+        before = path.read_bytes()
+        assert ledger.compact() is False
+        assert path.read_bytes() == before
+
+    def test_compacted_ledger_reopens_with_prefix_accounted(
+        self, tmp_path, config, outcomes
+    ):
+        path = tmp_path / "run.ledger"
+        ledger = RunLedger.create(path, config, 4)
+        for outcome in outcomes[:3]:
+            ledger.record(outcome)
+        ledger.compact()
+        ledger.close()
+        resumed = RunLedger.open(path, config=config, shard_count=4)
+        assert resumed.snapshot_shards == 3
+        assert resumed.completed_shards() == frozenset({0, 1, 2})
+        assert resumed.completed_payloads == {}  # prefix holds no payloads
+        assert resumed.resumed_count == 3
+        assert resumed.remaining() == [3]
+        assert not resumed.is_complete
+        resumed.record(outcomes[3])
+        assert resumed.is_complete
+
+    def test_compacted_merge_byte_identical_to_uncompacted(
+        self, tmp_path, config, outcomes
+    ):
+        plain = RunLedger.create(tmp_path / "plain.ledger", config, 4)
+        compacted = RunLedger.create(tmp_path / "compacted.ledger", config, 4)
+        for outcome in outcomes:
+            plain.record(outcome)
+            compacted.record(outcome)
+            compacted.compact()  # fold after every record: worst case
+        assert compacted.generation == 4
+        assert _fingerprint(compacted.merge()) == _fingerprint(plain.merge())
+        # and the identity survives a reopen of the rotated file
+        compacted.close()
+        replay = RunLedger.open(
+            tmp_path / "compacted.ledger", config=config, shard_count=4
+        )
+        assert _fingerprint(replay.merge()) == _fingerprint(plain.merge())
+
+    def test_compact_extends_existing_snapshot(self, tmp_path, config, outcomes):
+        path = tmp_path / "run.ledger"
+        ledger = RunLedger.create(path, config, 4)
+        ledger.record(outcomes[0])
+        ledger.compact()
+        # out-of-order completion: 2 journals while 1 is outstanding
+        ledger.record(outcomes[2])
+        assert ledger.compact() is False  # prefix can't extend past the gap
+        ledger.record(outcomes[1])
+        assert ledger.compact() is True
+        assert ledger.snapshot_shards == 3
+        assert ledger.generation == 2
+        ledger.record(outcomes[3])
+        from repro.engine.scan import merge_shard_results
+
+        assert _fingerprint(ledger.merge()) == _fingerprint(
+            merge_shard_results(config, outcomes)
+        )
+
+    def test_record_into_compacted_prefix_is_duplicate(
+        self, tmp_path, config, outcomes
+    ):
+        """A late result for a compacted shard (a dead primary's worker
+        finishing after adoption) is suppressed as a duplicate — the
+        individual payload is gone, the determinism contract stands in."""
+        path = tmp_path / "run.ledger"
+        ledger = RunLedger.create(path, config, 4)
+        ledger.record(outcomes[0])
+        ledger.compact()
+        assert ledger.record(outcomes[0]) is False
+        assert ledger.duplicates_ignored == 1
+
+    def test_compact_every_auto_compacts(self, tmp_path, config, outcomes):
+        path = tmp_path / "run.ledger"
+        ledger = RunLedger.create(path, config, 4, compact_every=2)
+        for outcome in outcomes:
+            ledger.record(outcome)
+        assert ledger.compactions == 2
+        assert ledger.snapshot_shards == 4
+        assert ledger.is_complete
+        from repro.engine.scan import merge_shard_results
+
+        assert _fingerprint(ledger.merge()) == _fingerprint(
+            merge_shard_results(config, outcomes)
+        )
+
+    def test_compact_every_validated(self, tmp_path, config):
+        with pytest.raises(ValueError, match="compact_every"):
+            RunLedger.create(tmp_path / "run.ledger", config, 4, compact_every=0)
+
+    def test_appends_after_compaction_land_in_rotated_file(
+        self, tmp_path, config, outcomes
+    ):
+        """compact() must rotate the append handle too: a record written
+        through a stale handle would land in the unlinked old inode and
+        silently vanish."""
+        path = tmp_path / "run.ledger"
+        ledger = RunLedger.create(path, config, 4)
+        ledger.record(outcomes[0])  # opens the append handle
+        ledger.compact()
+        ledger.record(outcomes[1])
+        ledger.close()
+        replay = RunLedger.open(path, config=config, shard_count=4)
+        assert replay.completed_shards() == frozenset({0, 1})
+
+
+class TestCompactionCrashWindows:
+    def test_crash_between_write_and_rename_keeps_old_file(
+        self, tmp_path, config, outcomes, monkeypatch
+    ):
+        """Killed after writing ``<path>.N`` but before the rename: the
+        rotation never took effect, the old journal is intact, and the
+        leftover is cleared on the next open."""
+        import os as os_module
+
+        path = tmp_path / "run.ledger"
+        ledger = RunLedger.create(path, config, 4)
+        for outcome in outcomes[:2]:
+            ledger.record(outcome)
+        before = path.read_bytes()
+
+        def crash(src, dst):
+            raise KeyboardInterrupt("kill between write and rename")
+
+        monkeypatch.setattr(os_module, "replace", crash)
+        with pytest.raises(KeyboardInterrupt):
+            ledger.compact()
+        monkeypatch.undo()
+        assert path.read_bytes() == before  # old file: every record intact
+        assert (tmp_path / "run.ledger.1").exists()  # orphaned rotation
+        resumed = RunLedger.open(path, config=config, shard_count=4)
+        assert resumed.completed_shards() == frozenset({0, 1})
+        assert resumed.snapshot_shards == 0
+        assert not (tmp_path / "run.ledger.1").exists()  # swept on open
+
+    def test_crash_between_rename_and_dir_fsync_keeps_new_file(
+        self, tmp_path, config, outcomes, monkeypatch
+    ):
+        """Killed after the rename but before the directory fsync: the
+        new (compacted) file is what parses — never neither."""
+        path = tmp_path / "run.ledger"
+        ledger = RunLedger.create(path, config, 4)
+        for outcome in outcomes[:2]:
+            ledger.record(outcome)
+
+        def crash(directory):
+            raise KeyboardInterrupt("kill between rename and dir fsync")
+
+        monkeypatch.setattr(RunLedger, "_fsync_dir", staticmethod(crash))
+        with pytest.raises(KeyboardInterrupt):
+            ledger.compact()
+        monkeypatch.undo()
+        resumed = RunLedger.open(path, config=config, shard_count=4)
+        assert resumed.snapshot_shards == 2
+        assert resumed.completed_shards() == frozenset({0, 1})
+        for outcome in outcomes[2:]:
+            resumed.record(outcome)
+        from repro.engine.scan import merge_shard_results
+
+        assert _fingerprint(resumed.merge()) == _fingerprint(
+            merge_shard_results(config, outcomes)
+        )
+
+    def test_snapshot_after_shard_records_raises(self, tmp_path, config, outcomes):
+        path = tmp_path / "run.ledger"
+        ledger = RunLedger.create(path, config, 4)
+        ledger.record(outcomes[0])
+        ledger.compact()
+        ledger.record(outcomes[1])  # a tail record after the snapshot
+        ledger.close()
+        lines = path.read_text().splitlines()
+        doctored = [lines[0], lines[2], lines[1]]  # snapshot after a shard
+        path.write_text("\n".join(doctored) + "\n")
+        with pytest.raises(LedgerError, match="snapshot record must be the first"):
+            RunLedger.open(path, config=config)
+
+    def test_malformed_snapshot_raises(self, tmp_path, config, outcomes):
+        path = tmp_path / "run.ledger"
+        ledger = RunLedger.create(path, config, 4)
+        ledger.record(outcomes[0])
+        ledger.compact()
+        ledger.close()
+        lines = path.read_text().splitlines()
+        snapshot = json.loads(lines[1])
+        snapshot["generation"] = 0
+        path.write_text("\n".join([lines[0], json.dumps(snapshot)]) + "\n")
+        with pytest.raises(LedgerError, match="generation"):
+            RunLedger.open(path, config=config)
+
+
 class TestRecording:
     def test_record_is_idempotent(self, tmp_path, config, outcomes):
         ledger = RunLedger.create(tmp_path / "run.ledger", config, 4)
