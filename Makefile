@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-smoke stream-smoke cluster-smoke elastic-smoke resume-smoke failover-smoke fullscale-smoke profile
+.PHONY: test bench bench-smoke stream-smoke cluster-smoke elastic-smoke resume-smoke service-smoke failover-smoke fullscale-smoke profile
 
 ## tier-1 test suite (what CI gates on)
 test:
@@ -37,6 +37,14 @@ elastic-smoke:
 ## records resumed-vs-cold wall-clock plus shards-skipped counters
 resume-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_smoke.py --resume
+
+## resident scan-service bench; regenerates BENCH_service.json — cold
+## vs. warm submit-to-result latency over the TCP protocol (the warm
+## run must hit the snapshot cache), queue wait under a concurrent
+## burst, duplicate coalescing; identity vs. the standalone engine
+## always asserted
+service-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_smoke.py --service
 
 ## coordinator-failover survivability bench; regenerates
 ## BENCH_failover.json — SIGKILLs the forked primary mid-scan, the hot

@@ -30,6 +30,14 @@ identity always asserted), regenerating ``BENCH_resume.json``::
 
     PYTHONPATH=src python benchmarks/run_smoke.py --resume
 
+``--service`` benches the resident scan service (one in-process server,
+clients over TCP): cold vs. warm submit-to-result latency (the warm run
+must hit the snapshot cache), queue wait under a concurrent burst, and
+duplicate coalescing — identity vs. the standalone engine always
+asserted — regenerating ``BENCH_service.json``::
+
+    PYTHONPATH=src python benchmarks/run_smoke.py --service
+
 ``--fullscale`` runs the end-to-end full-scale bench (sequential vs.
 parallel vs. pre-screen-off vs. snapshot-warm-start, identity always
 asserted via the wire encoding), regenerating ``BENCH_fullscale.json``
@@ -49,7 +57,8 @@ uncompacted ledger open timings), regenerating ``BENCH_failover.json``::
 
 or via ``make bench-smoke`` / ``make stream-smoke`` / ``make
 cluster-smoke`` / ``make elastic-smoke`` / ``make resume-smoke`` /
-``make fullscale-smoke`` / ``make failover-smoke`` / ``make profile``.
+``make service-smoke`` / ``make fullscale-smoke`` / ``make
+failover-smoke`` / ``make profile``.
 """
 
 from __future__ import annotations
@@ -67,11 +76,13 @@ from repro.engine.bench import (
     DEFAULT_FAILOVER_ARTIFACT,
     DEFAULT_FULLSCALE_ARTIFACT,
     DEFAULT_RESUME_ARTIFACT,
+    DEFAULT_SERVICE_ARTIFACT,
     DEFAULT_STREAM_ARTIFACT,
     run_cluster_bench,
     run_failover_bench,
     run_fullscale_bench,
     run_resume_bench,
+    run_service_bench,
     run_stream_bench,
     run_wildscan_bench,
     write_artifact,
@@ -116,6 +127,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--autoscale", action="store_true",
                         help="failover only: run an ElasticPool on the adopted "
                         "coordinator as well")
+    parser.add_argument("--service", action="store_true",
+                        help="bench the resident scan service "
+                        "(BENCH_service.json): cold vs. warm submit-to-result "
+                        "latency over TCP, queue wait under a concurrent "
+                        "burst, duplicate coalescing; identity vs. the "
+                        "standalone engine always asserted")
+    parser.add_argument("--burst", type=int, default=4,
+                        help="service only: concurrent distinct submissions "
+                        "in the burst phase (default 4)")
+    parser.add_argument("--executors", type=int, default=2,
+                        help="service only: concurrent scan executors "
+                        "(default 2)")
     parser.add_argument("--fullscale", action="store_true",
                         help="bench the end-to-end scan (BENCH_fullscale.json "
                         "+ PROFILE_wildscan.json): sequential vs. parallel "
@@ -137,14 +160,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.elastic:
         args.cluster = True
     if sum(
-        (args.stream, args.cluster, args.resume, args.fullscale, args.failover)
+        (args.stream, args.cluster, args.resume, args.fullscale, args.failover,
+         args.service)
     ) > 1:
         parser.error(
-            "--stream, --cluster/--elastic, --resume, --fullscale and "
-            "--failover are mutually exclusive"
+            "--stream, --cluster/--elastic, --resume, --fullscale, "
+            "--failover and --service are mutually exclusive"
         )
     if args.scale is None:
-        args.scale = 1.0 if args.fullscale else 0.01
+        args.scale = 1.0 if args.fullscale else (0.02 if args.service else 0.01)
     jobs_values = tuple(args.jobs) if args.jobs is not None else (1, 4)
     if args.fullscale:
         report = run_fullscale_bench(
@@ -164,6 +188,15 @@ def main(argv: list[str] | None = None) -> int:
             autoscale=args.autoscale,
         )
         output = args.output or repo_root / DEFAULT_FAILOVER_ARTIFACT
+    elif args.service:
+        report = run_service_bench(
+            scale=args.scale,
+            seed=args.seed,
+            shards=args.shards if args.shards is not None else 4,
+            executors=args.executors,
+            burst=args.burst,
+        )
+        output = args.output or repo_root / DEFAULT_SERVICE_ARTIFACT
     elif args.resume:
         report = run_resume_bench(
             scale=args.scale,

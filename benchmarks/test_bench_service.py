@@ -1,0 +1,100 @@
+"""Resident scan-service benchmark: latency, warm cache, coalescing.
+
+Runs the whole service stack — in-process server, clients over real TCP
+sockets — and writes ``BENCH_service.json`` at the repo root. Identity
+assertions are always on (``run_service_bench`` raises if the service's
+paged-out detections diverge from a standalone engine run, or if a
+paged fetch differs from the unpaged one); the wall-clock budgets only
+arm with ``REPRO_BENCH_STRICT=1``, like the other timing benches.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.engine.bench import (
+    DEFAULT_SERVICE_ARTIFACT,
+    run_service_bench,
+    write_artifact,
+)
+from repro.engine.scan import clear_context_snapshots
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+STRICT = os.environ.get("REPRO_BENCH_STRICT") == "1"
+
+#: a warm submit skips every world rebuild, but it still pays scan,
+#: journal and fetch costs — under the strict budget it must land at or
+#: below the cold wall-clock (with headroom for scheduler noise).
+STRICT_MAX_WARM_FRACTION = 1.0
+
+SHARDS = 4
+BURST = 4
+
+
+def test_bench_service_latency_and_identity():
+    clear_context_snapshots()
+    report = run_service_bench(
+        scale=0.02, seed=7, shards=SHARDS, executors=2, burst=BURST
+    )
+    write_artifact(report, REPO_ROOT / DEFAULT_SERVICE_ARTIFACT)
+
+    # run_service_bench already raised on any service-vs-standalone
+    # divergence; double-check the recorded counters tell the story.
+    cold = report["cold_run"]
+    assert cold["warm_hits"] == 0
+    assert cold["warm_misses"] == SHARDS
+    assert cold["detected"] > 0
+
+    warm = report["warm_run"]
+    assert warm["warm_hits"] == SHARDS
+    assert warm["warm_misses"] == 0
+
+    burst = report["burst"]
+    assert burst["runs"] == BURST
+    assert len(burst["queue_wait_s"]) == BURST
+    assert burst["coalesced_duplicates"] >= 1
+    assert all(wait >= 0 for wait in burst["queue_wait_s"])
+
+    if not STRICT:
+        return  # timings recorded; budget enforced only under REPRO_BENCH_STRICT=1
+    budget = cold["submit_to_result_s"] * STRICT_MAX_WARM_FRACTION
+    assert warm["submit_to_result_s"] <= budget, (
+        f"warm submit took {warm['submit_to_result_s']}s, over the "
+        f"{budget:.2f}s budget ({STRICT_MAX_WARM_FRACTION}x cold) — the "
+        f"snapshot cache is not saving the world rebuilds"
+    )
+
+
+def test_bench_service_warm_submit(benchmark):
+    """Wall-clock of one warm submit-to-result round trip (pytest-benchmark)."""
+    import tempfile
+
+    from repro.service import ScanService, ServiceClient, ServiceServer
+    from repro.workload.generator import WildScanConfig
+
+    clear_context_snapshots()
+    with tempfile.TemporaryDirectory(prefix="repro-service-bench-") as tmp:
+        with ScanService(tmp, executors=1, warm_ttl=None) as service:
+            with ServiceServer(service) as server:
+                with ServiceClient(server.address) as client:
+                    # populate the warm tier, then time a different seed.
+                    first = client.submit(
+                        WildScanConfig(scale=0.005, seed=7, shards=2)
+                    )
+                    client.wait(first["run_id"], timeout=300)
+
+                    seeds = iter(range(100, 200))
+
+                    def run():
+                        cfg = WildScanConfig(
+                            scale=0.005, seed=next(seeds), shards=2
+                        )
+                        view = client.submit(cfg)
+                        done = client.wait(view["run_id"], timeout=300)
+                        assert done["state"] == "completed"
+                        return done
+
+                    done = benchmark.pedantic(run, rounds=1, iterations=1)
+                    assert done["warm_hits"] == 2

@@ -26,6 +26,7 @@ __all__ = [
     "run_resume_bench",
     "run_fullscale_bench",
     "run_failover_bench",
+    "run_service_bench",
     "write_artifact",
     "DEFAULT_ARTIFACT",
     "DEFAULT_STREAM_ARTIFACT",
@@ -33,6 +34,7 @@ __all__ = [
     "DEFAULT_RESUME_ARTIFACT",
     "DEFAULT_FULLSCALE_ARTIFACT",
     "DEFAULT_FAILOVER_ARTIFACT",
+    "DEFAULT_SERVICE_ARTIFACT",
 ]
 
 #: canonical artifact location (repo root, tracked across PRs).
@@ -52,6 +54,9 @@ DEFAULT_FULLSCALE_ARTIFACT = "BENCH_fullscale.json"
 
 #: coordinator-failover survivability artifact (repo root, tracked across PRs).
 DEFAULT_FAILOVER_ARTIFACT = "BENCH_failover.json"
+
+#: resident scan-service artifact (repo root, tracked across PRs).
+DEFAULT_SERVICE_ARTIFACT = "BENCH_service.json"
 
 
 def effective_cpu_count() -> int:
@@ -947,6 +952,181 @@ def run_failover_bench(
         "detected": reference_result.detected_count,
         "failover_run": failover_run,
         "compaction_runs": compaction_runs,
+    }
+
+
+def run_service_bench(
+    scale: float = 0.02,
+    seed: int = 7,
+    shards: int = 4,
+    executors: int = 2,
+    burst: int = 4,
+) -> dict:
+    """Bench the resident scan service against a standalone engine run.
+
+    One service process, talked to over its TCP protocol, measures the
+    latencies a multi-tenant deployment cares about:
+
+    1. **cold submit** — empty data dir, empty warm cache: submit-to-
+       result includes the world builds;
+    2. **warm submit** — a different seed over the same shard layout:
+       the warm-entity cache primes every shard's context snapshot, so
+       the run must record warm hits and skip the world rebuilds;
+    3. **burst** — ``burst`` distinct configs submitted concurrently
+       from separate client connections plus one duplicate of the first
+       (which must coalesce, not scan): per-run queue wait is the gap
+       between submission and execution start.
+
+    Identity is always asserted: the cold and warm runs' paged-out
+    detections must match a standalone :class:`ScanEngine` run of the
+    same config wire-byte for wire-byte, and a paged fetch must equal
+    the unpaged one. Wall-clock budgets live in
+    ``benchmarks/test_bench_service.py`` behind ``REPRO_BENCH_STRICT=1``.
+    """
+    import tempfile
+    import threading
+
+    from ..service import ScanService, ServiceClient, ServiceServer
+    from ..workload.generator import WildScanConfig
+    from .scan import ScanEngine, clear_context_snapshots
+    from .wire import detection_to_wire
+
+    if burst < 2:
+        raise ValueError(f"burst must be >= 2, got {burst}")
+
+    cold_config = WildScanConfig(scale=scale, seed=seed, shards=shards)
+    warm_config = WildScanConfig(scale=scale, seed=seed + 1, shards=shards)
+
+    def reference_wire(config) -> list[dict]:
+        return [detection_to_wire(d) for d in ScanEngine(config).run().detections]
+
+    cold_reference = reference_wire(cold_config)
+    warm_reference = reference_wire(warm_config)
+    # the references above warmed the process-level snapshot store; drop
+    # it so the service's first run is honestly cold.
+    clear_context_snapshots()
+
+    def check_identity(client, run_id: str, reference: list[dict], label: str):
+        page = client.results(run_id)
+        if page["detections"] != reference:
+            raise AssertionError(
+                f"identity violation: the service's {label} run diverged "
+                f"from the standalone engine"
+            )
+        paged: list[dict] = []
+        offset = 0
+        while True:
+            chunk = client.results(run_id, offset=offset, limit=3)
+            paged.extend(chunk["detections"])
+            if chunk["next_offset"] is None:
+                break
+            offset = chunk["next_offset"]
+        if paged != reference:
+            raise AssertionError(
+                f"identity violation: paged fetch of the {label} run "
+                f"differs from the unpaged merge"
+            )
+        return page
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-bench-") as tmp:
+        service = ScanService(
+            tmp, executors=executors, max_queue=max(burst + 2, 8), warm_ttl=None
+        )
+        with service, ServiceServer(service) as server:
+            with ServiceClient(server.address) as client:
+                # 1. cold: includes every shard's world build.
+                start = time.perf_counter()
+                cold_run = client.submit(cold_config)
+                cold_view = client.wait(cold_run["run_id"], timeout=600)
+                check_identity(client, cold_run["run_id"], cold_reference, "cold")
+                cold_elapsed = time.perf_counter() - start
+                if cold_view["state"] != "completed":
+                    raise AssertionError(f"cold run ended {cold_view['state']}")
+
+                # 2. warm: same shard layout, different seed — the warm
+                # cache must hand back every context snapshot.
+                start = time.perf_counter()
+                warm_run = client.submit(warm_config)
+                warm_view = client.wait(warm_run["run_id"], timeout=600)
+                check_identity(client, warm_run["run_id"], warm_reference, "warm")
+                warm_elapsed = time.perf_counter() - start
+                if warm_view["warm_hits"] < 1:
+                    raise AssertionError(
+                        "warm run recorded no snapshot-cache hits — the "
+                        "warm-entity tier is not priming the engine store"
+                    )
+
+            # 3. burst: distinct configs from concurrent connections,
+            # plus one duplicate that must coalesce instead of scanning.
+            burst_configs = [
+                WildScanConfig(scale=scale, seed=seed + 10 + i, shards=shards)
+                for i in range(burst)
+            ]
+            burst_views: list[dict | None] = [None] * burst
+            duplicate: dict = {}
+
+            def submit_one(index: int) -> None:
+                with ServiceClient(server.address) as worker_client:
+                    run = worker_client.submit(burst_configs[index])
+                    if index == 0:
+                        duplicate.update(worker_client.submit(burst_configs[0]))
+                    burst_views[index] = worker_client.wait(
+                        run["run_id"], timeout=600
+                    )
+
+            threads = [
+                threading.Thread(target=submit_one, args=(i,)) for i in range(burst)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            burst_elapsed = time.perf_counter() - start
+
+            if not duplicate.get("coalesced"):
+                raise AssertionError(
+                    "duplicate burst submission did not coalesce onto the "
+                    "in-flight run"
+                )
+            for view in burst_views:
+                if view is None or view["state"] != "completed":
+                    raise AssertionError("burst run did not complete")
+            queue_waits = [
+                round(view["started_at"] - view["submitted_at"], 4)
+                for view in burst_views
+            ]
+            stats = service.stats()
+
+    speedup = round(cold_elapsed / warm_elapsed, 2) if warm_elapsed else None
+    return {
+        "benchmark": "scan_service",
+        "scale": scale,
+        "seed": seed,
+        "shards": shards,
+        "executors": executors,
+        "cpu_count": effective_cpu_count(),
+        "os_cpu_count": os.cpu_count(),
+        "cold_run": {
+            "submit_to_result_s": round(cold_elapsed, 4),
+            "warm_hits": cold_view["warm_hits"],
+            "warm_misses": cold_view["warm_misses"],
+            "detected": len(cold_reference),
+        },
+        "warm_run": {
+            "submit_to_result_s": round(warm_elapsed, 4),
+            "warm_hits": warm_view["warm_hits"],
+            "warm_misses": warm_view["warm_misses"],
+            "detected": len(warm_reference),
+        },
+        "burst": {
+            "runs": burst,
+            "elapsed_s": round(burst_elapsed, 4),
+            "queue_wait_s": queue_waits,
+            "max_queue_wait_s": max(queue_waits),
+            "coalesced_duplicates": stats["counters"]["coalesced"],
+        },
+        "speedup_warm_vs_cold": speedup,
     }
 
 

@@ -41,17 +41,22 @@ __all__ = [
     "ShardContext",
     "ShardContextSnapshot",
     "ShardResult",
+    "SnapshotStore",
     "build_replay_context",
     "build_shard_context",
     "clear_context_snapshots",
     "clear_tag_snapshots",
     "context_snapshot_for",
+    "context_snapshot_stats",
     "detect_task",
     "execute_task",
     "finalize_shard",
+    "install_context_snapshot",
     "merge_shard_results",
     "run_shard",
     "run_shard_batch",
+    "set_context_snapshot_limit",
+    "shard_chain_name",
     "tag_snapshot_for",
 ]
 
@@ -174,14 +179,99 @@ class ShardContextSnapshot:
         )
 
 
+class SnapshotStore:
+    """Bounded LRU of :class:`ShardContextSnapshot` keyed by chain name.
+
+    The process-level warm-start store behind ``build_shard_context``:
+    in a one-shot scan an unbounded dict would be harmless, but a
+    long-lived process (:mod:`repro.service`) builds worlds for every
+    shard count it is ever asked to run, so the store must evict. A hit
+    refreshes recency (true LRU, not FIFO), an insert over
+    ``max_entries`` evicts the least recently used entry, and
+    ``set_max_entries`` re-bounds a live store, evicting down if needed.
+    Hit/miss/eviction counters feed the service's cache stats. All
+    operations take an internal lock: the scan service builds shard
+    worlds from several executor threads at once.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        import threading
+        from collections import OrderedDict
+
+        self._entries: "OrderedDict[str, ShardContextSnapshot]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def get(self, name: str) -> ShardContextSnapshot | None:
+        with self._lock:
+            snapshot = self._entries.get(name)
+            if snapshot is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(name)
+            self.hits += 1
+            return snapshot
+
+    def put(self, name: str, snapshot: ShardContextSnapshot) -> None:
+        with self._lock:
+            if name in self._entries:
+                self._entries.move_to_end(name)
+            self._entries[name] = snapshot
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def set_max_entries(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        with self._lock:
+            self.max_entries = max_entries
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def names(self) -> list[str]:
+        """Resident chain names, least recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
 #: Process-level cache of context snapshots keyed by chain name (see
 #: :class:`ShardContextSnapshot` for why the name alone is the identity).
 #: Any rebuild of a same-named shard world in this process — bench
 #: repeats, in-process pool fallback, cluster requeues on a reused
 #: worker, *and* different seed/scale runs — warm-starts from the first
-#: build instead of re-scanning creations and labels.
-_CONTEXT_SNAPSHOTS: dict[str, ShardContextSnapshot] = {}
-_CONTEXT_SNAPSHOT_LIMIT = 256
+#: build instead of re-scanning creations and labels. This store also
+#: holds the PR-5 tag-sync snapshots (they ride inside the context
+#: snapshot), so one LRU bound covers both.
+_CONTEXT_SNAPSHOTS = SnapshotStore()
 
 
 def clear_context_snapshots() -> None:
@@ -193,8 +283,34 @@ def clear_context_snapshots() -> None:
 clear_tag_snapshots = clear_context_snapshots
 
 
-def _shard_chain_name(shard_index: int, shard_count: int) -> str:
+def set_context_snapshot_limit(max_entries: int) -> None:
+    """Re-bound the process-level snapshot store (evicting LRU-first)."""
+    _CONTEXT_SNAPSHOTS.set_max_entries(max_entries)
+
+
+def context_snapshot_stats() -> dict:
+    """Hit/miss/eviction counters of the process-level snapshot store."""
+    return _CONTEXT_SNAPSHOTS.stats()
+
+
+def install_context_snapshot(snapshot: ShardContextSnapshot) -> None:
+    """Seed the process-level store with a snapshot kept elsewhere.
+
+    The scan service's warm-entity cache re-installs snapshots it held
+    across runs (its TTL tier outlives the engine store's LRU bound);
+    ``build_shard_context`` re-validates against the freshly built chain
+    as always, so installing a stale capsule is safe."""
+    _CONTEXT_SNAPSHOTS.put(snapshot.chain_name, snapshot)
+
+
+def shard_chain_name(shard_index: int, shard_count: int) -> str:
+    """The chain name one shard's world will carry — the identity under
+    which its context snapshot is cached (and shipped/primed by the
+    cluster coordinator and the scan service)."""
     return _shard_profile(shard_index, shard_count).chain_name
+
+
+_shard_chain_name = shard_chain_name
 
 
 def context_snapshot_for(
@@ -281,9 +397,7 @@ def build_shard_context(
         else:
             prescreen = PreScreen(world.chain)
     if chain_name not in _CONTEXT_SNAPSHOTS:
-        if len(_CONTEXT_SNAPSHOTS) >= _CONTEXT_SNAPSHOT_LIMIT:
-            _CONTEXT_SNAPSHOTS.pop(next(iter(_CONTEXT_SNAPSHOTS)))
-        _CONTEXT_SNAPSHOTS[chain_name] = ShardContextSnapshot(
+        _CONTEXT_SNAPSHOTS.put(chain_name, ShardContextSnapshot(
             chain_name=chain_name,
             tag_snapshot=detector.tagger.label_sync_snapshot(),
             prescreen=prescreen.to_wire() if prescreen is not None else None,
@@ -292,7 +406,7 @@ def build_shard_context(
                 "keep_history": bool(cfg.keep_history),
                 "chain_version": world.chain.version,
             },
-        )
+        ))
     profiler = None
     if profiling:
         from ..runtime.profile import StageProfiler

@@ -13,12 +13,15 @@ import argparse
 import sys
 import time
 
-from . import ablations, cluster, fig1, fig8, perf, scan, stream, table1, table4, table5, table6, table7
+from . import ablations, cluster, fig1, fig8, perf, scan, service, stream, table1, table4, table5, table6, table7
 
 __all__ = ["main"]
 
 _EXPERIMENTS = ("fig1", "table1", "table4", "table5", "table6", "table7", "fig8",
                 "perf", "ablations")
+
+#: the scan-service front (repro.experiments.service / repro.service).
+_SERVICE_COMMANDS = ("serve", "submit", "status", "results")
 
 
 def _run_one(
@@ -75,11 +78,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=(*_EXPERIMENTS, "scan", "stream", "cluster", "all"),
+        choices=(*_EXPERIMENTS, "scan", "stream", "cluster",
+                 *_SERVICE_COMMANDS, "all"),
         help="which table/figure to regenerate ('scan' runs the batch "
         "wild scan, 'stream' the live streaming-detection pipeline, "
-        "'cluster' the distributed scan; none of the three is part of "
-        "'all')",
+        "'cluster' the distributed scan; 'serve' starts the resident "
+        "scan service and 'submit'/'status'/'results' talk to it; none "
+        "of these is part of 'all')",
     )
     parser.add_argument(
         "--scale",
@@ -183,6 +188,80 @@ def main(argv: list[str] | None = None) -> int:
         help="cluster --autoscale: pool size cap (default max(--workers, 2))",
     )
     parser.add_argument(
+        "--data-dir",
+        metavar="DIR",
+        default=".leishen-service",
+        help="serve only: service data directory — one subdirectory per "
+        "run holding its manifest and run ledger (default "
+        ".leishen-service); a restarted service re-adopts what it finds",
+    )
+    parser.add_argument(
+        "--executors",
+        type=int,
+        default=2,
+        help="serve only: concurrent scan executors (default 2)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="serve only: admission queue bound — submissions beyond this "
+        "are rejected loudly instead of piling up (default 16)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("batch", "stream", "cluster"),
+        default=None,
+        help="serve: default execution backend for admitted runs; "
+        "submit: backend for this run (default: the server's)",
+    )
+    parser.add_argument(
+        "--address",
+        metavar="HOST:PORT",
+        default="127.0.0.1:9744",
+        help="submit/status/results: the serving scan service "
+        "(default 127.0.0.1:9744)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="submit only: wild-scan seed (default 7; part of the run's "
+        "identity, so a re-submit with the same seed/scale/shards "
+        "coalesces)",
+    )
+    parser.add_argument(
+        "--run-id",
+        metavar="RUN",
+        default=None,
+        help="status/results: the run to query (status without it lists "
+        "every run)",
+    )
+    parser.add_argument(
+        "--offset",
+        type=int,
+        default=0,
+        help="results only: first detection index of the page (default 0)",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="results only: page size (default: everything from --offset)",
+    )
+    parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="submit only: block until the run completes and print its "
+        "summary",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="submit --wait: give up after this many seconds",
+    )
+    parser.add_argument(
         "--no-verify",
         action="store_true",
         help="cluster only: skip the batch-engine identity check "
@@ -234,6 +313,21 @@ def main(argv: list[str] | None = None) -> int:
         "path (results are byte-identical either way; for A/B timing)",
     )
     args = parser.parse_args(argv)
+    if args.experiment in _SERVICE_COMMANDS:
+        if args.executors < 1:
+            parser.error(f"--executors must be >= 1, got {args.executors}")
+        if args.max_queue < 1:
+            parser.error(f"--max-queue must be >= 1, got {args.max_queue}")
+        if args.offset < 0:
+            parser.error(f"--offset must be >= 0, got {args.offset}")
+        if args.limit is not None and args.limit < 1:
+            parser.error(f"--limit must be >= 1, got {args.limit}")
+        if args.experiment == "results" and args.run_id is None:
+            parser.error("results requires --run-id (see 'status' for the list)")
+        try:
+            service.parse_address(args.address)
+        except ValueError as exc:
+            parser.error(f"--address: {exc}")
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.shards is not None and args.shards < 1:
@@ -294,6 +388,33 @@ def main(argv: list[str] | None = None) -> int:
     ):
         parser.error("--profile/--no-prescreen only apply to scan, stream and cluster")
     scale = 1.0 if args.full else args.scale
+
+    if args.experiment in _SERVICE_COMMANDS:
+        start = time.perf_counter()
+        if args.experiment == "serve":
+            host, port = service.parse_address(args.address)
+            output = service.render_serve(
+                args.data_dir, host, port,
+                executors=args.executors, max_queue=args.max_queue,
+                backend=args.backend or "batch", cluster_workers=args.workers,
+            )
+        elif args.experiment == "submit":
+            output = service.render_submit(
+                args.address, scale=scale, seed=args.seed, shards=args.shards,
+                backend=args.backend, jobs=args.jobs,
+                wait=args.wait, timeout=args.timeout,
+            )
+        elif args.experiment == "status":
+            output = service.render_status(args.address, run_id=args.run_id)
+        else:
+            output = service.render_results(
+                args.address, args.run_id,
+                offset=args.offset, limit=args.limit,
+            )
+        print(f"=== {args.experiment} ({time.perf_counter() - start:.1f}s) ===")
+        print(output)
+        print()
+        return 0
 
     if args.experiment == "cluster":
         start = time.perf_counter()

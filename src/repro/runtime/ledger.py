@@ -226,13 +226,20 @@ class RunLedger:
             raise LedgerError(
                 f"{path}: config digest mismatch — the ledger was written for "
                 f"(seed={header['seed']}, scale={header['scale']}, "
-                f"shard_count={header['shard_count']}); refusing to resume a "
+                f"shard_count={header['shard_count']}, "
+                f"config_digest={header['config_digest']}), the caller is "
+                f"resuming (seed={config.seed}, scale={config.scale}, "
+                f"shard_count={shard_count if shard_count is not None else 'auto'}, "
+                f"config_digest={config_digest(config)}); refusing to resume a "
                 f"different scan"
             )
         if shard_count is not None and shard_count != header["shard_count"]:
             raise LedgerError(
-                f"{path}: shard count mismatch — ledger has "
-                f"{header['shard_count']}, caller expects {shard_count}"
+                f"{path}: shard count mismatch — the ledger was written for "
+                f"(seed={header['seed']}, scale={header['scale']}, "
+                f"shard_count={header['shard_count']}, "
+                f"config_digest={header['config_digest']}), the caller "
+                f"expects shard_count={shard_count}"
             )
         payloads, snapshot, torn_at = cls._parse_records(
             path, lines, offsets, header["shard_count"]
@@ -710,12 +717,20 @@ def ensure_ledger(
         if ledger.config_digest != config_digest(config):
             raise LedgerError(
                 f"{ledger.path}: ledger was opened for a different config "
-                f"(digest mismatch)"
+                f"(digest mismatch) — the ledger holds "
+                f"(seed={ledger.config.seed}, scale={ledger.config.scale}, "
+                f"shard_count={ledger.shard_count}, "
+                f"config_digest={ledger.config_digest}), this run is "
+                f"(seed={config.seed}, scale={config.scale}, "
+                f"shard_count={shard_count}, "
+                f"config_digest={config_digest(config)})"
             )
         if ledger.shard_count != shard_count:
             raise LedgerError(
                 f"{ledger.path}: ledger has shard_count={ledger.shard_count}, "
-                f"this run resolves {shard_count}"
+                f"this run resolves {shard_count} "
+                f"(both at seed={config.seed}, scale={config.scale}, "
+                f"config_digest={config_digest(config)})"
             )
         return ledger
     return RunLedger.resume_or_create(

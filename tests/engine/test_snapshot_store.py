@@ -1,0 +1,94 @@
+"""The bounded process-level snapshot store behind ``build_shard_context``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.scan import (
+    SnapshotStore,
+    ScanEngine,
+    clear_context_snapshots,
+    context_snapshot_for,
+    context_snapshot_stats,
+    install_context_snapshot,
+    set_context_snapshot_limit,
+    shard_chain_name,
+)
+from repro.engine.wire import detection_to_wire
+from repro.workload.generator import WildScanConfig
+
+
+@pytest.fixture(autouse=True)
+def _isolated_store():
+    clear_context_snapshots()
+    set_context_snapshot_limit(256)
+    yield
+    clear_context_snapshots()
+    set_context_snapshot_limit(256)
+
+
+class FakeSnapshot:
+    """Stands in for ShardContextSnapshot — the store only reads keys."""
+
+    def __init__(self, chain_name: str) -> None:
+        self.chain_name = chain_name
+
+
+def test_lru_eviction_and_counters():
+    store = SnapshotStore(max_entries=2)
+    store.put("a", FakeSnapshot("a"))
+    store.put("b", FakeSnapshot("b"))
+    assert store.get("a").chain_name == "a"  # refresh: b becomes LRU
+    store.put("c", FakeSnapshot("c"))
+    assert store.get("b") is None
+    assert store.names() == ["a", "c"]
+    assert store.stats() == {
+        "entries": 2,
+        "max_entries": 2,
+        "hits": 1,
+        "misses": 1,
+        "evictions": 1,
+    }
+
+
+def test_set_max_entries_evicts_down():
+    store = SnapshotStore(max_entries=4)
+    for name in "abcd":
+        store.put(name, FakeSnapshot(name))
+    store.set_max_entries(2)
+    assert store.names() == ["c", "d"]  # LRU-first eviction
+    assert store.stats()["evictions"] == 2
+    with pytest.raises(ValueError, match="max_entries"):
+        store.set_max_entries(0)
+    with pytest.raises(ValueError, match="max_entries"):
+        SnapshotStore(max_entries=0)
+
+
+def test_process_store_is_bounded_by_limit_api():
+    set_context_snapshot_limit(1)
+    install_context_snapshot(FakeSnapshot("ethereum-s0"))
+    install_context_snapshot(FakeSnapshot("ethereum-s1"))
+    stats = context_snapshot_stats()
+    assert stats["entries"] == 1
+    assert stats["max_entries"] == 1
+    assert stats["evictions"] >= 1
+
+
+def test_shard_chain_name_is_the_snapshot_identity():
+    assert shard_chain_name(0, 1) == "ethereum"
+    assert shard_chain_name(0, 2) != shard_chain_name(1, 2)
+    snapshot = FakeSnapshot(shard_chain_name(1, 2))
+    install_context_snapshot(snapshot)
+    assert context_snapshot_for(1, 2) is snapshot
+    assert context_snapshot_for(0, 2) is None
+
+
+def test_eviction_never_changes_results():
+    """A store too small to keep every shard warm still scans identically."""
+    config = WildScanConfig(scale=0.01, seed=7, shards=4)
+    reference = [detection_to_wire(d) for d in ScanEngine(config).run().detections]
+    clear_context_snapshots()
+    set_context_snapshot_limit(1)  # thrash: every shard evicts the last
+    rerun = [detection_to_wire(d) for d in ScanEngine(config).run().detections]
+    assert rerun == reference
+    assert context_snapshot_stats()["entries"] == 1

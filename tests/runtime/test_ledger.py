@@ -74,14 +74,29 @@ class TestCreateOpen:
         path = tmp_path / "run.ledger"
         RunLedger.create(path, config, 4)
         other = WildScanConfig(scale=SCALE, seed=SEED + 1, shards=4)
-        with pytest.raises(LedgerError, match="config digest mismatch"):
+        with pytest.raises(LedgerError, match="config digest mismatch") as info:
             RunLedger.open(path, config=other, shard_count=4)
+        # the error is self-describing: both the header's identity and
+        # the caller's land in the message, so the operator can see
+        # *which* scan the journal belongs to without opening it.
+        message = str(info.value)
+        assert f"seed={config.seed}" in message
+        assert f"seed={other.seed}" in message
+        assert f"scale={config.scale}" in message
+        from repro.engine.wire import config_digest
+
+        assert config_digest(config) in message
+        assert config_digest(other) in message
 
     def test_open_rejects_shard_count_mismatch(self, tmp_path, config):
         path = tmp_path / "run.ledger"
         RunLedger.create(path, config, 4)
-        with pytest.raises(LedgerError, match="shard count mismatch"):
+        with pytest.raises(LedgerError, match="shard count mismatch") as info:
             RunLedger.open(path, config=config, shard_count=8)
+        message = str(info.value)
+        assert "shard_count=4" in message  # what the ledger holds
+        assert "shard_count=8" in message  # what the caller expected
+        assert f"seed={config.seed}" in message
 
     def test_open_rejects_wrong_ledger_version(self, tmp_path, config):
         path = tmp_path / "run.ledger"

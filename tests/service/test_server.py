@@ -1,0 +1,163 @@
+"""The framed-JSON TCP front: end-to-end runs, error kinds, bad frames."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.cluster.protocol import recv_message, send_message
+from repro.engine.scan import ScanEngine, clear_context_snapshots
+from repro.engine.wire import detection_to_wire
+from repro.service import (
+    AdmissionError,
+    ScanService,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+    UnknownRunError,
+)
+from repro.service.server import SERVICE_PROTOCOL_VERSION
+from repro.workload.generator import WildScanConfig
+
+CONFIG = WildScanConfig(scale=0.01, seed=7, shards=2)
+
+
+@pytest.fixture(autouse=True)
+def _cold_engine_store():
+    clear_context_snapshots()
+    yield
+    clear_context_snapshots()
+
+
+@pytest.fixture()
+def served(tmp_path):
+    with ScanService(tmp_path, executors=2) as service:
+        with ServiceServer(service) as server:
+            yield service, server
+
+
+def test_tcp_end_to_end_identity(served):
+    service, server = served
+    reference = [detection_to_wire(d) for d in ScanEngine(CONFIG).run().detections]
+    clear_context_snapshots()
+    with ServiceClient(server.address) as client:
+        assert client.ping()
+        run = client.submit(CONFIG)
+        assert not run["coalesced"]
+        done = client.wait(run["run_id"], timeout=120)
+        assert done["state"] == "completed"
+        assert [
+            detection_to_wire(d)
+            for d in client.fetch_detections(run["run_id"], page_size=2)
+        ] == reference
+        assert client.results(run["run_id"])["detections"] == reference
+        assert client.runs()[0]["run_id"] == run["run_id"]
+        assert client.stats()["counters"]["completed"] == 1
+
+
+def test_concurrent_clients_share_one_run(served):
+    _, server = served
+    views: list[dict] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(4)
+
+    def one_client() -> None:
+        with ServiceClient(server.address) as client:
+            barrier.wait()
+            run = client.submit(CONFIG)
+            done = client.wait(run["run_id"], timeout=120)
+            with lock:
+                views.append({**done, "coalesced": run["coalesced"]})
+
+    threads = [threading.Thread(target=one_client) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(views) == 4
+    assert len({view["run_id"] for view in views}) == 1
+    assert sum(view["coalesced"] for view in views) == 3
+    assert all(view["state"] == "completed" for view in views)
+
+
+def test_error_kinds_map_to_client_exceptions(served):
+    service, server = served
+    with ServiceClient(server.address) as client:
+        with pytest.raises(UnknownRunError):
+            client.status("run-nope")
+        with pytest.raises(ServiceError, match="backend"):
+            client.submit(CONFIG, backend="quantum")
+        service.drain(timeout=30)
+        with pytest.raises(AdmissionError):
+            client.submit(CONFIG)
+
+
+def test_protocol_version_mismatch_is_refused(served):
+    _, server = served
+    with socket.create_connection(server.address, timeout=10) as sock:
+        send_message(sock, {"type": "ping", "protocol_version": 99})
+        response = recv_message(sock)
+        assert response["ok"] is False
+        assert response["kind"] == "bad-request"
+        assert "version mismatch" in response["error"]
+
+
+def test_unknown_request_type_and_missing_fields(served):
+    _, server = served
+    with socket.create_connection(server.address, timeout=10) as sock:
+        send_message(
+            sock,
+            {"type": "frobnicate", "protocol_version": SERVICE_PROTOCOL_VERSION},
+        )
+        assert recv_message(sock)["kind"] == "bad-request"
+        send_message(
+            sock,
+            {"type": "status", "protocol_version": SERVICE_PROTOCOL_VERSION},
+        )
+        response = recv_message(sock)
+        assert response["ok"] is False
+        assert "run_id" in response["error"]
+        send_message(
+            sock,
+            {"type": "submit", "protocol_version": SERVICE_PROTOCOL_VERSION},
+        )
+        assert "config" in recv_message(sock)["error"]
+
+
+def test_malformed_frame_answers_then_hangs_up(served):
+    _, server = served
+    with socket.create_connection(server.address, timeout=10) as sock:
+        payload = b"this is not json"
+        sock.sendall(struct.pack(">I", len(payload)) + payload)
+        response = recv_message(sock)
+        assert response["ok"] is False and response["kind"] == "bad-request"
+        # the server hangs up after an unframeable request.
+        assert sock.recv(1) == b""
+
+
+def test_abrupt_client_disconnect_leaves_server_serving(served):
+    _, server = served
+    sock = socket.create_connection(server.address, timeout=10)
+    sock.close()  # no request at all
+    half = socket.create_connection(server.address, timeout=10)
+    half.sendall(struct.pack(">I", 64))  # length prefix, then vanish
+    half.close()
+    with ServiceClient(server.address) as client:
+        assert client.ping()
+
+
+def test_server_results_page_fields_over_wire(served):
+    _, server = served
+    with ServiceClient(server.address) as client:
+        run = client.submit(CONFIG)
+        client.wait(run["run_id"], timeout=120)
+        page = client.results(run["run_id"], offset=1, limit=2)
+        assert page["offset"] == 1
+        assert page["count"] == len(page["detections"])
+        assert set(page) == {
+            "run_id", "total_detections", "offset", "count",
+            "next_offset", "summary", "detections",
+        }
