@@ -1,11 +1,12 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-smoke stream-smoke cluster-smoke elastic-smoke resume-smoke service-smoke failover-smoke fullscale-smoke profile
+.PHONY: test bench bench-smoke stream-smoke windowed-smoke cluster-smoke elastic-smoke resume-smoke service-smoke failover-smoke fullscale-smoke profile
 
-## tier-1 test suite (what CI gates on)
+## tier-1 test suite (what CI gates on); the windowed bench rides along
+## because its recall/identity assertions are contracts, not timings
 test:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q tests benchmarks/test_bench_windowed.py
 
 ## full benchmark suite (pytest-benchmark timings + wild-scan throughput)
 bench:
@@ -19,6 +20,13 @@ bench-smoke:
 ## asserts stream == batch detections (the identity contract)
 stream-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_smoke.py --stream
+
+## cross-transaction windowed detection bench; regenerates
+## BENCH_windowed.json — labelled split attacks are missed per-tx and
+## recovered by the sliding-window matcher, per-tx identity vs. the
+## batch engine asserted with the window off and on
+windowed-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_smoke.py --windowed
 
 ## tiny-scale distributed scan bench; regenerates BENCH_cluster.json,
 ## asserts cluster == batch detections (1 and 2 workers) and that a

@@ -11,6 +11,14 @@ batch-identity contract), regenerating ``BENCH_stream.json``::
 
     PYTHONPATH=src python benchmarks/run_smoke.py --stream
 
+``--windowed`` benches cross-transaction windowed detection
+(``BENCH_windowed.json``): a schedule carrying labelled split attacks is
+streamed with the window off and on — per-transaction identity vs. the
+batch engine always asserted both ways, the split rounds must be missed
+per-tx and fully recovered by the windowed matcher::
+
+    PYTHONPATH=src python benchmarks/run_smoke.py --windowed
+
 ``--cluster`` benches the distributed scan (coordinator + local workers,
 identity-vs-batch always on, plus a killed-worker fault run that must
 requeue and still merge identically), regenerating ``BENCH_cluster.json``::
@@ -56,9 +64,9 @@ uncompacted ledger open timings), regenerating ``BENCH_failover.json``::
     PYTHONPATH=src python benchmarks/run_smoke.py --failover --autoscale
 
 or via ``make bench-smoke`` / ``make stream-smoke`` / ``make
-cluster-smoke`` / ``make elastic-smoke`` / ``make resume-smoke`` /
-``make service-smoke`` / ``make fullscale-smoke`` / ``make
-failover-smoke`` / ``make profile``.
+windowed-smoke`` / ``make cluster-smoke`` / ``make elastic-smoke`` /
+``make resume-smoke`` / ``make service-smoke`` / ``make
+fullscale-smoke`` / ``make failover-smoke`` / ``make profile``.
 """
 
 from __future__ import annotations
@@ -78,6 +86,7 @@ from repro.engine.bench import (
     DEFAULT_RESUME_ARTIFACT,
     DEFAULT_SERVICE_ARTIFACT,
     DEFAULT_STREAM_ARTIFACT,
+    DEFAULT_WINDOWED_ARTIFACT,
     run_cluster_bench,
     run_failover_bench,
     run_fullscale_bench,
@@ -85,6 +94,7 @@ from repro.engine.bench import (
     run_service_bench,
     run_stream_bench,
     run_wildscan_bench,
+    run_windowed_bench,
     write_artifact,
 )
 from repro.runtime.profile import DEFAULT_PROFILE_ARTIFACT
@@ -106,6 +116,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--stream", action="store_true",
                         help="bench the streaming pipeline (BENCH_stream.json) "
                         "instead of the batch engine")
+    parser.add_argument("--windowed", action="store_true",
+                        help="bench cross-transaction windowed detection "
+                        "(BENCH_windowed.json): split attacks missed per-tx, "
+                        "recovered by the sliding-window matcher; per-tx "
+                        "identity vs. the batch engine asserted with the "
+                        "window off and on")
+    parser.add_argument("--split-attacks", type=int, default=2,
+                        help="windowed only: labelled split-attack groups "
+                        "appended to the schedule (default 2)")
+    parser.add_argument("--window-blocks", type=int, default=None,
+                        help="windowed only: sliding window size in emitted "
+                        "blocks (default: the engine's)")
     parser.add_argument("--cluster", action="store_true",
                         help="bench the distributed scan (BENCH_cluster.json): "
                         "1 vs 2 local workers plus a killed-worker fault run")
@@ -160,12 +182,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.elastic:
         args.cluster = True
     if sum(
-        (args.stream, args.cluster, args.resume, args.fullscale, args.failover,
-         args.service)
+        (args.stream, args.windowed, args.cluster, args.resume, args.fullscale,
+         args.failover, args.service)
     ) > 1:
         parser.error(
-            "--stream, --cluster/--elastic, --resume, --fullscale, "
-            "--failover and --service are mutually exclusive"
+            "--stream, --windowed, --cluster/--elastic, --resume, "
+            "--fullscale, --failover and --service are mutually exclusive"
         )
     if args.scale is None:
         args.scale = 1.0 if args.fullscale else (0.02 if args.service else 0.01)
@@ -214,6 +236,18 @@ def main(argv: list[str] | None = None) -> int:
             elastic=args.elastic,
         )
         output = args.output or repo_root / DEFAULT_CLUSTER_ARTIFACT
+    elif args.windowed:
+        report = run_windowed_bench(
+            scale=args.scale,
+            seed=args.seed,
+            jobs_values=jobs_values,
+            shards=args.shards,
+            split_attacks=args.split_attacks,
+            window_blocks=args.window_blocks,
+            queue_depth=args.queue_depth,
+            block_size=args.block_size,
+        )
+        output = args.output or repo_root / DEFAULT_WINDOWED_ARTIFACT
     elif args.stream:
         report = run_stream_bench(
             scale=args.scale,

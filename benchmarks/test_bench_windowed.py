@@ -1,0 +1,71 @@
+"""Cross-transaction windowed-detection benchmark: recall and latency.
+
+Streams a schedule carrying labelled split attacks with the window off
+and on, writes the ``BENCH_windowed.json`` artifact at the repo root,
+and checks the contract the feature exists for: the split rounds are
+invisible per transaction (per-tx identity with the batch engine holds
+in both modes) yet the sliding-window matcher recovers every labelled
+group. The identity and recall assertions are always on — only the
+block-latency budget waits for ``REPRO_BENCH_STRICT=1``, like the other
+latency benches, so shared CI runners record timings without flaking.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.engine.bench import (
+    DEFAULT_WINDOWED_ARTIFACT,
+    run_windowed_bench,
+    write_artifact,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+STRICT = os.environ.get("REPRO_BENCH_STRICT") == "1"
+
+#: same budget as the plain stream bench — the window runs on the merger
+#: thread, so per-block latency must stay inside one 13 s block time
+#: even with matching enabled (generation dominates, not detection).
+STRICT_BLOCK_P95_MS = 2_000.0
+
+
+def test_bench_windowed_recall_and_identity():
+    report = run_windowed_bench(
+        scale=0.01, seed=7, jobs_values=(1, 4), split_attacks=2, block_size=16
+    )
+    write_artifact(report, REPO_ROOT / DEFAULT_WINDOWED_ARTIFACT)
+
+    # run_windowed_bench already raised on any identity or recall
+    # violation; re-check the recorded numbers tell the same story.
+    assert report["split_attacks"] == 2
+    for run in report["runs"]:
+        assert run["per_tx_detected"] == report["batch_detected"]
+        assert run["split_recall_per_tx"] == 0.0
+        assert run["split_recall_windowed"] == 1.0
+        assert run["labelled_detections"] >= report["split_attacks"]
+        assert run["windowed_detections"] >= run["labelled_detections"]
+
+    if not STRICT:
+        return  # timings recorded; budget enforced only under REPRO_BENCH_STRICT=1
+    for run in report["runs"]:
+        assert run["on_block_latency_ms_p95"] < STRICT_BLOCK_P95_MS, (
+            f"jobs={run['jobs']}: windowed p95 block latency "
+            f"{run['on_block_latency_ms_p95']}ms exceeds {STRICT_BLOCK_P95_MS}ms"
+        )
+
+
+def test_bench_windowed_single_run(benchmark):
+    """Wall-clock of one windowed streaming pass (pytest-benchmark timing)."""
+    from repro.engine.stream import StreamEngine
+    from repro.workload.generator import WildScanConfig
+
+    config = WildScanConfig(scale=0.005, seed=7, jobs=2, shards=4, split_attacks=1)
+
+    def run():
+        return StreamEngine(config, block_size=16, windowed=True).run()
+
+    streamed = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert streamed.total_transactions > 0
+    assert streamed.windowed is not None

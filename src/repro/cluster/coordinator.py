@@ -60,7 +60,7 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
-from ..engine.plan import build_schedule, resolve_shard_count
+from ..engine.plan import build_full_schedule
 from ..engine.scan import context_snapshot_for, merge_shard_results, run_shard
 from ..engine.wire import config_to_wire, shard_result_from_wire, shard_result_to_wire
 from .protocol import (
@@ -282,8 +282,7 @@ class Coordinator:
         self.local_fallback = local_fallback
         self.stats = ClusterStats()
 
-        tasks = build_schedule(config.scale, config.seed)
-        self.shard_count = resolve_shard_count(config.shards, len(tasks))
+        _, self.shard_count = build_full_schedule(config)
 
         #: the run ledger (``None`` for unjournaled runs): every completed
         #: shard payload is journaled, and shards already in the journal
@@ -491,7 +490,7 @@ class Coordinator:
     def _schedule_parts(self) -> list[list]:
         from ..engine.plan import shard_schedule
 
-        tasks = build_schedule(self.config.scale, self.config.seed)
+        tasks, _ = build_full_schedule(self.config)
         return shard_schedule(tasks, self.shard_count)
 
     # -- elastic capacity & admission (repro.cluster.autoscale) ----------

@@ -51,7 +51,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
-from ..engine.plan import build_schedule, shard_schedule
+from ..engine.plan import build_schedule, shard_schedule, split_schedule_tail
 from ..engine.scan import (
     build_shard_context,
     detect_task,
@@ -367,10 +367,20 @@ class ClusterWorker:
             # the profile flag rides the assignment, not the config wire
             # (it is an execution knob, excluded from the config digest).
             config = dataclasses.replace(config, profile=True)
-        parts = parts_cache.get(descriptor)
+        # split_attacks extends the schedule, so it must key the cache
+        # alongside the descriptor triple.
+        cache_key = descriptor + (config.split_attacks,)
+        parts = parts_cache.get(cache_key)
         if parts is None:
             tasks = build_schedule(scale, seed)
-            parts = parts_cache[descriptor] = shard_schedule(tasks, shard_count)
+            if config.split_attacks:
+                # the tail interleave must use the partition's shard
+                # count — the descriptor is authoritative here, exactly
+                # as it is for seed/scale.
+                tasks = tasks + split_schedule_tail(
+                    config.split_attacks, shard_count, seed
+                )
+            parts = parts_cache[cache_key] = shard_schedule(tasks, shard_count)
         try:
             ctx = build_shard_context(
                 config, shard, shard_count,

@@ -22,6 +22,7 @@ __all__ = [
     "effective_cpu_count",
     "run_wildscan_bench",
     "run_stream_bench",
+    "run_windowed_bench",
     "run_cluster_bench",
     "run_resume_bench",
     "run_fullscale_bench",
@@ -30,6 +31,7 @@ __all__ = [
     "write_artifact",
     "DEFAULT_ARTIFACT",
     "DEFAULT_STREAM_ARTIFACT",
+    "DEFAULT_WINDOWED_ARTIFACT",
     "DEFAULT_CLUSTER_ARTIFACT",
     "DEFAULT_RESUME_ARTIFACT",
     "DEFAULT_FULLSCALE_ARTIFACT",
@@ -42,6 +44,9 @@ DEFAULT_ARTIFACT = "BENCH_wildscan.json"
 
 #: streaming-pipeline artifact (repo root, tracked across PRs).
 DEFAULT_STREAM_ARTIFACT = "BENCH_stream.json"
+
+#: cross-transaction windowed-detection artifact (repo root, tracked across PRs).
+DEFAULT_WINDOWED_ARTIFACT = "BENCH_windowed.json"
 
 #: distributed-scan artifact (repo root, tracked across PRs).
 DEFAULT_CLUSTER_ARTIFACT = "BENCH_cluster.json"
@@ -197,6 +202,135 @@ def run_stream_bench(
         "scale": scale,
         "seed": seed,
         "shards": shards,
+        "queue_depth": queue_depth,
+        "block_size": block_size,
+        "cpu_count": effective_cpu_count(),
+        "os_cpu_count": os.cpu_count(),
+        "batch_elapsed_s": round(batch_elapsed, 4),
+        "batch_detected": batch.detected_count,
+        "runs": runs,
+    }
+
+
+def run_windowed_bench(
+    scale: float = 0.01,
+    seed: int = 7,
+    jobs_values: tuple[int, ...] = (1, 4),
+    shards: int | None = None,
+    split_attacks: int = 2,
+    window_blocks: int | None = None,
+    queue_depth: int | None = None,
+    block_size: int | None = None,
+) -> dict:
+    """Bench cross-transaction windowed detection for ``BENCH_windowed.json``.
+
+    A batch reference run over a schedule carrying ``split_attacks``
+    labelled split-attack groups, then per ``jobs`` value a windowed-off
+    and a windowed-on streaming run of the same config. Three contracts
+    are asserted on every invocation, strict mode or not:
+
+    1. **per-tx identity** — both streaming runs' per-transaction
+       detections match the batch reference exactly; enabling the
+       window must never perturb the per-transaction results;
+    2. **per-tx miss** — no transaction contributing to a labelled
+       windowed detection appears in the per-transaction detections
+       (each split round is individually benign, by construction);
+    3. **windowed recall** — the windowed matcher recovers every
+       labelled split group (recall 1.0 where per-tx recall is 0).
+
+    Per-block latency percentiles for both modes land in the report so
+    the window's overhead is visible; the latency *budget* only arms in
+    ``benchmarks/test_bench_windowed.py`` behind ``REPRO_BENCH_STRICT=1``.
+    """
+    from ..leishen.window import windowed_recall
+    from ..workload.generator import WildScanConfig, WildScanner
+    from .stream import (
+        DEFAULT_BLOCK_SIZE,
+        DEFAULT_QUEUE_DEPTH,
+        DEFAULT_WINDOW_BLOCKS,
+        StreamEngine,
+    )
+
+    if split_attacks < 1:
+        raise ValueError(f"split_attacks must be >= 1, got {split_attacks}")
+    window_blocks = (
+        window_blocks if window_blocks is not None else DEFAULT_WINDOW_BLOCKS
+    )
+    queue_depth = queue_depth if queue_depth is not None else DEFAULT_QUEUE_DEPTH
+    block_size = block_size if block_size is not None else DEFAULT_BLOCK_SIZE
+
+    batch_config = WildScanConfig(
+        scale=scale, seed=seed, jobs=1, shards=shards, split_attacks=split_attacks
+    )
+    start = time.perf_counter()
+    batch = WildScanner(batch_config).run()
+    batch_elapsed = time.perf_counter() - start
+    reference_hashes = [d.tx_hash for d in batch.detections]
+
+    def stream_run(jobs: int, windowed: bool):
+        config = WildScanConfig(
+            scale=scale, seed=seed, jobs=jobs, shards=shards,
+            split_attacks=split_attacks,
+        )
+        engine = StreamEngine(
+            config, queue_depth=queue_depth, block_size=block_size,
+            windowed=windowed, window_blocks=window_blocks,
+        )
+        streamed = engine.run()
+        hashes = [d.tx_hash for d in streamed.result.detections]
+        if hashes != reference_hashes:
+            mode = "windowed" if windowed else "plain"
+            raise AssertionError(
+                f"identity violation: {mode} streaming at jobs={jobs} changed "
+                f"the per-transaction detections relative to the batch engine"
+            )
+        return streamed
+
+    runs = []
+    for jobs in jobs_values:
+        off = stream_run(jobs, windowed=False)
+        on = stream_run(jobs, windowed=True)
+
+        labelled = [d for d in on.windowed if d.split_group is not None]
+        recall = windowed_recall(on.windowed, range(split_attacks))
+        if recall < 1.0:
+            raise AssertionError(
+                f"windowed recall at jobs={jobs} is {recall:.0%}: the "
+                f"window missed a labelled split-attack group"
+            )
+        split_txs = {tx for d in labelled for tx in d.tx_hashes}
+        leaked = split_txs.intersection(reference_hashes)
+        if leaked:
+            raise AssertionError(
+                f"per-tx contract violation: split-attack round(s) "
+                f"{sorted(leaked)} were detected per-transaction — the "
+                f"split scenario is not actually split"
+            )
+        runs.append(
+            {
+                "jobs": jobs,
+                "off_elapsed_s": round(off.elapsed_s, 4),
+                "on_elapsed_s": round(on.elapsed_s, 4),
+                "off_block_latency_ms_p95": round(
+                    off.latency_percentile(0.95), 3
+                ),
+                "on_block_latency_ms_p50": round(on.latency_percentile(0.50), 3),
+                "on_block_latency_ms_p95": round(on.latency_percentile(0.95), 3),
+                "windowed_detections": len(on.windowed),
+                "labelled_detections": len(labelled),
+                "split_recall_windowed": recall,
+                "split_recall_per_tx": 0.0,
+                "per_tx_detected": on.result.detected_count,
+                "total_transactions": on.total_transactions,
+            }
+        )
+    return {
+        "benchmark": "windowed_detection",
+        "scale": scale,
+        "seed": seed,
+        "shards": shards,
+        "split_attacks": split_attacks,
+        "window_blocks": window_blocks,
         "queue_depth": queue_depth,
         "block_size": block_size,
         "cpu_count": effective_cpu_count(),

@@ -19,6 +19,16 @@ boundaries:
 - ``("migration",)``
 - ``("strategy",)``
 - ``("benign", profile_index)``
+- ``("split", group, round_index, n_rounds)`` — one round transaction of
+  a cross-transaction split attack (windowed-detection ground truth)
+
+Split tasks live in a *tail* appended after the canonical schedule (so
+``split_attacks=0`` reproduces the historical schedule byte-for-byte).
+The tail is wave-interleaved in rows of exactly ``shard_count`` slots:
+a group's rounds all sit at the same residue modulo the shard count, so
+the round-robin partition routes every round of a group to the same
+shard — the rounds must share one world (one pool whose price carries
+across transactions) and arrive in consecutive stream blocks.
 """
 
 from __future__ import annotations
@@ -30,6 +40,7 @@ from ..workload.attacks import (
     FULL_SCALE_MIGRATIONS,
     FULL_SCALE_STRATEGIES,
     plan_attacks,
+    split_spec_of,
 )
 from ..workload.profiles import BENIGN_PROFILES
 from ..workload.timeline import TOTAL_FLASH_LOAN_TXS
@@ -37,6 +48,8 @@ from ..workload.timeline import TOTAL_FLASH_LOAN_TXS
 __all__ = [
     "Task",
     "build_schedule",
+    "build_full_schedule",
+    "split_schedule_tail",
     "shard_schedule",
     "shard_of",
     "resolve_shard_count",
@@ -88,6 +101,55 @@ def build_schedule(scale: float, seed: int) -> list[Task]:
         tasks.append(("benign", rng.choices(indices, weights)[0]))
     rng.shuffle(tasks)
     return tasks
+
+
+def split_schedule_tail(groups: int, shards: int, seed: int) -> list[Task]:
+    """The split-attack tail: ``groups`` cross-transaction attacks.
+
+    Rows of exactly ``shards`` slots, one column per group within a
+    wave; because every row spans all residues modulo ``shards``, each
+    group's rounds land on one shard and are consecutive within that
+    shard's task order. Slots not owned by a live group are filled with
+    seeded benign tasks so the column alignment holds for any wave
+    shape (fewer groups than shards, ragged round counts).
+    """
+    if groups <= 0:
+        return []
+    rng = random.Random(f"split-tail:{seed}")
+    indices = range(len(BENIGN_PROFILES))
+    weights = [weight for _, weight, _ in BENIGN_PROFILES]
+    tail: list[Task] = []
+    for wave_start in range(0, groups, shards):
+        wave = list(range(wave_start, min(wave_start + shards, groups)))
+        rows = max(split_spec_of(g).rounds for g in wave)
+        for row in range(rows):
+            for column in range(shards):
+                if column < len(wave):
+                    group = wave[column]
+                    n_rounds = split_spec_of(group).rounds
+                    if row < n_rounds:
+                        tail.append(("split", group, row, n_rounds))
+                        continue
+                tail.append(("benign", rng.choices(indices, weights)[0]))
+    return tail
+
+
+def build_full_schedule(config) -> tuple[list[Task], int]:
+    """Canonical schedule *plus* the split-attack tail, and the shard count.
+
+    The shard count is always resolved on the base schedule's length —
+    never the tail's — so requesting split attacks cannot flip the
+    auto-sharding decision out from under the tail's interleaving.
+    Every execution path (batch, stream, cluster, ledger, service) goes
+    through this one function, which is what keeps their partitions —
+    and therefore their merged bytes — identical for the same config.
+    """
+    tasks = build_schedule(config.scale, config.seed)
+    shard_count = resolve_shard_count(config.shards, len(tasks))
+    groups = config.split_attacks
+    if groups:
+        tasks = tasks + split_schedule_tail(groups, shard_count, config.seed)
+    return tasks, shard_count
 
 
 def shard_schedule(tasks: list[Task], shards: int) -> list[list[Task]]:

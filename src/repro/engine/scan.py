@@ -30,8 +30,7 @@ from ..chain.errors import ChainError
 from ..world import DeFiWorld, ETHEREUM_PROFILE
 from .plan import (
     Task,
-    build_schedule,
-    resolve_shard_count,
+    build_full_schedule,
     shard_schedule,
     shard_seed,
 )
@@ -486,6 +485,9 @@ def execute_task(ctx: ShardContext, task: Task):
                 ATTACK_CLUSTERS[cluster_index], attacker_id, contract_id,
                 asset_id, month,
             )
+        elif kind == "split":
+            _, group, round_index, n_rounds = task
+            labeled = ctx.injector.execute_split(group, round_index, n_rounds)
         elif kind == "migration":
             labeled = profile_migration(ctx.market)
         elif kind == "strategy":
@@ -501,29 +503,36 @@ def execute_task(ctx: ShardContext, task: Task):
     return labeled
 
 
-def detect_task(ctx: ShardContext, labeled) -> None:
+def detect_task(ctx: ShardContext, labeled):
     """Run detection on one executed transaction, into the shard result.
 
     Consults the shard's flash-loan pre-screen first: a transaction whose
     raw trace provably contains no borrow skips tagging/simplification
     entirely. Screening only rejects on necessary conditions of the
     provider fingerprints, so the skip never changes a result byte.
+
+    Returns the detector's :class:`~repro.leishen.report.AttackReport`
+    (``None`` when the transaction is screened out or not identified as
+    a flash loan). The shard result only ever records attacks; the
+    report return value is what lets the streaming engine's windowed
+    mode observe the simplified trades of *every* flash-loan transaction
+    without a second detector pass.
     """
     prescreen = ctx.prescreen
     if prescreen is not None:
         prof = ctx.profiler
         if prof is None:
             if not prescreen.admits(labeled.trace):
-                return
+                return None
         else:
             started = perf_counter_ns()
             admitted = prescreen.admits(labeled.trace)
             prof.add("prescreen", perf_counter_ns() - started)
             if not admitted:
                 prof.count("screened_out")
-                return
-    detect_into(ctx.cfg, labeled, ctx.detector, ctx.heuristic, ctx.analyzer,
-                ctx.result.detections, ctx.rows)
+                return None
+    return detect_into(ctx.cfg, labeled, ctx.detector, ctx.heuristic,
+                       ctx.analyzer, ctx.result.detections, ctx.rows)
 
 
 def finalize_shard(ctx: ShardContext) -> ShardResult:
@@ -629,18 +638,22 @@ def merge_shard_results(config, outcomes: list[ShardResult]):
     return result
 
 
-def detect_into(cfg, labeled, detector, heuristic, analyzer, detections, rows) -> None:
+def detect_into(cfg, labeled, detector, heuristic, analyzer, detections, rows):
     """Run detection + paper-style manual verification on one transaction,
-    appending to ``detections`` and updating the Table V ``rows``."""
+    appending to ``detections`` and updating the Table V ``rows``.
+
+    Returns the analysis report (``None`` for non-flash-loan
+    transactions) so callers can observe trades of identified-but-clean
+    transactions — the windowed matcher's input."""
     from ..workload.generator import Detection
 
     report = detector.analyze(labeled.trace)
     if report is None:
-        return  # not identified as a flash loan transaction
+        return None  # not identified as a flash loan transaction
     if cfg.with_heuristic:
         report = heuristic.apply(labeled.trace, report)
     if not report.is_attack:
-        return
+        return report
     patterns = tuple(sorted(p.name for p in report.patterns))
     truth = labeled.truth
     profit_usd = borrowed_usd = 0.0
@@ -664,6 +677,7 @@ def detect_into(cfg, labeled, detector, heuristic, analyzer, detections, rows) -
             row.tp += 1
         else:
             row.fp += 1
+    return report
 
 
 class ScanEngine:
@@ -692,8 +706,7 @@ class ScanEngine:
 
     def run(self):
         cfg = self.config
-        tasks = build_schedule(cfg.scale, cfg.seed)
-        shard_count = resolve_shard_count(cfg.shards, len(tasks))
+        tasks, shard_count = build_full_schedule(cfg)
         ledger = self._resolve_ledger(shard_count)
         parts = shard_schedule(tasks, shard_count)
         done = ledger.completed_shards() if ledger is not None else frozenset()

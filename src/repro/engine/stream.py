@@ -39,8 +39,14 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Sequence
 
+from ..leishen.window import (
+    DEFAULT_WINDOW_BLOCKS,
+    TradeObservation,
+    WindowedDetection,
+    WindowedMatcher,
+)
 from ..workload.timeline import study_block_height
-from .plan import Task, build_schedule, resolve_shard_count, shard_of
+from .plan import Task, build_full_schedule, shard_of
 from .scan import (
     ShardResult,
     build_replay_context,
@@ -62,6 +68,7 @@ __all__ = [
     "screen_blocks",
     "DEFAULT_QUEUE_DEPTH",
     "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_WINDOW_BLOCKS",
 ]
 
 #: per-worker bound on queued transactions; the backpressure knob.
@@ -113,6 +120,12 @@ class StreamResult:
     #: merged per-stage profile payload when the run had
     #: ``config.profile`` (observability only, never part of ``result``).
     profile: dict | None = None
+    #: cross-transaction windowed detections in block-emission order
+    #: (``None`` unless the engine ran with ``windowed=True``). Strictly
+    #: additive: ``result`` is byte-identical with or without them.
+    windowed: list | None = None
+    #: the sliding-window span (emitted blocks) of a windowed run.
+    window_blocks: int = 0
 
     @property
     def total_transactions(self) -> int:
@@ -216,18 +229,31 @@ class StreamEngine:
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         block_size: int = DEFAULT_BLOCK_SIZE,
         ledger=None,
+        windowed: bool = False,
+        window_blocks: int = DEFAULT_WINDOW_BLOCKS,
     ) -> None:
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
         if block_size < 1:
             raise ValueError(f"block_size must be >= 1, got {block_size}")
+        if window_blocks < 1:
+            raise ValueError(f"window_blocks must be >= 1, got {window_blocks}")
         self.config = config
         self.queue_depth = queue_depth
         self.block_size = block_size
+        #: cross-transaction windowed matching on the merger thread
+        #: (:mod:`repro.leishen.window`). Purely additive: the
+        #: per-transaction result stays byte-identical either way.
+        self.windowed = windowed
+        self.window_blocks = window_blocks
         self._ledger_spec = ledger
         #: the resolved :class:`repro.runtime.RunLedger` after ``run()``
         #: (``None`` for unjournaled runs).
         self.ledger = None
+        #: the live :class:`~repro.leishen.window.WindowedMatcher` of the
+        #: current/most recent windowed run (bounded-state introspection
+        #: for tests and monitoring); ``None`` otherwise.
+        self.window_matcher = None
 
     # ------------------------------------------------------------------
 
@@ -236,6 +262,7 @@ class StreamEngine:
         source: Iterable[StreamBlock] | None = None,
         on_block: Callable[[BlockStats, list], None] | None = None,
         detector_factory: Callable[[], object] | None = None,
+        on_windowed: Callable[[WindowedDetection], None] | None = None,
     ) -> StreamResult:
         """Consume the block stream; return the merged result and counters.
 
@@ -259,10 +286,20 @@ class StreamEngine:
         stream (a shard accumulates state across all its blocks), so a
         killed stream run journals nothing — resume granularity is the
         shard, recorded at stream end.
+
+        With ``windowed=True`` (constructor argument) the merger also
+        feeds each emitted block's flash-loan observations to a
+        :class:`~repro.leishen.window.WindowedMatcher`; cross-transaction
+        matches land in ``StreamResult.windowed`` in block-emission order
+        and ``on_windowed`` (merger thread) observes each as it fires.
+        Windowed matching never changes the per-transaction result — the
+        bytes of ``StreamResult.result`` are identical with windowing on
+        or off. A ledger-resumed windowed run only observes the shards it
+        actually re-executes: windowed detections are derived, not
+        journaled.
         """
         cfg = self.config
-        tasks = build_schedule(cfg.scale, cfg.seed)
-        shard_count = resolve_shard_count(cfg.shards, len(tasks))
+        tasks, shard_count = build_full_schedule(cfg)
         ledger = None
         if self._ledger_spec is not None:
             if source is not None or detector_factory is not None:
@@ -289,6 +326,12 @@ class StreamEngine:
         errors: list[BaseException] = []
         stats_out: list[BlockStats] = []
         max_depth = 0
+        windowed = self.windowed
+        matcher = None
+        windowed_out: list[WindowedDetection] = []
+        if windowed:
+            matcher = WindowedMatcher(self.window_blocks, cfg.pattern_config)
+        self.window_matcher = matcher
 
         def worker(worker_index: int) -> None:
             contexts: dict[int, object] = {}
@@ -315,17 +358,45 @@ class StreamEngine:
                     started = time.perf_counter()
                     before = len(ctx.result.detections)
                     labeled = execute_task(ctx, task)
+                    report = None
                     if labeled is not None:
-                        detect_task(ctx, labeled)
+                        report = detect_task(ctx, labeled)
                     elapsed = time.perf_counter() - started
                     fresh = tuple(ctx.result.detections[before:])
+                    observation = None
+                    if windowed and report is not None:
+                        # every identified flash-loan transaction feeds
+                        # the window — including clean ones, which is
+                        # where cross-transaction sequences hide.
+                        observation = TradeObservation(
+                            tx_hash=labeled.trace.tx_hash,
+                            position=position,
+                            borrower_tags=tuple(report.borrower_tags),
+                            trades=tuple(report.trades),
+                            matched_patterns=frozenset(
+                                p.name for p in report.patterns
+                            ),
+                            split_group=labeled.truth.split_group,
+                        )
                 except BaseException as exc:  # propagate via the merger
                     failed = True
                     out_queue.put(("error", exc))
                     continue
-                out_queue.put(("done", position, fresh, elapsed))
+                out_queue.put(("done", position, fresh, elapsed, observation))
             for shard, ctx in contexts.items():
                 shard_results[shard] = finalize_shard(ctx)
+
+        def emit(block: _OpenBlock) -> None:
+            observations = self._emit(block, stats_out, on_block)
+            if matcher is None:
+                return
+            # windowed matching rides the watermark pass: observations
+            # arrive in block order with in-block schedule order, so the
+            # windowed emission is as deterministic as the merge itself.
+            for detection in matcher.observe_block(block.number, observations):
+                windowed_out.append(detection)
+                if on_windowed is not None:
+                    on_windowed(detection)
 
         def merger() -> None:
             open_blocks: deque[_OpenBlock] = deque()
@@ -343,18 +414,20 @@ class StreamEngine:
                         _OpenBlock(number, first, last, count, fed_at)
                     )
                     continue
-                _, position, fresh, elapsed = event
+                _, position, fresh, elapsed, observation = event
                 for block in open_blocks:
                     if block.first_position <= position <= block.last_position:
                         block.remaining -= 1
-                        block.completions.append((position, fresh, elapsed))
+                        block.completions.append(
+                            (position, fresh, elapsed, observation)
+                        )
                         break
                 while open_blocks and open_blocks[0].remaining == 0:
-                    self._emit(open_blocks.popleft(), stats_out, on_block)
+                    emit(open_blocks.popleft())
             # a worker failure can leave blocks permanently open; emit only
             # the complete prefix so stats stay truthful.
             while open_blocks and open_blocks[0].remaining == 0:
-                self._emit(open_blocks.popleft(), stats_out, on_block)
+                emit(open_blocks.popleft())
 
         worker_threads = [
             threading.Thread(target=worker, args=(i,), name=f"stream-shard-{i}")
@@ -421,6 +494,8 @@ class StreamEngine:
             block_size=self.block_size,
             max_queue_depth=max_depth,
             profile=profile,
+            windowed=windowed_out if windowed else None,
+            window_blocks=self.window_blocks if windowed else 0,
         )
 
     @staticmethod
@@ -428,11 +503,13 @@ class StreamEngine:
         block: _OpenBlock,
         stats_out: list[BlockStats],
         on_block: Callable[[BlockStats, list], None] | None,
-    ) -> None:
+    ) -> list:
+        """Emit one watermark-complete block; returns its windowed
+        observations in schedule order."""
         block.completions.sort(key=lambda completion: completion[0])
         detections = [
             detection
-            for _, fresh, _ in block.completions
+            for _, fresh, _, _ in block.completions
             for detection in fresh
         ]
         stats = BlockStats(
@@ -440,11 +517,18 @@ class StreamEngine:
             transactions=len(block.completions),
             detections=len(detections),
             latency_ms=(time.perf_counter() - block.fed_at) * 1e3,
-            detect_ms=sum(elapsed for _, _, elapsed in block.completions) * 1e3,
+            detect_ms=sum(
+                elapsed for _, _, elapsed, _ in block.completions
+            ) * 1e3,
         )
         stats_out.append(stats)
         if on_block is not None:
             on_block(stats, detections)
+        return [
+            observation
+            for _, _, _, observation in block.completions
+            if observation is not None
+        ]
 
 
 # ---------------------------------------------------------------------------

@@ -42,11 +42,14 @@ __all__ = [
 
 #: schema version stamped on every top-level payload. Bump whenever a
 #: codec's field set changes; decoders reject anything else.
-WIRE_VERSION = 1
+#: v2: configs carry ``split_attacks`` (cross-transaction split-attack
+#: groups — identity-relevant, it changes the canonical schedule) and
+#: ground truths carry ``split_group``.
+WIRE_VERSION = 2
 
 _CONFIG_FIELDS = frozenset(
     {"v", "scale", "seed", "with_heuristic", "keep_history", "pattern_config",
-     "shards"}
+     "shards", "split_attacks"}
 )
 _PATTERN_FIELDS = frozenset(
     {"krp_min_buys", "sbs_min_volatility", "sbs_amount_tolerance",
@@ -55,7 +58,7 @@ _PATTERN_FIELDS = frozenset(
 _TRUTH_FIELDS = frozenset(
     {"is_attack", "profile", "net_profit", "source_disclosed",
      "aggregator_initiated", "attacked_app", "attacker", "attack_contract",
-     "asset", "month", "patterns", "known"}
+     "asset", "month", "patterns", "known", "split_group"}
 )
 _DETECTION_FIELDS = frozenset(
     {"tx_hash", "patterns", "truth", "profit_usd", "borrowed_usd"}
@@ -112,6 +115,7 @@ def config_to_wire(config) -> dict:
         "keep_history": config.keep_history,
         "pattern_config": pattern_config,
         "shards": config.shards,
+        "split_attacks": config.split_attacks,
     }
 
 
@@ -135,6 +139,7 @@ def config_from_wire(payload: dict):
         ),
         jobs=1,
         shards=payload["shards"],
+        split_attacks=payload["split_attacks"],
     )
 
 
@@ -165,6 +170,7 @@ def _truth_to_wire(truth) -> dict:
         "month": truth.month,
         "patterns": list(truth.patterns),
         "known": truth.known,
+        "split_group": truth.split_group,
     }
 
 
@@ -189,6 +195,7 @@ def _truth_from_wire(payload: dict):
         month=payload["month"],
         patterns=tuple(payload["patterns"]),
         known=payload["known"],
+        split_group=payload["split_group"],
     )
 
 

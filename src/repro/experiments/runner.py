@@ -36,6 +36,9 @@ def _run_one(
     prescreen: bool = True,
     profile: bool = False,
     profile_out: str | None = None,
+    windowed: bool = False,
+    window_blocks: int | None = None,
+    split_attacks: int = 0,
 ) -> str:
     if name == "fig1":
         return fig1.render()
@@ -67,6 +70,8 @@ def _run_one(
             queue_depth=queue_depth, block_size=block_size, ledger=ledger,
             compact_every=compact_every,
             prescreen=prescreen, profile=profile, profile_out=profile_out,
+            windowed=windowed, window_blocks=window_blocks,
+            split_attacks=split_attacks,
         )
     raise ValueError(f"unknown experiment {name!r}")
 
@@ -118,6 +123,28 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         help="stream only: transactions per simulated block",
+    )
+    parser.add_argument(
+        "--windowed",
+        action="store_true",
+        help="stream only: also run the cross-transaction windowed matcher "
+        "over a sliding block window (per-transaction results are "
+        "byte-identical with or without it)",
+    )
+    parser.add_argument(
+        "--window-blocks",
+        type=int,
+        default=None,
+        help="stream --windowed: sliding window size in emitted blocks "
+        f"(default {stream.DEFAULT_WINDOW_BLOCKS})",
+    )
+    parser.add_argument(
+        "--split-attacks",
+        type=int,
+        default=0,
+        help="stream only: append N labelled split-attack groups to the "
+        "schedule, each spreading one attack across several transactions "
+        "(invisible per-tx, detectable with --windowed)",
     )
     parser.add_argument(
         "--workers",
@@ -336,6 +363,14 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--queue-depth must be >= 1, got {args.queue_depth}")
     if args.block_size is not None and args.block_size < 1:
         parser.error(f"--block-size must be >= 1, got {args.block_size}")
+    if args.window_blocks is not None and args.window_blocks < 1:
+        parser.error(f"--window-blocks must be >= 1, got {args.window_blocks}")
+    if args.split_attacks < 0:
+        parser.error(f"--split-attacks must be >= 0, got {args.split_attacks}")
+    if args.window_blocks is not None and not args.windowed:
+        parser.error("--window-blocks requires --windowed")
+    if (args.windowed or args.split_attacks) and args.experiment != "stream":
+        parser.error("--windowed/--window-blocks/--split-attacks only apply to stream")
     if args.autoscale:
         if args.workers < 0:
             parser.error(f"--workers must be >= 0 with --autoscale, got {args.workers}")
@@ -460,6 +495,8 @@ def main(argv: list[str] | None = None) -> int:
             ledger=ledger, compact_every=args.compact_every,
             prescreen=not args.no_prescreen, profile=args.profile,
             profile_out=args.profile_out,
+            windowed=args.windowed, window_blocks=args.window_blocks,
+            split_attacks=args.split_attacks,
         )
         elapsed = time.perf_counter() - start
         print(f"=== {name} ({elapsed:.1f}s) ===")

@@ -8,10 +8,10 @@ the streaming pipeline of :mod:`repro.engine.stream`.
 
 from __future__ import annotations
 
-from ..engine.stream import StreamEngine, StreamResult
+from ..engine.stream import DEFAULT_WINDOW_BLOCKS, StreamEngine, StreamResult
 from ..workload.generator import WildScanConfig
 
-__all__ = ["run", "run_with_engine", "render"]
+__all__ = ["DEFAULT_WINDOW_BLOCKS", "run", "run_with_engine", "render"]
 
 
 def run(
@@ -25,6 +25,9 @@ def run(
     compact_every: int | None = None,
     prescreen: bool = True,
     profile: bool = False,
+    windowed: bool = False,
+    window_blocks: int | None = None,
+    split_attacks: int = 0,
 ) -> StreamResult:
     """``ledger`` (path or open RunLedger) journals shard results at end
     of stream and skips already-journaled shards on resume; use
@@ -33,6 +36,8 @@ def run(
         scale=scale, seed=seed, jobs=jobs, shards=shards,
         queue_depth=queue_depth, block_size=block_size, ledger=ledger,
         compact_every=compact_every, prescreen=prescreen, profile=profile,
+        windowed=windowed, window_blocks=window_blocks,
+        split_attacks=split_attacks,
     )[0]
 
 
@@ -47,10 +52,13 @@ def run_with_engine(
     compact_every: int | None = None,
     prescreen: bool = True,
     profile: bool = False,
+    windowed: bool = False,
+    window_blocks: int | None = None,
+    split_attacks: int = 0,
 ) -> tuple[StreamResult, StreamEngine]:
     config = WildScanConfig(
         scale=scale, seed=seed, jobs=jobs, shards=shards,
-        prescreen=prescreen, profile=profile,
+        prescreen=prescreen, profile=profile, split_attacks=split_attacks,
     )
     from .scan import _maybe_compacting
 
@@ -60,7 +68,9 @@ def run_with_engine(
         kwargs["queue_depth"] = queue_depth
     if block_size is not None:
         kwargs["block_size"] = block_size
-    engine = StreamEngine(config, ledger=ledger, **kwargs)
+    if window_blocks is not None:
+        kwargs["window_blocks"] = window_blocks
+    engine = StreamEngine(config, ledger=ledger, windowed=windowed, **kwargs)
     return engine.run(), engine
 
 
@@ -75,11 +85,16 @@ def render(
     prescreen: bool = True,
     profile: bool = False,
     profile_out=None,
+    windowed: bool = False,
+    window_blocks: int | None = None,
+    split_attacks: int = 0,
 ) -> str:
     streamed, engine = run_with_engine(
         scale=scale, jobs=jobs, shards=shards,
         queue_depth=queue_depth, block_size=block_size, ledger=ledger,
         compact_every=compact_every, prescreen=prescreen, profile=profile,
+        windowed=windowed, window_blocks=window_blocks,
+        split_attacks=split_attacks,
     )
     result = streamed.result
     alert_blocks = [stats for stats in streamed.blocks if stats.detections]
@@ -104,6 +119,29 @@ def render(
         )
     if len(alert_blocks) > 10:
         lines.append(f"  ... {len(alert_blocks) - 10} more alerting blocks")
+    if streamed.windowed is not None:
+        from ..leishen.window import windowed_recall
+
+        lines.append(
+            f"windowed: {len(streamed.windowed)} cross-transaction "
+            f"detection(s) over a {streamed.window_blocks}-block window"
+        )
+        for detection in streamed.windowed[:10]:
+            lines.append(
+                f"  {detection.pattern} across {len(detection.tx_hashes)} txs "
+                f"(blocks {detection.first_block}..{detection.last_block}"
+                + (
+                    f", split group {detection.split_group})"
+                    if detection.split_group is not None
+                    else ")"
+                )
+            )
+        if split_attacks:
+            recall = windowed_recall(streamed.windowed, range(split_attacks))
+            lines.append(
+                f"windowed recall on {split_attacks} labelled split "
+                f"attack(s): {recall:.0%}"
+            )
     if engine.ledger is not None:
         lines.append(
             f"ledger: {engine.ledger.path} — "

@@ -107,8 +107,20 @@ class PatternMatcher:
                 for seller, series in by_seller.items():
                     if len(series) < self.config.krp_min_buys:
                         continue
+                    # condition (b): buys at *rising* prices. The rise
+                    # must hold across the whole series, not merely
+                    # endpoint-to-endpoint — a mid-series dip means the
+                    # price was not being kept raised (and endpoint
+                    # comparison alone admits ordinary oscillating trade
+                    # sequences as false positives). Plateaus are
+                    # tolerated (oracle-rate buys repeat a price), but
+                    # the series overall must strictly rise.
+                    rates = [buy.sell_rate for buy in series]
+                    rising = rates[0] < rates[-1] and all(
+                        earlier <= later for earlier, later in zip(rates, rates[1:])
+                    )
                     first, last = series[0], series[-1]
-                    if first.sell_rate < last.sell_rate:
+                    if rising:
                         matches.append(
                             PatternMatch(
                                 pattern=AttackPattern.KRP,

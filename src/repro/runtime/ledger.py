@@ -269,11 +269,11 @@ class RunLedger:
     def for_config(cls, path, config, *, compact_every: int | None = None) -> "RunLedger":
         """Resume-or-create with the shard count resolved from ``config``
         exactly as the engines resolve it (CLI/example convenience)."""
-        from ..engine.plan import build_schedule, resolve_shard_count
+        from ..engine.plan import build_full_schedule
 
-        tasks = build_schedule(config.scale, config.seed)
+        _, shard_count = build_full_schedule(config)
         return cls.resume_or_create(
-            path, config, resolve_shard_count(config.shards, len(tasks)),
+            path, config, shard_count,
             compact_every=compact_every,
         )
 

@@ -17,7 +17,7 @@ See ``README.md`` ("Running as a service") and
 """
 
 from .cache import TTLCache
-from .client import ServiceClient
+from .client import PaginationError, ServiceClient
 from .registry import RUN_STATES, RunRecord, RunRegistry, run_id_for
 from .server import SERVICE_PROTOCOL_VERSION, ServiceServer
 from .service import (
@@ -31,6 +31,7 @@ from .service import (
 __all__ = [
     "AdmissionError",
     "BACKENDS",
+    "PaginationError",
     "RUN_STATES",
     "RunRecord",
     "RunRegistry",

@@ -92,27 +92,43 @@ class TTLCache:
                 self.evictions += 1
 
     def pop(self, key, default=None):
-        """Remove and return ``key``'s value (expired entries count as absent)."""
+        """Remove and return ``key``'s value (expired entries count as absent).
+
+        ``pop`` is a lookup and is accounted like one, so the invariant
+        ``hits + misses == lookups`` holds across ``get`` *and* ``pop``:
+        a live pop is a hit, an absent key is a miss, and an expired
+        entry is an expiration *and* a miss (it was absent as far as the
+        caller can tell).
+        """
         with self._lock:
             entry = self._entries.pop(key, None)
             if entry is None:
+                self.misses += 1
                 return default
             value, deadline = entry
             if deadline is not None and self._clock() >= deadline:
                 self.expirations += 1
+                self.misses += 1
                 return default
+            self.hits += 1
             return value
 
     def __contains__(self, key) -> bool:
-        """Live membership — does not count toward hit/miss stats."""
+        """Live membership — a pure read.
+
+        Counts toward no statistic and never mutates the store: an
+        expired-but-resident entry merely reads as absent here and stays
+        put until :meth:`purge`, :meth:`get` or :meth:`pop` removes it.
+        A membership probe that silently dropped entries would make
+        ``in`` racy against a concurrent ``get`` and skew the
+        expiration counter double-counting the same entry.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 return False
             _, deadline = entry
             if deadline is not None and self._clock() >= deadline:
-                del self._entries[key]
-                self.expirations += 1
                 return False
             return True
 

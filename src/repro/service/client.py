@@ -23,7 +23,17 @@ from ..engine.wire import config_to_wire, detection_from_wire
 from .server import SERVICE_PROTOCOL_VERSION
 from .service import AdmissionError, ServiceError, UnknownRunError
 
-__all__ = ["ServiceClient"]
+__all__ = ["PaginationError", "ServiceClient"]
+
+
+class PaginationError(ServiceError):
+    """A paged response failed to make progress.
+
+    Raised client-side when a ``results`` page reports a ``next_offset``
+    at or before the offset just fetched: following it would re-fetch
+    the same page forever. A buggy or protocol-skewed server triggers
+    this once, loudly, instead of spinning the client.
+    """
 
 _ERROR_KINDS = {
     "admission": AdmissionError,
@@ -130,7 +140,12 @@ class ServiceClient:
         return response
 
     def fetch_detections(self, run_id: str, page_size: int = 256) -> list:
-        """Every detection of a completed run, decoded, via paging."""
+        """Every detection of a completed run, decoded, via paging.
+
+        Raises :class:`PaginationError` if a page's ``next_offset``
+        fails to advance past the offset it was fetched at — the loop
+        must terminate even against a buggy or older server.
+        """
         detections = []
         offset = 0
         while True:
@@ -138,6 +153,12 @@ class ServiceClient:
             detections.extend(
                 detection_from_wire(d) for d in page["detections"]
             )
-            if page["next_offset"] is None:
+            next_offset = page["next_offset"]
+            if next_offset is None:
                 return detections
-            offset = page["next_offset"]
+            if not isinstance(next_offset, int) or next_offset <= offset:
+                raise PaginationError(
+                    f"run {run_id}: results page at offset {offset} "
+                    f"reported non-advancing next_offset {next_offset!r}"
+                )
+            offset = next_offset

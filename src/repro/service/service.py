@@ -46,7 +46,7 @@ import time
 import traceback
 from collections import deque
 
-from ..engine.plan import build_schedule, resolve_shard_count
+from ..engine.plan import build_full_schedule
 from ..engine.scan import (
     context_snapshot_for,
     context_snapshot_stats,
@@ -336,7 +336,13 @@ class ScanService:
         return sorted(views, key=lambda v: v["submitted_at"], reverse=True)
 
     def wait(self, run_id: str, timeout: float | None = None) -> dict:
-        """Block until ``run_id`` completes or fails; returns its view."""
+        """Block until ``run_id`` completes or fails; returns its view.
+
+        With no ``timeout`` the waiter blocks on the condition outright
+        (``Condition.wait(None)``) and wakes only on notify — every
+        state transition already calls ``notify_all``, so polling here
+        would only burn CPU on idle waiters.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             record = self._record_locked(run_id)
@@ -348,7 +354,7 @@ class ScanService:
                         raise TimeoutError(
                             f"run {run_id} still {record.state} after {timeout}s"
                         )
-                self._cond.wait(remaining if remaining is not None else 0.2)
+                self._cond.wait(remaining)
             return self._view_locked(record)
 
     def results(self, run_id: str, offset: int = 0, limit: int | None = None) -> dict:
@@ -490,9 +496,7 @@ class ScanService:
         config = config_from_wire(record.config)
         if record.jobs != 1 and record.backend in ("batch", "stream"):
             config = replace(config, jobs=record.jobs)
-        shard_count = resolve_shard_count(
-            config.shards, len(build_schedule(config.scale, config.seed))
-        )
+        _, shard_count = build_full_schedule(config)
         record.shard_count = shard_count
         record.warm_hits, record.warm_misses = self._prime_warm(shard_count)
 

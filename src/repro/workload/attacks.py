@@ -40,6 +40,9 @@ __all__ = [
     "FULL_SCALE_STRATEGIES",
     "AttackPlan",
     "plan_attacks",
+    "SplitAttackSpec",
+    "SPLIT_ATTACK_SPECS",
+    "split_spec_of",
 ]
 
 
@@ -278,6 +281,131 @@ class _MiniMarket:
             atk.vault_withdraw(vault.address, shares)
 
 
+@dataclass(frozen=True, slots=True)
+class SplitAttackSpec:
+    """One cross-transaction split-attack shape (windowed ground truth).
+
+    A split attack spreads a single KRP/MBS action sequence over
+    ``rounds`` consecutive transactions so each transaction alone never
+    matches a pattern — only a matcher that accumulates trades across
+    transactions (``repro.leishen.window``) sees the full sequence.
+    """
+
+    shape: str  # "mbs" | "krp"
+    #: consecutive transactions the action sequence spans.
+    rounds: int
+    truth_patterns: tuple[str, ...]
+
+
+#: the split shapes cycled over requested groups (group ``g`` uses spec
+#: ``g % len(SPLIT_ATTACK_SPECS)``): an MBS attack whose three profitable
+#: rounds land in three consecutive transactions, and a KRP buy series
+#: split mid-buy (two rising buys per transaction, the dump in the last).
+SPLIT_ATTACK_SPECS: tuple[SplitAttackSpec, ...] = (
+    SplitAttackSpec("mbs", 3, ("MBS",)),
+    SplitAttackSpec("krp", 3, ("KRP",)),
+)
+
+
+def split_spec_of(group: int) -> SplitAttackSpec:
+    """The split-attack shape executed by group ``group``."""
+    return SPLIT_ATTACK_SPECS[group % len(SPLIT_ATTACK_SPECS)]
+
+
+class _SplitSurface:
+    """Attack surface for one split-attack group.
+
+    Built like a ``_MiniMarket``, but the body executes ONE round per
+    transaction so the full action sequence only exists across the
+    window. Every round transaction still takes (and repays) a flash
+    loan: LeiShen's identification gate only surfaces flash-loan
+    transactions, and an attacker splitting rounds while borrowing per
+    round is exactly the adversary windowed detection targets. The KRP
+    buy legs are paid from the contract's own pre-seeded capital because
+    borrowed funds cannot outlive their transaction — the loan is repaid
+    from the held balance each round and the dump round recoups it.
+    """
+
+    def __init__(self, market: WildMarket, spec: SplitAttackSpec, group: int) -> None:
+        world = market.world
+        self.market = market
+        self.shape = spec.shape
+        self.app = f"SplitTarget{group}"
+        if spec.shape == "krp":
+            self.asset = f"SPT{group}"
+            self.quote = world.new_token(f"SPQ{group}")
+            self.target = world.new_token(self.asset)
+            pool_target = 1_000_000 * self.target.unit
+            pool_quote = 10_000 * self.quote.unit
+            self.pool = world.dex_pair(self.target, self.quote, pool_target, pool_quote)
+            self.venue = world.margin_venue(
+                [self.pool],
+                funding={self.quote: 500_000 * self.quote.unit,
+                         self.target: 4 * pool_target},
+                app=self.app,
+            )
+            self.venue.emits_trade_events = False
+            self.base_quote = 1_000 * self.quote.unit
+            #: own capital covering the buy legs + per-round flash fees.
+            self.capital = 4 * self.base_quote
+            self.flash_pair = world.dex_pair(
+                self.quote, market.weth, self.base_quote * 64, 10_000 * ETH
+            )
+            self.flash_token = self.quote
+            self.borrow = self.base_quote * 8
+        else:  # mbs: vault + curve mini market, one manipulation round per tx
+            from ..study.scenarios.common import imbalance_mark
+
+            self.asset = f"SPM{group}"
+            self.underlying = world.new_token(self.asset)
+            self.alt = world.new_token(self.asset + "q")
+            size_units = 50_000_000 * self.underlying.unit
+            self.curve = world.curve_pool(
+                {self.underlying: size_units, self.alt: size_units},
+                app=self.app + "Swap",
+            )
+            self.vault = world.vault(
+                self.underlying,
+                "v" + self.asset,
+                app=self.app,
+                value_per_underlying=imbalance_mark(self.curve, 0.05),
+                seed_amount=size_units * 2,
+            )
+            self.vault.emits_trade_events = False
+            self.deposit = 12_000_000 * self.underlying.unit
+            self.manipulation = 10_000_000 * self.underlying.unit
+            self.capital = 0
+            borrow = self.deposit + self.manipulation
+            self.flash_pair = world.dex_pair(
+                self.underlying, market.weth, borrow * 2, 10_000 * ETH
+            )
+            self.flash_token = self.underlying
+            # cushion for per-round pool fees, as in the one-shot shape
+            self.borrow = borrow + self.manipulation // 25
+
+    def fund(self, contract: Address) -> None:
+        """Seed the attack contract's working capital (KRP buy legs)."""
+        if self.capital:
+            self.flash_token.mint(contract, self.capital)
+
+    def round(self, atk: ScriptedAttackContract, round_index: int, n_rounds: int) -> None:
+        """One transaction's slice of the split action sequence."""
+        if self.shape == "krp":
+            step = self.base_quote // 2
+            atk.swap_pool(self.pool.address, self.quote.address, step)
+            atk.swap_pool(self.pool.address, self.quote.address, step)
+            if round_index == n_rounds - 1:
+                amount = atk.balance(self.target.address)
+                atk.oracle_swap(
+                    self.venue.address, self.target.address, amount, self.quote.address
+                )
+        else:
+            got = atk.curve_swap(self.curve.address, 0, 1, self.manipulation)
+            shares = atk.vault_deposit(self.vault.address, self.deposit)
+            atk.curve_swap(self.curve.address, 1, 0, got)
+            atk.vault_withdraw(self.vault.address, shares)
+
+
 class WildAttackInjector:
     """Plans and executes the scaled attack population."""
 
@@ -288,6 +416,9 @@ class WildAttackInjector:
         self._mini_markets: dict[tuple[str, str, int], _MiniMarket] = {}
         self._attackers: dict[tuple[str, int], Address] = {}
         self._contracts: dict[tuple[str, int], ScriptedAttackContract] = {}
+        self._split_surfaces: dict[int, _SplitSurface] = {}
+        self._split_attackers: dict[int, Address] = {}
+        self._split_contracts: dict[int, ScriptedAttackContract] = {}
 
     def plan(self) -> list[AttackPlan]:
         """Scaled list of (cluster, attacker_id, contract_id, asset_id, month)."""
@@ -320,6 +451,48 @@ class WildAttackInjector:
             ),
         )
 
+    def execute_split(self, group: int, round_index: int, n_rounds: int) -> LabeledTrace:
+        """Execute one round transaction of a cross-transaction split attack.
+
+        The round's trades never match a pattern on their own; the
+        ground truth carries ``split_group`` so the windowed evaluation
+        can score recall per group rather than per transaction. The
+        provider is pinned (no RNG draw) so split tasks never perturb
+        the shard's RNG stream.
+        """
+        spec = split_spec_of(group)
+        surface = self._split_surface(spec, group)
+        attacker = self._split_attacker(group)
+        contract = self._split_contract(group, attacker)
+        if round_index == 0:
+            surface.fund(contract.address)
+
+        def body(atk: ScriptedAttackContract) -> None:
+            surface.round(atk, round_index, n_rounds)
+
+        trace = self.market.run_flash(
+            attacker, contract, body, "Uniswap",
+            surface.flash_token, surface.borrow,
+            flash_pair=surface.flash_pair.address,
+        )
+        return LabeledTrace(
+            trace,
+            GroundTruth(
+                is_attack=True,
+                profile=f"attack-split:{spec.shape}",
+                net_profit=round_index == n_rounds - 1,
+                source_disclosed=False,
+                attacked_app=surface.app,
+                attacker=attacker,
+                attack_contract=contract.address,
+                asset=surface.asset,
+                month=None,
+                patterns=spec.truth_patterns,
+                known=False,
+                split_group=group,
+            ),
+        )
+
     # -- lazily built pieces ------------------------------------------------
 
     def _mini_market(self, cluster: AttackCluster, asset_id: int) -> _MiniMarket:
@@ -335,6 +508,32 @@ class WildAttackInjector:
                 sensitivity=cluster.sensitivity,
             )
         return self._mini_markets[key]
+
+    def _split_surface(self, spec: SplitAttackSpec, group: int) -> _SplitSurface:
+        if group not in self._split_surfaces:
+            self._split_surfaces[group] = _SplitSurface(self.market, spec, group)
+        return self._split_surfaces[group]
+
+    def _split_attacker(self, group: int) -> Address:
+        if group not in self._split_attackers:
+            # canonical address, like _attacker: the same split group
+            # resolves to the same attacker in every shard.
+            self._split_attackers[group] = self.market.world.chain.create_eoa(
+                f"split-attacker-{group}",
+                address=keccak_address("split-attacker", str(group)),
+            )
+        return self._split_attackers[group]
+
+    def _split_contract(self, group: int, attacker: Address) -> ScriptedAttackContract:
+        if group not in self._split_contracts:
+            from .profiles import _plan_body
+
+            self._split_contracts[group] = self.market.world.chain.deploy(
+                attacker, ScriptedAttackContract, _plan_body,
+                hint=f"split-attack-{group}",
+                address=keccak_address("split-attack-contract", str(group)),
+            )
+        return self._split_contracts[group]
 
     def _attacker(self, cluster: AttackCluster, attacker_id: int) -> Address:
         key = (cluster.app, attacker_id)

@@ -53,6 +53,11 @@ class WildScanConfig:
     #: (:mod:`repro.runtime.profile`). Execution knob only; profiles are
     #: observability output, never part of the result.
     profile: bool = False
+    #: number of cross-transaction split-attack groups appended to the
+    #: schedule (windowed-detection ground truth). Identity-relevant:
+    #: it changes the canonical schedule, so it rides the config wire
+    #: and the digest. ``0`` keeps the schedule exactly as before.
+    split_attacks: int = 0
 
     def __post_init__(self) -> None:
         # Programmatic callers get the same errors the CLI raises instead
@@ -61,6 +66,10 @@ class WildScanConfig:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
         if self.shards is not None and self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.split_attacks < 0:
+            raise ValueError(
+                f"split_attacks must be >= 0, got {self.split_attacks}"
+            )
 
 
 @dataclass(slots=True)

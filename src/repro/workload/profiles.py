@@ -45,6 +45,12 @@ class GroundTruth:
     patterns: tuple[str, ...] = ()
     #: whether this is one of the 33 previously-known attacks/repeats.
     known: bool = False
+    #: split-attack group id when this transaction is one round of an
+    #: attack deliberately split across consecutive transactions (the
+    #: cross-transaction windowed-detection ground truth); ``None`` for
+    #: everything else. Per-transaction detection must miss these — only
+    #: the windowed matcher sees the whole action sequence.
+    split_group: int | None = None
 
 
 @dataclass(slots=True)

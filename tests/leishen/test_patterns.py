@@ -69,6 +69,35 @@ class TestKRP:
         trades.append(sell(6, 50, 5_000, buyer="somebody"))
         assert matcher.match(trades, BORROWER) == []
 
+    def test_bzx2_style_consecutive_rise_matches(self, matcher):
+        # the bZx-2 shape: every buy at or above the previous price, with
+        # a plateau in the middle (same pool quote twice running), ending
+        # strictly above the start — still a kept-raising series.
+        prices = [100, 110, 110, 125, 140]
+        trades = [buy(i, p * 10, 10) for i, p in enumerate(prices)]
+        trades.append(sell(len(prices), 50, 5_000, seller="Venue"))
+        matches = matcher.match(trades, BORROWER)
+        assert any(m.pattern is AttackPattern.KRP for m in matches)
+
+    def test_dip_in_middle_no_match(self, matcher):
+        # regression: the matcher used to compare only the endpoints, so
+        # a series that dipped mid-way (e.g. two unrelated buy runs
+        # concatenated) still read as "rising". The price must climb
+        # consecutively, not merely end above where it started.
+        prices = [100, 140, 90, 120, 150]
+        trades = [buy(i, p * 10, 10) for i, p in enumerate(prices)]
+        trades.append(sell(len(prices), 50, 5_000, seller="Venue"))
+        matches = matcher.match(trades, BORROWER)
+        assert not any(m.pattern is AttackPattern.KRP for m in matches)
+
+    def test_flat_series_no_match(self, matcher):
+        # nondecreasing alone is not enough: an all-plateau series never
+        # raised the price at all.
+        trades = [buy(i, 100 * 10, 10) for i in range(5)]
+        trades.append(sell(5, 50, 5_000, seller="Venue"))
+        matches = matcher.match(trades, BORROWER)
+        assert not any(m.pattern is AttackPattern.KRP for m in matches)
+
 
 class TestSBS:
     def triple(self, p1=10.0, p2=15.0, p3=12.0, amount=100, raise_buyer="bZx"):

@@ -1,0 +1,175 @@
+"""Cross-transaction windowed matcher: assembly, dedup, bounded state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain import Address
+from repro.leishen import Trade, TradeKind
+from repro.leishen.window import (
+    DEFAULT_WINDOW_BLOCKS,
+    TradeObservation,
+    WindowedDetection,
+    WindowedMatcher,
+    windowed_recall,
+)
+
+X = Address("0x" + "aa" * 20)  # target token
+Q = Address("0x" + "bb" * 20)  # quote token
+BORROWER = "0xatk"
+
+
+def buy(seq, amount_q, amount_x, buyer=BORROWER, seller="Pool"):
+    return Trade(seq=seq, kind=TradeKind.SWAP, buyer=buyer, seller=seller,
+                 amount_sell=amount_q, token_sell=Q, amount_buy=amount_x, token_buy=X)
+
+
+def sell(seq, amount_x, amount_q, buyer=BORROWER, seller="Pool"):
+    return Trade(seq=seq, kind=TradeKind.SWAP, buyer=buyer, seller=seller,
+                 amount_sell=amount_x, token_sell=X, amount_buy=amount_q, token_buy=Q)
+
+
+def obs(tx, position, trades, matched=(), group=None):
+    return TradeObservation(
+        tx_hash=tx, position=position, borrower_tags=(BORROWER,),
+        trades=tuple(trades), matched_patterns=frozenset(matched),
+        split_group=group,
+    )
+
+
+def krp_legs():
+    """A five-buy rising KRP series plus the final dump, as three
+    per-transaction slices that are individually pattern-free."""
+    buys = [buy(i, (100 + 10 * i) * 10, 10) for i in range(5)]
+    dump = sell(5, 50, 5_000, seller="Venue")
+    return [buys[:2], buys[2:4], [buys[4], dump]]
+
+
+class TestWindowAssembly:
+    def test_split_series_detected_across_blocks(self):
+        matcher = WindowedMatcher(window_blocks=4)
+        legs = krp_legs()
+        assert matcher.observe_block(100, [obs("tx0", 0, legs[0], group=3)]) == []
+        assert matcher.observe_block(101, [obs("tx1", 1, legs[1], group=3)]) == []
+        found = matcher.observe_block(102, [obs("tx2", 2, legs[2], group=3)])
+        assert [d.pattern for d in found] == ["KRP"]
+        detection = found[0]
+        assert detection.tx_hashes == ("tx0", "tx1", "tx2")
+        assert (detection.first_block, detection.last_block) == (100, 102)
+        assert detection.split_group == 3
+        assert detection.target_token == X
+
+    def test_single_tx_observation_can_still_match(self):
+        # the window degenerates gracefully: one transaction carrying the
+        # whole series matches too (and is *not* suppressed unless the
+        # transaction already matched per-tx).
+        matcher = WindowedMatcher(window_blocks=2)
+        trades = [t for leg in krp_legs() for t in leg]
+        found = matcher.observe_block(100, [obs("tx0", 0, trades)])
+        assert [d.pattern for d in found] == ["KRP"]
+        assert found[0].tx_hashes == ("tx0",)
+
+    def test_mixed_split_groups_yield_unlabelled_detection(self):
+        matcher = WindowedMatcher(window_blocks=4)
+        legs = krp_legs()
+        matcher.observe_block(100, [obs("tx0", 0, legs[0], group=0)])
+        matcher.observe_block(101, [obs("tx1", 1, legs[1], group=1)])
+        found = matcher.observe_block(102, [obs("tx2", 2, legs[2], group=0)])
+        assert len(found) == 1
+        assert found[0].split_group is None
+
+
+class TestWindowDedup:
+    def test_suppressed_when_every_contributor_matched_per_tx(self):
+        matcher = WindowedMatcher(window_blocks=2)
+        trades = [t for leg in krp_legs() for t in leg]
+        found = matcher.observe_block(100, [obs("tx0", 0, trades, matched={"KRP"})])
+        assert found == []
+
+    def test_not_suppressed_when_one_contributor_is_new(self):
+        # two txs contribute; only one matched KRP on its own — the
+        # windowed match still says something new, so it fires.
+        matcher = WindowedMatcher(window_blocks=4)
+        legs = krp_legs()
+        matcher.observe_block(100, [obs("tx0", 0, legs[0] + legs[1], matched={"KRP"})])
+        found = matcher.observe_block(101, [obs("tx1", 1, legs[2])])
+        assert [d.pattern for d in found] == ["KRP"]
+
+    def test_same_match_not_reemitted_while_in_window(self):
+        matcher = WindowedMatcher(window_blocks=8)
+        legs = krp_legs()
+        matcher.observe_block(100, [obs("tx0", 0, legs[0])])
+        matcher.observe_block(101, [obs("tx1", 1, legs[1])])
+        assert len(matcher.observe_block(102, [obs("tx2", 2, legs[2])])) == 1
+        # a later observation for the same tag re-runs the matcher, but
+        # the identical match (same pattern/token/tag/txs) stays quiet.
+        later = matcher.observe_block(103, [obs("tx3", 3, [buy(0, 1_000, 10)])])
+        assert later == []
+
+
+class TestBoundedState:
+    def test_block_count_never_exceeds_window(self):
+        matcher = WindowedMatcher(window_blocks=3)
+        for number in range(50):
+            matcher.observe_block(number, [obs(f"tx{number}", number,
+                                               [buy(0, 1_000, 10)])])
+            assert matcher.block_count <= 3
+        assert matcher.block_count == 3
+        assert matcher.observation_count == 3
+
+    def test_series_wider_than_window_not_detected(self):
+        matcher = WindowedMatcher(window_blocks=2)
+        legs = krp_legs()
+        matcher.observe_block(100, [obs("tx0", 0, legs[0])])
+        matcher.observe_block(101, [obs("tx1", 1, legs[1])])
+        # tx0's buys have slid out by now: the surviving window holds
+        # only legs 1 and 2, which never complete the five-buy series.
+        found = matcher.observe_block(102, [obs("tx2", 2, legs[2])])
+        assert found == []
+
+    def test_dedup_keys_evicted_with_their_blocks(self):
+        matcher = WindowedMatcher(window_blocks=3)
+        legs = krp_legs()
+        matcher.observe_block(100, [obs("tx0", 0, legs[0])])
+        matcher.observe_block(101, [obs("tx1", 1, legs[1])])
+        assert len(matcher.observe_block(102, [obs("tx2", 2, legs[2])])) == 1
+        assert matcher._seen
+        for number in range(103, 107):
+            matcher.observe_block(number, [])
+        assert matcher._seen == {}
+
+    def test_empty_blocks_still_slide_the_window(self):
+        matcher = WindowedMatcher(window_blocks=3)
+        legs = krp_legs()
+        matcher.observe_block(100, [obs("tx0", 0, legs[0])])
+        matcher.observe_block(101, [])
+        matcher.observe_block(102, [obs("tx1", 1, legs[1])])
+        # block 100 just slid out with tx0's buys — no match possible.
+        assert matcher.observe_block(103, [obs("tx2", 2, legs[2])]) == []
+
+    def test_window_blocks_validated(self):
+        with pytest.raises(ValueError):
+            WindowedMatcher(window_blocks=0)
+        assert WindowedMatcher().window_blocks == DEFAULT_WINDOW_BLOCKS
+
+
+class TestWindowedRecall:
+    def make(self, group):
+        return WindowedDetection(
+            pattern="KRP", target_token=X, borrower_tag=BORROWER,
+            tx_hashes=("a", "b"), first_block=1, last_block=2,
+            split_group=group,
+        )
+
+    def test_full_and_partial_recall(self):
+        detections = [self.make(0), self.make(None)]
+        assert windowed_recall(detections, [0]) == 1.0
+        assert windowed_recall(detections, [0, 1]) == 0.5
+        assert windowed_recall([], [0, 1]) == 0.0
+        assert windowed_recall(detections, []) == 0.0
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        payload = self.make(2).to_dict()
+        assert json.loads(json.dumps(payload)) == payload

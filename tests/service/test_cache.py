@@ -138,3 +138,65 @@ def test_concurrent_mutation_is_safe():
         thread.join()
     assert not errors
     assert len(cache) <= 8
+
+
+def test_pop_accounting_matches_get():
+    """``hits + misses == lookups`` must hold across get *and* pop.
+
+    Regression: ``pop`` used to bypass the counters entirely, so a
+    pop-heavy caller read a hit rate computed over a fraction of its
+    actual lookups.
+    """
+    clock = FakeClock()
+    cache = TTLCache(4, ttl=10.0, clock=clock)
+    cache.put("live", 1)
+    cache.put("stale", 2)
+
+    assert cache.pop("live") == 1          # live pop: a hit
+    assert cache.pop("absent") is None     # absent pop: a miss
+    clock.advance(11.0)
+    assert cache.pop("stale", "d") == "d"  # expired pop: expiration + miss
+    assert cache.get("also-absent") is None
+
+    stats = cache.stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 3
+    assert stats["expirations"] == 1
+    assert stats["hits"] + stats["misses"] == 4  # one per lookup above
+
+
+def test_contains_is_a_pure_read():
+    """``in`` never mutates the store nor any counter.
+
+    Regression: ``__contains__`` used to delete expired entries and bump
+    the expiration counter, so a membership probe raced concurrent
+    ``get`` calls and double-counted expirations.
+    """
+    clock = FakeClock()
+    cache = TTLCache(4, ttl=10.0, clock=clock)
+    cache.put("a", 1)
+    before = cache.stats()
+
+    assert "a" in cache
+    assert "missing" not in cache
+    clock.advance(11.0)
+    assert "a" not in cache      # expired reads as absent...
+    assert len(cache) == 1       # ...but stays resident: no mutation
+    assert cache.stats() == {**before, "entries": 1}
+
+    # the entry is still reaped by the mutating paths, exactly once.
+    assert cache.get("a") is None
+    stats = cache.stats()
+    assert stats["expirations"] == 1
+    assert len(cache) == 0
+
+
+def test_expired_entry_counted_once_across_probe_then_get():
+    clock = FakeClock()
+    cache = TTLCache(4, ttl=5.0, clock=clock)
+    cache.put("k", 1)
+    clock.advance(6.0)
+    for _ in range(3):
+        assert "k" not in cache  # probes must not stack expirations
+    assert cache.pop("k") is None
+    assert cache.stats()["expirations"] == 1

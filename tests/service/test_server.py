@@ -161,3 +161,90 @@ def test_server_results_page_fields_over_wire(served):
             "run_id", "total_detections", "offset", "count",
             "next_offset", "summary", "detections",
         }
+
+
+class _FakeResultsServer:
+    """A minimal framed-JSON server whose ``results`` pages are canned.
+
+    Stands in for a buggy or protocol-skewed real server: the client's
+    paging loop must terminate loudly on a page that fails to advance,
+    not spin on it forever.
+    """
+
+    def __init__(self, page_for_offset):
+        self._page_for_offset = page_for_offset
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(1)
+        self.address = self._listener.getsockname()[:2]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        conn, _ = self._listener.accept()
+        with conn:
+            while True:
+                try:
+                    request = recv_message(conn)
+                except (ConnectionError, OSError, EOFError):
+                    return
+                if request is None:
+                    return
+                page = self._page_for_offset(request.get("offset", 0))
+                send_message(
+                    conn, {"ok": True, "type": "results", **page}
+                )
+
+    def close(self):
+        self._listener.close()
+
+
+@pytest.mark.parametrize("next_offset", [0, -1, "3"])
+def test_fetch_detections_raises_on_non_advancing_page(next_offset):
+    from repro.service import PaginationError
+
+    fake = _FakeResultsServer(
+        lambda offset: {"detections": [], "next_offset": next_offset}
+    )
+    try:
+        with ServiceClient(fake.address) as client:
+            with pytest.raises(PaginationError):
+                client.fetch_detections("run-x", page_size=4)
+    finally:
+        fake.close()
+
+
+def test_fetch_detections_raises_when_offset_stalls_mid_stream():
+    """The first page advances, then the server gets stuck — the loop
+    must detect the stall at the second page, not loop on it."""
+    from repro.service import PaginationError
+
+    calls = []
+
+    def page(offset):
+        calls.append(offset)
+        return {"detections": [], "next_offset": 4 if offset == 0 else offset}
+
+    fake = _FakeResultsServer(page)
+    try:
+        with ServiceClient(fake.address) as client:
+            with pytest.raises(PaginationError):
+                client.fetch_detections("run-x", page_size=4)
+    finally:
+        fake.close()
+    assert calls == [0, 4]
+
+
+def test_fetch_detections_terminates_on_none(served):
+    """Against the real server the paging loop still ends on
+    ``next_offset: None`` and :class:`PaginationError` stays un-raised."""
+    from repro.engine.wire import detection_from_wire
+
+    service, server = served
+    with ServiceClient(server.address) as client:
+        run = client.submit(CONFIG)
+        client.wait(run["run_id"], timeout=120)
+        assert client.fetch_detections(run["run_id"]) == [
+            detection_from_wire(d)
+            for d in client.results(run["run_id"])["detections"]
+        ]

@@ -361,3 +361,44 @@ def test_stats_shape(tmp_path):
         assert stats["warm_cache"]["entries"] == 2  # one per shard
         assert stats["queue_depth"] == 0
         assert not stats["draining"]
+
+
+def test_wait_without_timeout_blocks_on_notify(tmp_path):
+    """``wait(run_id)`` with no timeout parks on the condition and wakes
+    promptly when the run completes.
+
+    Regression: the no-timeout path used to compute a ``remaining`` of
+    ``None`` and fall into ``Condition.wait`` with a bogus value instead
+    of blocking outright — an indefinite wait must ride ``notify_all``,
+    not a poll loop.
+    """
+    import time
+
+    with ScanService(tmp_path) as service:
+        view, _ = service.submit(CONFIG)
+        woke: dict = {}
+
+        def waiter():
+            done = service.wait(view["run_id"])  # no timeout at all
+            woke["view"] = done
+            woke["at"] = time.monotonic()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        done = service.wait(view["run_id"], timeout=120)
+        completed_at = time.monotonic()
+        assert done["state"] == "completed"
+        thread.join(timeout=10)
+        assert not thread.is_alive(), "no-timeout waiter never woke"
+        assert woke["view"]["state"] == "completed"
+        # promptness: the notify-driven wake lands within moments of the
+        # state transition, not a poll interval later.
+        assert woke["at"] - completed_at < 5.0
+
+
+def test_wait_without_timeout_returns_immediately_when_done(tmp_path):
+    with ScanService(tmp_path) as service:
+        view, _ = service.submit(CONFIG)
+        service.wait(view["run_id"], timeout=120)
+        done = service.wait(view["run_id"])  # already terminal: no block
+        assert done["state"] == "completed"
