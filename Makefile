@@ -1,12 +1,13 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-smoke stream-smoke windowed-smoke cluster-smoke elastic-smoke resume-smoke service-smoke failover-smoke fullscale-smoke profile
+.PHONY: test bench bench-smoke stream-smoke windowed-smoke cluster-smoke elastic-smoke resume-smoke service-smoke failover-smoke fullscale-smoke robustness-smoke profile
 
-## tier-1 test suite (what CI gates on); the windowed bench rides along
-## because its recall/identity assertions are contracts, not timings
+## tier-1 test suite (what CI gates on); the windowed and robustness
+## benches ride along because their recall/identity assertions are
+## contracts, not timings
 test:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q tests benchmarks/test_bench_windowed.py
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q tests benchmarks/test_bench_windowed.py benchmarks/test_bench_robustness.py
 
 ## full benchmark suite (pytest-benchmark timings + wild-scan throughput)
 bench:
@@ -69,6 +70,13 @@ failover-smoke:
 SCALE ?= 1.0
 fullscale-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_smoke.py --fullscale --scale $(SCALE)
+
+## adversarial-robustness bench; regenerates BENCH_robustness.json —
+## FlashSyn-style mutation sweep per attack family: unmutated attacks
+## at 1.0 recall per family, every documented evasion cell at 0.0,
+## two sweeps byte-identical
+robustness-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_smoke.py --robustness
 
 ## per-stage profile of the batch wild scan at a moderate scale; prints
 ## the stage table and writes PROFILE_wildscan.json

@@ -55,6 +55,15 @@ minutes; pass a smaller scale for a quick pass::
     PYTHONPATH=src python benchmarks/run_smoke.py --fullscale
     PYTHONPATH=src python benchmarks/run_smoke.py --fullscale --scale 0.05
 
+``--robustness`` runs the adversarial-robustness bench
+(``BENCH_robustness.json``): the FlashSyn-style mutation sweep over one
+representative attack per pattern family, scored as per-family ×
+per-mutation recall — unmutated attacks must hit 1.0 recall per family,
+every documented evasion cell must hit 0.0, and two sweeps must score
+identically::
+
+    PYTHONPATH=src python benchmarks/run_smoke.py --robustness
+
 ``--failover`` runs the survivability bench (SIGKILL the forked primary
 coordinator mid-scan, hot standby adopts the journal, multi-address
 workers reconnect, identity always asserted; plus compacted-vs-
@@ -66,7 +75,8 @@ uncompacted ledger open timings), regenerating ``BENCH_failover.json``::
 or via ``make bench-smoke`` / ``make stream-smoke`` / ``make
 windowed-smoke`` / ``make cluster-smoke`` / ``make elastic-smoke`` /
 ``make resume-smoke`` / ``make service-smoke`` / ``make
-fullscale-smoke`` / ``make failover-smoke`` / ``make profile``.
+fullscale-smoke`` / ``make failover-smoke`` / ``make
+robustness-smoke`` / ``make profile``.
 """
 
 from __future__ import annotations
@@ -84,6 +94,7 @@ from repro.engine.bench import (
     DEFAULT_FAILOVER_ARTIFACT,
     DEFAULT_FULLSCALE_ARTIFACT,
     DEFAULT_RESUME_ARTIFACT,
+    DEFAULT_ROBUSTNESS_ARTIFACT,
     DEFAULT_SERVICE_ARTIFACT,
     DEFAULT_STREAM_ARTIFACT,
     DEFAULT_WINDOWED_ARTIFACT,
@@ -91,6 +102,7 @@ from repro.engine.bench import (
     run_failover_bench,
     run_fullscale_bench,
     run_resume_bench,
+    run_robustness_bench,
     run_service_bench,
     run_stream_bench,
     run_wildscan_bench,
@@ -149,6 +161,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--autoscale", action="store_true",
                         help="failover only: run an ElasticPool on the adopted "
                         "coordinator as well")
+    parser.add_argument("--robustness", action="store_true",
+                        help="bench adversarial robustness "
+                        "(BENCH_robustness.json): mutation sweep per attack "
+                        "family with per-family recall/precision; baseline "
+                        "recall 1.0 and documented evasions 0.0 asserted")
+    parser.add_argument("--instances", type=int, default=2,
+                        help="robustness only: attack instances per "
+                        "(family, mutation) cell (default 2)")
+    parser.add_argument("--benign", type=int, default=24,
+                        help="robustness only: benign flash txs per family "
+                        "in the precision pool (default 24)")
     parser.add_argument("--service", action="store_true",
                         help="bench the resident scan service "
                         "(BENCH_service.json): cold vs. warm submit-to-result "
@@ -183,11 +206,12 @@ def main(argv: list[str] | None = None) -> int:
         args.cluster = True
     if sum(
         (args.stream, args.windowed, args.cluster, args.resume, args.fullscale,
-         args.failover, args.service)
+         args.failover, args.service, args.robustness)
     ) > 1:
         parser.error(
             "--stream, --windowed, --cluster/--elastic, --resume, "
-            "--fullscale, --failover and --service are mutually exclusive"
+            "--fullscale, --failover, --service and --robustness are "
+            "mutually exclusive"
         )
     if args.scale is None:
         args.scale = 1.0 if args.fullscale else (0.02 if args.service else 0.01)
@@ -210,6 +234,13 @@ def main(argv: list[str] | None = None) -> int:
             autoscale=args.autoscale,
         )
         output = args.output or repo_root / DEFAULT_FAILOVER_ARTIFACT
+    elif args.robustness:
+        report = run_robustness_bench(
+            seed=args.seed,
+            instances=args.instances,
+            benign=args.benign,
+        )
+        output = args.output or repo_root / DEFAULT_ROBUSTNESS_ARTIFACT
     elif args.service:
         report = run_service_bench(
             scale=args.scale,

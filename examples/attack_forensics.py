@@ -63,7 +63,7 @@ def main() -> None:
     print("\n[5] pattern matching:")
     report = detector.analyze(trace)
     for match in report.matches:
-        print(f"  {match.pattern.name} on {registry.symbol_of(match.target_token)}")
+        print(f"  {match.pattern} on {registry.symbol_of(match.target_token)}")
         for key, value in match.details:
             print(f"    {key}: {value}")
 

@@ -57,7 +57,7 @@ def main() -> None:
         report = tx.report
         if tx.is_attack:
             alerts += 1
-            patterns = ",".join(sorted(p.name for p in report.patterns))
+            patterns = ",".join(sorted(report.patterns))
             print(
                 f"block {tx.block_number}: ALERT {patterns} "
                 f"tx={report.tx_hash[:12]} volatility={report.volatility():.2%} "

@@ -46,7 +46,7 @@ def main() -> None:
 
     print("\nverdict:")
     if report.is_attack:
-        patterns = ", ".join(sorted(p.name for p in report.patterns))
+        patterns = ", ".join(sorted(report.patterns))
         print(f"  flpAttack detected!  patterns: {patterns}")
         print(f"  price volatility: {report.volatility():.2%}")
     else:

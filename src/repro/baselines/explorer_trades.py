@@ -24,6 +24,7 @@ from ..defi.uniswap import UniswapV2Pair
 from ..defi.vault import Vault
 from ..leishen.identify import FlashLoanIdentifier
 from ..leishen.patterns import PatternConfig, PatternMatch, PatternMatcher
+from ..leishen.registry import PatternSettings
 from ..leishen.tagging import AccountTagger
 from ..leishen.trades import Trade, TradeKind
 
@@ -36,7 +37,11 @@ __all__ = ["ExplorerLeiShen"]
 class ExplorerLeiShen:
     """LeiShen's patterns over explorer-style event-derived trades."""
 
-    def __init__(self, chain: "Chain", config: PatternConfig | None = None) -> None:
+    def __init__(
+        self,
+        chain: "Chain",
+        config: PatternConfig | PatternSettings | None = None,
+    ) -> None:
         self.chain = chain
         self.identifier = FlashLoanIdentifier()
         self.tagger = AccountTagger(chain)

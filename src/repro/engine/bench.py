@@ -28,6 +28,7 @@ __all__ = [
     "run_fullscale_bench",
     "run_failover_bench",
     "run_service_bench",
+    "run_robustness_bench",
     "write_artifact",
     "DEFAULT_ARTIFACT",
     "DEFAULT_STREAM_ARTIFACT",
@@ -37,6 +38,7 @@ __all__ = [
     "DEFAULT_FULLSCALE_ARTIFACT",
     "DEFAULT_FAILOVER_ARTIFACT",
     "DEFAULT_SERVICE_ARTIFACT",
+    "DEFAULT_ROBUSTNESS_ARTIFACT",
 ]
 
 #: canonical artifact location (repo root, tracked across PRs).
@@ -62,6 +64,9 @@ DEFAULT_FAILOVER_ARTIFACT = "BENCH_failover.json"
 
 #: resident scan-service artifact (repo root, tracked across PRs).
 DEFAULT_SERVICE_ARTIFACT = "BENCH_service.json"
+
+#: artifact written by :func:`run_robustness_bench`.
+DEFAULT_ROBUSTNESS_ARTIFACT = "BENCH_robustness.json"
 
 
 def effective_cpu_count() -> int:
@@ -1261,6 +1266,104 @@ def run_service_bench(
             "coalesced_duplicates": stats["counters"]["coalesced"],
         },
         "speedup_warm_vs_cold": speedup,
+    }
+
+
+def run_robustness_bench(
+    seed: int = 7,
+    instances: int = 2,
+    benign: int = 24,
+) -> dict:
+    """The adversarial-robustness benchmark: mutation sweep + contract checks.
+
+    Runs the per-family × per-mutation sweep of
+    :mod:`repro.experiments.robustness` twice and asserts, always:
+
+    1. **determinism** — both sweeps score identically cell for cell;
+    2. **baseline recall** — every family's unmutated attack is detected
+       by its own pattern on every instance (recall 1.0);
+    3. **documented evasions** — every ``expect_evades`` cell of the
+       mutation matrix has recall 0.0: the mutation provably pushes the
+       attack below the pattern's thresholds;
+    4. **controls** — ``scale_amounts``, ``add_round`` and
+       ``provider_swap`` keep recall 1.0 for every family (thresholds
+       are minima over counts/ratios, and patterns match trades, not
+       providers);
+    5. **execution** — no cell reverted: the fee subsidy guarantees a
+       mutated attack *executes and evades* rather than failing.
+
+    Wall-clock enforcement (the whole double sweep under the budget)
+    only applies under ``REPRO_BENCH_STRICT=1``, like every other bench.
+    """
+    from ..experiments.robustness import run as run_sweep
+    from ..workload.mutate import MUTATIONS
+
+    def sweep():
+        start = time.perf_counter()
+        result = run_sweep(seed=seed, instances=instances, benign=benign)
+        return result, time.perf_counter() - start
+
+    result, elapsed = sweep()
+    repeat, repeat_elapsed = sweep()
+
+    def matrix(res) -> dict:
+        return {
+            f"{cell.family}/{cell.mutation}": {
+                "instances": cell.instances,
+                "hits": cell.hits,
+                "recall": cell.recall,
+                "reverted": cell.reverted,
+                "patterns": dict(sorted(cell.patterns.items())),
+            }
+            for cell in res.cells
+        }
+
+    cells = matrix(result)
+    if matrix(repeat) != cells:
+        raise AssertionError(
+            "determinism violation: two robustness sweeps with the same "
+            "seed scored differently"
+        )
+    families = result.families()
+    for family in families:
+        for control in ("baseline", "scale_amounts", "add_round", "provider_swap"):
+            cell = result.cell(family, control)
+            if cell.recall != 1.0 or cell.reverted:
+                raise AssertionError(
+                    f"{family}/{control}: expected recall 1.0, got "
+                    f"{cell.recall:.2f} ({cell.reverted} reverted) — "
+                    f"patterns seen: {cell.patterns}"
+                )
+    for mutation in MUTATIONS:
+        for family in mutation.expect_evades:
+            cell = result.cell(family, mutation.key)
+            if cell.recall != 0.0:
+                raise AssertionError(
+                    f"{family}/{mutation.key}: documented evasion did not "
+                    f"evade — recall {cell.recall:.2f}"
+                )
+    reverted = {key: cell["reverted"] for key, cell in cells.items() if cell["reverted"]}
+    if reverted:
+        raise AssertionError(f"cells reverted despite fee subsidy: {reverted}")
+
+    return {
+        "benchmark": "robustness",
+        "seed": seed,
+        "instances_per_cell": instances,
+        "benign_per_family": benign,
+        "families": families,
+        "mutations": [m.key for m in MUTATIONS],
+        "cells": cells,
+        "precision": {f: result.precision(f) for f in families},
+        "benign_total": result.benign_total,
+        "benign_flagged": dict(result.benign_flagged),
+        "evading_cells": sorted(
+            key for key, cell in cells.items()
+            if cell["recall"] == 0.0 and not key.endswith("/baseline")
+        ),
+        "elapsed_s": round(elapsed, 4),
+        "repeat_elapsed_s": round(repeat_elapsed, 4),
+        "machine": {"cpus": os.cpu_count()},
     }
 
 

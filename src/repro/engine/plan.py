@@ -50,6 +50,7 @@ __all__ = [
     "build_schedule",
     "build_full_schedule",
     "split_schedule_tail",
+    "adversarial_schedule_tail",
     "shard_schedule",
     "shard_of",
     "resolve_shard_count",
@@ -134,6 +135,32 @@ def split_schedule_tail(groups: int, shards: int, seed: int) -> list[Task]:
     return tail
 
 
+def adversarial_schedule_tail(count: int) -> list[Task]:
+    """Deterministic tail of ``count`` adversarial attack tasks.
+
+    Pure data: task ``i`` cycles the adversarial clusters round-robin
+    with instance ids derived from ``i`` alone, so every backend
+    computes the identical tail for the same config (the tasks carry no
+    month — adversarial families sit outside the paper's timeline).
+    """
+    from ..workload.attacks import ADVERSARIAL_CLUSTERS
+
+    tail: list[Task] = []
+    for i in range(count):
+        cluster_index = i % len(ADVERSARIAL_CLUSTERS)
+        cluster = ADVERSARIAL_CLUSTERS[cluster_index]
+        instance = i // len(ADVERSARIAL_CLUSTERS)
+        tail.append((
+            "adv",
+            cluster_index,
+            instance % cluster.n_attackers,
+            instance % cluster.n_contracts,
+            instance % cluster.n_assets,
+            None,
+        ))
+    return tail
+
+
 def build_full_schedule(config) -> tuple[list[Task], int]:
     """Canonical schedule *plus* the split-attack tail, and the shard count.
 
@@ -149,6 +176,9 @@ def build_full_schedule(config) -> tuple[list[Task], int]:
     groups = config.split_attacks
     if groups:
         tasks = tasks + split_schedule_tail(groups, shard_count, config.seed)
+    adversarial = getattr(config, "adversarial", 0)
+    if adversarial:
+        tasks = tasks + adversarial_schedule_tail(adversarial)
     return tasks, shard_count
 
 

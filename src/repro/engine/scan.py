@@ -360,6 +360,7 @@ def build_shard_context(
     from ..leishen.heuristics import YieldAggregatorHeuristic
     from ..leishen.prescreen import PreScreen
     from ..leishen.profit import ProfitAnalyzer
+    from ..leishen.registry import enabled_pattern_keys
     from ..workload.attacks import WildAttackInjector
     from ..workload.generator import PatternRow
     from ..workload.profiles import WildMarket
@@ -424,7 +425,10 @@ def build_shard_context(
         heuristic=YieldAggregatorHeuristic(detector.tagger),
         analyzer=ProfitAnalyzer(world.registry),
         result=ShardResult(shard_index=shard_index),
-        rows={name: PatternRow(name) for name in ("KRP", "SBS", "MBS")},
+        rows={
+            name: PatternRow(name)
+            for name in enabled_pattern_keys(cfg.pattern_config)
+        },
         prescreen=prescreen,
         profiler=profiler,
     )
@@ -440,6 +444,7 @@ def build_replay_context(cfg, shard_index: int, detector) -> ShardContext:
     detections count as unverified in the Table V rows.
     """
     from ..leishen.heuristics import YieldAggregatorHeuristic
+    from ..leishen.registry import enabled_pattern_keys
     from ..workload.generator import PatternRow
 
     return ShardContext(
@@ -451,7 +456,10 @@ def build_replay_context(cfg, shard_index: int, detector) -> ShardContext:
         heuristic=YieldAggregatorHeuristic(detector.tagger),
         analyzer=None,
         result=ShardResult(shard_index=shard_index),
-        rows={name: PatternRow(name) for name in ("KRP", "SBS", "MBS")},
+        rows={
+            name: PatternRow(name)
+            for name in enabled_pattern_keys(cfg.pattern_config)
+        },
     )
 
 
@@ -463,7 +471,7 @@ def execute_task(ctx: ShardContext, task: Task):
     ``("replay", trace)`` tasks carry an already-executed transaction and
     only need labeling for the detection step.
     """
-    from ..workload.attacks import ATTACK_CLUSTERS
+    from ..workload.attacks import ADVERSARIAL_CLUSTERS, ATTACK_CLUSTERS
     from ..workload.profiles import (
         BENIGN_PROFILES,
         GroundTruth,
@@ -483,6 +491,12 @@ def execute_task(ctx: ShardContext, task: Task):
             _, cluster_index, attacker_id, contract_id, asset_id, month = task
             labeled = ctx.injector.execute(
                 ATTACK_CLUSTERS[cluster_index], attacker_id, contract_id,
+                asset_id, month,
+            )
+        elif kind == "adv":
+            _, cluster_index, attacker_id, contract_id, asset_id, month = task
+            labeled = ctx.injector.execute(
+                ADVERSARIAL_CLUSTERS[cluster_index], attacker_id, contract_id,
                 asset_id, month,
             )
         elif kind == "split":
@@ -621,11 +635,15 @@ def merge_shard_results(config, outcomes: list[ShardResult]):
     ``shard_index`` before summing, the merged result is byte-identical no
     matter which process, host or completion order produced the shards.
     """
+    from ..leishen.registry import enabled_pattern_keys
     from ..workload.generator import PatternRow, WildScanResult
 
     result = WildScanResult(
         config=config,
-        rows={name: PatternRow(name) for name in ("KRP", "SBS", "MBS")},
+        rows={
+            name: PatternRow(name)
+            for name in enabled_pattern_keys(config.pattern_config)
+        },
     )
     for outcome in sorted(outcomes, key=lambda outcome: outcome.shard_index):
         result.total_transactions += outcome.total_transactions
@@ -654,7 +672,7 @@ def detect_into(cfg, labeled, detector, heuristic, analyzer, detections, rows):
         report = heuristic.apply(labeled.trace, report)
     if not report.is_attack:
         return report
-    patterns = tuple(sorted(p.name for p in report.patterns))
+    patterns = tuple(sorted(report.patterns))
     truth = labeled.truth
     profit_usd = borrowed_usd = 0.0
     if truth.is_attack:

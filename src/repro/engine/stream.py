@@ -373,9 +373,7 @@ class StreamEngine:
                             position=position,
                             borrower_tags=tuple(report.borrower_tags),
                             trades=tuple(report.trades),
-                            matched_patterns=frozenset(
-                                p.name for p in report.patterns
-                            ),
+                            matched_patterns=frozenset(report.patterns),
                             split_group=labeled.truth.split_group,
                         )
                 except BaseException as exc:  # propagate via the merger

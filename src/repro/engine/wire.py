@@ -19,6 +19,16 @@ an unknown field raises ``ValueError`` immediately instead of silently
 producing a wrong merge — the failure mode that matters once payloads
 outlive the process that wrote them (resumed ledgers, mixed-version
 fleets).
+
+Optional fields (``_CONFIG_OPTIONAL`` / ``_TRUTH_OPTIONAL``) are
+*omitted at their default value* rather than encoded as nulls. That
+keeps every payload written before the field existed decodable, and —
+because :func:`config_digest` hashes the encoded dict — keeps the
+digests of default-valued configs byte-identical across versions. A
+non-default value (a non-paper pattern selection, an adversarial tail,
+a family-labelled truth) encodes the field and therefore changes the
+digest, which is exactly the identity contract: same digest ⇔ same
+scan bytes.
 """
 
 from __future__ import annotations
@@ -44,22 +54,32 @@ __all__ = [
 #: codec's field set changes; decoders reject anything else.
 #: v2: configs carry ``split_attacks`` (cross-transaction split-attack
 #: groups — identity-relevant, it changes the canonical schedule) and
-#: ground truths carry ``split_group``.
+#: ground truths carry ``split_group``. Still v2: ``pattern_config``
+#: may be a namespaced pattern-settings object, configs may carry
+#: ``adversarial`` and truths ``family`` — all optional-at-default, so
+#: v2 payloads written by older builds decode unchanged.
 WIRE_VERSION = 2
 
 _CONFIG_FIELDS = frozenset(
     {"v", "scale", "seed", "with_heuristic", "keep_history", "pattern_config",
      "shards", "split_attacks"}
 )
+#: fields omitted from the payload when at their default value.
+_CONFIG_OPTIONAL = frozenset({"adversarial"})
 _PATTERN_FIELDS = frozenset(
     {"krp_min_buys", "sbs_min_volatility", "sbs_amount_tolerance",
      "mbs_min_rounds"}
 )
+#: the namespaced encoding of a ``PatternSettings`` (vs. the flat legacy
+#: ``PatternConfig`` encoding above) — distinguished by the ``enabled``
+#: key, which the flat form can never carry.
+_SETTINGS_FIELDS = frozenset({"enabled", "params", "registry"})
 _TRUTH_FIELDS = frozenset(
     {"is_attack", "profile", "net_profit", "source_disclosed",
      "aggregator_initiated", "attacked_app", "attacker", "attack_contract",
      "asset", "month", "patterns", "known", "split_group"}
 )
+_TRUTH_OPTIONAL = frozenset({"family"})
 _DETECTION_FIELDS = frozenset(
     {"tx_hash", "patterns", "truth", "profit_usd", "borrowed_usd"}
 )
@@ -68,13 +88,15 @@ _SHARD_RESULT_FIELDS = frozenset(
 )
 
 
-def _check_payload(payload, fields: frozenset, what: str) -> None:
-    """Exact-schema check: a dict with precisely ``fields``, no more, no less."""
+def _check_payload(
+    payload, fields: frozenset, what: str, optional: frozenset = frozenset()
+) -> None:
+    """Exact-schema check: precisely ``fields`` plus any of ``optional``."""
     if not isinstance(payload, dict):
         raise ValueError(
             f"{what}: expected a JSON object, got {type(payload).__name__}"
         )
-    unknown = sorted(set(payload) - fields)
+    unknown = sorted(set(payload) - fields - optional)
     if unknown:
         raise ValueError(f"{what}: unknown field(s) {unknown}")
     missing = sorted(fields - set(payload))
@@ -91,6 +113,54 @@ def _check_version(payload: dict, what: str) -> None:
         )
 
 
+def _pattern_config_to_wire(cfg):
+    """Encode either pattern-config flavour; ``None`` passes through.
+
+    A flat :class:`~repro.leishen.patterns.PatternConfig` keeps its
+    legacy four-field encoding byte-for-byte. A
+    :class:`~repro.leishen.registry.PatternSettings` encodes the full
+    identity triple (enabled keys, per-pattern params, registry
+    version) — so changing the enabled set *or* any threshold yields a
+    distinct :func:`config_digest`.
+    """
+    if cfg is None:
+        return None
+    from ..leishen.registry import PatternSettings
+
+    if isinstance(cfg, PatternSettings):
+        return {
+            "enabled": list(cfg.enabled),
+            "params": {
+                key: dict(values) for key, values in cfg.params
+            },
+            "registry": cfg.registry_version,
+        }
+    return {
+        "krp_min_buys": cfg.krp_min_buys,
+        "sbs_min_volatility": cfg.sbs_min_volatility,
+        "sbs_amount_tolerance": cfg.sbs_amount_tolerance,
+        "mbs_min_rounds": cfg.mbs_min_rounds,
+    }
+
+
+def _pattern_config_from_wire(payload, what: str):
+    if payload is None:
+        return None
+    if isinstance(payload, dict) and "enabled" in payload:
+        from ..leishen.registry import PatternSettings
+
+        _check_payload(payload, _SETTINGS_FIELDS, what)
+        return PatternSettings.make(
+            enabled=payload["enabled"],
+            params=payload["params"],
+            registry_version=payload["registry"],
+        )
+    from ..leishen.patterns import PatternConfig
+
+    _check_payload(payload, _PATTERN_FIELDS, what)
+    return PatternConfig(**payload)
+
+
 def config_to_wire(config) -> dict:
     """Encode a ``WildScanConfig`` as a JSON-safe dict.
 
@@ -98,48 +168,40 @@ def config_to_wire(config) -> dict:
     *local* engine and must never leak into a worker's identity-relevant
     inputs (a cluster worker always executes its shard sequentially).
     """
-    pattern_config = None
-    if config.pattern_config is not None:
-        cfg = config.pattern_config
-        pattern_config = {
-            "krp_min_buys": cfg.krp_min_buys,
-            "sbs_min_volatility": cfg.sbs_min_volatility,
-            "sbs_amount_tolerance": cfg.sbs_amount_tolerance,
-            "mbs_min_rounds": cfg.mbs_min_rounds,
-        }
-    return {
+    payload = {
         "v": WIRE_VERSION,
         "scale": config.scale,
         "seed": config.seed,
         "with_heuristic": config.with_heuristic,
         "keep_history": config.keep_history,
-        "pattern_config": pattern_config,
+        "pattern_config": _pattern_config_to_wire(config.pattern_config),
         "shards": config.shards,
         "split_attacks": config.split_attacks,
     }
+    adversarial = getattr(config, "adversarial", 0)
+    if adversarial:
+        payload["adversarial"] = adversarial
+    return payload
 
 
 def config_from_wire(payload: dict):
     """Decode :func:`config_to_wire` output back into a ``WildScanConfig``."""
-    from ..leishen.patterns import PatternConfig
     from ..workload.generator import WildScanConfig
 
     _check_version(payload, "scan config")
-    _check_payload(payload, _CONFIG_FIELDS, "scan config")
-    pattern_config = payload["pattern_config"]
-    if pattern_config is not None:
-        _check_payload(pattern_config, _PATTERN_FIELDS, "pattern config")
+    _check_payload(payload, _CONFIG_FIELDS, "scan config", _CONFIG_OPTIONAL)
     return WildScanConfig(
         scale=payload["scale"],
         seed=payload["seed"],
         with_heuristic=payload["with_heuristic"],
         keep_history=payload["keep_history"],
-        pattern_config=(
-            PatternConfig(**pattern_config) if pattern_config is not None else None
+        pattern_config=_pattern_config_from_wire(
+            payload["pattern_config"], "pattern config"
         ),
         jobs=1,
         shards=payload["shards"],
         split_attacks=payload["split_attacks"],
+        adversarial=payload.get("adversarial", 0),
     )
 
 
@@ -157,7 +219,7 @@ def config_digest(config) -> str:
 
 
 def _truth_to_wire(truth) -> dict:
-    return {
+    payload = {
         "is_attack": truth.is_attack,
         "profile": truth.profile,
         "net_profit": truth.net_profit,
@@ -172,12 +234,15 @@ def _truth_to_wire(truth) -> dict:
         "known": truth.known,
         "split_group": truth.split_group,
     }
+    if truth.family is not None:
+        payload["family"] = truth.family
+    return payload
 
 
 def _truth_from_wire(payload: dict):
     from ..workload.profiles import GroundTruth
 
-    _check_payload(payload, _TRUTH_FIELDS, "ground truth")
+    _check_payload(payload, _TRUTH_FIELDS, "ground truth", _TRUTH_OPTIONAL)
 
     def address(value):
         return Address(value) if value is not None else None
@@ -196,6 +261,7 @@ def _truth_from_wire(payload: dict):
         patterns=tuple(payload["patterns"]),
         known=payload["known"],
         split_group=payload["split_group"],
+        family=payload.get("family"),
     )
 
 

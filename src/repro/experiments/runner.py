@@ -13,7 +13,7 @@ import argparse
 import sys
 import time
 
-from . import ablations, cluster, fig1, fig8, perf, scan, service, stream, table1, table4, table5, table6, table7
+from . import ablations, cluster, fig1, fig8, perf, robustness, scan, service, stream, table1, table4, table5, table6, table7
 
 __all__ = ["main"]
 
@@ -39,6 +39,8 @@ def _run_one(
     windowed: bool = False,
     window_blocks: int | None = None,
     split_attacks: int = 0,
+    seed: int = 7,
+    instances: int | None = None,
 ) -> str:
     if name == "fig1":
         return fig1.render()
@@ -58,6 +60,12 @@ def _run_one(
         return perf.render()
     if name == "ablations":
         return ablations.render()
+    if name == "robustness":
+        return robustness.render(
+            seed=seed,
+            instances=instances if instances is not None
+            else robustness.DEFAULT_INSTANCES,
+        )
     if name == "scan":
         return scan.render(
             scale=scale, jobs=jobs, shards=shards, ledger=ledger,
@@ -83,13 +91,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=(*_EXPERIMENTS, "scan", "stream", "cluster",
+        choices=(*_EXPERIMENTS, "robustness", "scan", "stream", "cluster",
                  *_SERVICE_COMMANDS, "all"),
-        help="which table/figure to regenerate ('scan' runs the batch "
-        "wild scan, 'stream' the live streaming-detection pipeline, "
-        "'cluster' the distributed scan; 'serve' starts the resident "
-        "scan service and 'submit'/'status'/'results' talk to it; none "
-        "of these is part of 'all')",
+        help="which table/figure to regenerate ('robustness' sweeps the "
+        "adversarial mutation matrix and prints per-family "
+        "precision/recall, 'scan' runs the batch wild scan, 'stream' "
+        "the live streaming-detection pipeline, 'cluster' the "
+        "distributed scan; 'serve' starts the resident scan service "
+        "and 'submit'/'status'/'results' talk to it; none of these is "
+        "part of 'all')",
     )
     parser.add_argument(
         "--scale",
@@ -253,9 +263,16 @@ def main(argv: list[str] | None = None) -> int:
         "--seed",
         type=int,
         default=7,
-        help="submit only: wild-scan seed (default 7; part of the run's "
-        "identity, so a re-submit with the same seed/scale/shards "
-        "coalesces)",
+        help="submit/robustness: wild-scan or sweep seed (default 7; for "
+        "submit it is part of the run's identity, so a re-submit with "
+        "the same seed/scale/shards coalesces)",
+    )
+    parser.add_argument(
+        "--instances",
+        type=int,
+        default=None,
+        help="robustness only: attack instances per (family, mutation) "
+        f"cell (default {robustness.DEFAULT_INSTANCES})",
     )
     parser.add_argument(
         "--run-id",
@@ -369,6 +386,11 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--split-attacks must be >= 0, got {args.split_attacks}")
     if args.window_blocks is not None and not args.windowed:
         parser.error("--window-blocks requires --windowed")
+    if args.instances is not None:
+        if args.instances < 1:
+            parser.error(f"--instances must be >= 1, got {args.instances}")
+        if args.experiment != "robustness":
+            parser.error("--instances only applies to robustness")
     if (args.windowed or args.split_attacks) and args.experiment != "stream":
         parser.error("--windowed/--window-blocks/--split-attacks only apply to stream")
     if args.autoscale:
@@ -497,6 +519,7 @@ def main(argv: list[str] | None = None) -> int:
             profile_out=args.profile_out,
             windowed=args.windowed, window_blocks=args.window_blocks,
             split_attacks=args.split_attacks,
+            seed=args.seed, instances=args.instances,
         )
         elapsed = time.perf_counter() - start
         print(f"=== {name} ({elapsed:.1f}s) ===")

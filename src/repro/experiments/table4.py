@@ -37,7 +37,7 @@ def run(keys: list[str] | None = None) -> list[Table4Row]:
         world = outcome.world
         report = world.detector().analyze(outcome.trace)
         leishen = report is not None and report.is_attack
-        patterns = tuple(sorted(p.name for p in report.patterns)) if report else ()
+        patterns = tuple(sorted(report.patterns)) if report else ()
         rows.append(
             Table4Row(
                 meta=meta,

@@ -8,6 +8,16 @@ from .labels import LabelDatabase, app_name_of_label
 from .patterns import AttackPattern, PatternConfig, PatternMatch, PatternMatcher
 from .prescreen import BLOOM_THRESHOLD, AddressBloom, PreScreen
 from .profit import ProfitAnalyzer, ProfitBreakdown, profit_statistics
+from .registry import (
+    ALL_PATTERN_KEYS,
+    PAPER_PATTERN_KEYS,
+    REGISTRY_VERSION,
+    Pattern,
+    PatternRegistry,
+    PatternSettings,
+    default_registry,
+    enabled_pattern_keys,
+)
 from .report import AttackReport, pair_volatilities, price_volatility
 from .simplify import AppTransfer, SimplifierConfig, TransferSimplifier
 from .tagging import AccountTagger, BLACKHOLE_TAG, Tag, TaggedTransfer
@@ -17,6 +27,7 @@ __all__ = [
     "AccountTagger",
     "AddressBloom",
     "AppTransfer",
+    "ALL_PATTERN_KEYS",
     "AttackPattern",
     "AttackReport",
     "BLACKHOLE_TAG",
@@ -27,11 +38,16 @@ __all__ = [
     "LabelDatabase",
     "LeiShen",
     "LeiShenConfig",
+    "PAPER_PATTERN_KEYS",
     "PROVIDERS",
+    "Pattern",
+    "PatternRegistry",
+    "PatternSettings",
     "PatternConfig",
     "PatternMatch",
     "PatternMatcher",
     "PreScreen",
+    "REGISTRY_VERSION",
     "ProfitAnalyzer",
     "ProfitBreakdown",
     "SimplifierConfig",
@@ -43,6 +59,8 @@ __all__ = [
     "TransferSimplifier",
     "YieldAggregatorHeuristic",
     "app_name_of_label",
+    "default_registry",
+    "enabled_pattern_keys",
     "pair_volatilities",
     "report_to_dict",
     "report_to_json",

@@ -26,6 +26,7 @@ from ..chain.types import Address, ZERO_ADDRESS
 from .identify import FlashLoanIdentifier
 from .labels import LabelDatabase
 from .patterns import PatternConfig, PatternMatcher
+from .registry import PatternSettings
 from .report import AttackReport
 from .simplify import SimplifierConfig, TransferSimplifier
 from .tagging import AccountTagger
@@ -42,7 +43,13 @@ class LeiShenConfig:
     """End-to-end detector configuration."""
 
     simplifier: SimplifierConfig = field(default_factory=SimplifierConfig)
-    patterns: PatternConfig = field(default_factory=PatternConfig)
+    #: pattern selection + thresholds: a legacy flat ``PatternConfig``,
+    #: a namespaced :class:`~repro.leishen.registry.PatternSettings`
+    #: (which can also enable non-paper patterns), or ``None`` for the
+    #: paper defaults.
+    patterns: "PatternConfig | PatternSettings | None" = field(
+        default_factory=PatternConfig
+    )
     #: ablation switch: skip tagging/simplification and run patterns on
     #: raw account-level transfers (DESIGN.md ablation 1).
     use_app_level_transfers: bool = True

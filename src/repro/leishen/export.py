@@ -43,10 +43,10 @@ def report_to_dict(report: AttackReport, registry: "TokenRegistry | None" = None
             }
             for loan in report.flash_loans
         ],
-        "patterns": sorted(p.name for p in report.patterns),
+        "patterns": sorted(report.patterns),
         "matches": [
             {
-                "pattern": match.pattern.name,
+                "pattern": str(match.pattern),
                 "target_token": symbol(match.target_token),
                 "n_trades": len(match.trades),
                 "details": {key: value for key, value in match.details},

@@ -48,5 +48,5 @@ class YieldAggregatorHeuristic:
         """
         if not report.matches or not self.initiated_by_aggregator(trace):
             return report
-        report.matches = [m for m in report.matches if m.pattern is not AttackPattern.MBS]
+        report.matches = [m for m in report.matches if m.pattern != AttackPattern.MBS]
         return report

@@ -21,6 +21,13 @@ Implementation notes (documented deviations):
 - Amount equality in SBS condition (a) uses a small relative tolerance
   (default 0.1%, the same bound as the inter-app merge rule) because
   transfer fees make exact integer equality brittle.
+
+The matching logic itself lives in :mod:`repro.leishen.registry` as
+pluggable pattern classes; :class:`PatternMatcher` is the thin façade
+that selects and runs the enabled plugins. Pattern identity is the
+registry *key* string everywhere; :class:`AttackPattern` is a
+``StrEnum`` over the paper keys so ``match.pattern == AttackPattern.KRP``
+and plain ``"KRP"`` comparisons are interchangeable.
 """
 
 from __future__ import annotations
@@ -36,10 +43,12 @@ from .trades import Trade
 __all__ = ["AttackPattern", "PatternConfig", "PatternMatch", "PatternMatcher"]
 
 
-class AttackPattern(enum.Enum):
-    KRP = "keep_raising_price"
-    SBS = "symmetrical_buying_selling"
-    MBS = "multi_round_buying_selling"
+class AttackPattern(enum.StrEnum):
+    """The paper's three pattern keys (see the registry for the full set)."""
+
+    KRP = "KRP"
+    SBS = "SBS"
+    MBS = "MBS"
 
 
 @dataclass(frozen=True, slots=True)
@@ -58,9 +67,14 @@ class PatternConfig:
 
 @dataclass(frozen=True, slots=True)
 class PatternMatch:
-    """One matched pattern on one target token."""
+    """One matched pattern on one target token.
 
-    pattern: AttackPattern
+    ``pattern`` is the plugin's registry key (``"KRP"``, ``"SBS"``,
+    ``"MBS"``, ``"SANDWICH"``, …); the :class:`AttackPattern` members
+    compare equal to the paper keys.
+    """
+
+    pattern: str
     target_token: Address
     trades: tuple[Trade, ...]
     details: tuple[tuple[str, float | int | str], ...] = field(default_factory=tuple)
@@ -73,10 +87,19 @@ class PatternMatch:
 
 
 class PatternMatcher:
-    """Matches the three patterns over a transaction's trade list."""
+    """Runs the enabled registry patterns over a transaction's trade list."""
 
-    def __init__(self, config: PatternConfig | None = None) -> None:
-        self.config = config or PatternConfig()
+    def __init__(self, config=None) -> None:
+        from .registry import PatternSettings, default_registry
+
+        self.settings = PatternSettings.from_value(config)
+        self.registry = default_registry()
+        self._patterns = self.registry.select(self.settings.enabled)
+
+    @property
+    def config(self) -> PatternConfig:
+        """Flat paper-config view (legacy callers; paper thresholds only)."""
+        return self.settings.to_legacy_config()
 
     def match(self, trades: Sequence[Trade], borrower: Tag) -> list[PatternMatch]:
         """All pattern matches for the given flash-loan borrower tag."""
@@ -84,163 +107,6 @@ class PatternMatcher:
             return []
         ordered = sorted(trades, key=lambda t: t.seq)
         matches: list[PatternMatch] = []
-        matches.extend(self._match_krp(ordered, borrower))
-        matches.extend(self._match_sbs(ordered, borrower))
-        matches.extend(self._match_mbs(ordered, borrower))
+        for pattern in self._patterns:
+            matches.extend(pattern.match(ordered, borrower, self.settings))
         return matches
-
-    # -- KRP ------------------------------------------------------------------
-
-    def _match_krp(self, trades: Sequence[Trade], borrower: Tag) -> list[PatternMatch]:
-        matches: list[PatternMatch] = []
-        tokens = {t.token_buy for t in trades if t.buyer == borrower}
-        for token in tokens:
-            buys = [t for t in trades if t.buyer == borrower and t.token_buy == token]
-            sells = [t for t in trades if t.buyer == borrower and t.token_sell == token]
-            if not sells:
-                continue
-            for sell in sells:
-                prior = [b for b in buys if b.seq < sell.seq]
-                by_seller: dict[Tag, list[Trade]] = {}
-                for buy in prior:
-                    by_seller.setdefault(buy.seller, []).append(buy)
-                for seller, series in by_seller.items():
-                    if len(series) < self.config.krp_min_buys:
-                        continue
-                    # condition (b): buys at *rising* prices. The rise
-                    # must hold across the whole series, not merely
-                    # endpoint-to-endpoint — a mid-series dip means the
-                    # price was not being kept raised (and endpoint
-                    # comparison alone admits ordinary oscillating trade
-                    # sequences as false positives). Plateaus are
-                    # tolerated (oracle-rate buys repeat a price), but
-                    # the series overall must strictly rise.
-                    rates = [buy.sell_rate for buy in series]
-                    rising = rates[0] < rates[-1] and all(
-                        earlier <= later for earlier, later in zip(rates, rates[1:])
-                    )
-                    first, last = series[0], series[-1]
-                    if rising:
-                        matches.append(
-                            PatternMatch(
-                                pattern=AttackPattern.KRP,
-                                target_token=token,
-                                trades=(*series, sell),
-                                details=(
-                                    ("n_buys", len(series)),
-                                    ("first_rate", first.sell_rate),
-                                    ("last_rate", last.sell_rate),
-                                    ("seller", str(seller)),
-                                ),
-                            )
-                        )
-                        break  # one match per (token, sell) is enough
-                else:
-                    continue
-                break  # token matched; move on
-        return matches
-
-    # -- SBS -----------------------------------------------------------------------
-
-    def _match_sbs(self, trades: Sequence[Trade], borrower: Tag) -> list[PatternMatch]:
-        matches: list[PatternMatch] = []
-        tokens = {t.token_buy for t in trades if t.buyer == borrower}
-        for token in tokens:
-            own_buys = [t for t in trades if t.buyer == borrower and t.token_buy == token]
-            own_sells = [t for t in trades if t.buyer == borrower and t.token_sell == token]
-            any_buys = [t for t in trades if t.token_buy == token]
-            found = self._find_sbs_triple(token, own_buys, own_sells, any_buys)
-            if found is not None:
-                matches.append(found)
-        return matches
-
-    def _find_sbs_triple(
-        self,
-        token: Address,
-        own_buys: list[Trade],
-        own_sells: list[Trade],
-        any_buys: list[Trade],
-    ) -> PatternMatch | None:
-        tol = self.config.sbs_amount_tolerance
-        for t1 in own_buys:
-            for t3 in own_sells:
-                if t3.seq <= t1.seq:
-                    continue
-                if t1.token_sell != t3.token_buy:
-                    continue  # different quote currency; rates not comparable
-                big = max(t1.amount_buy, t3.amount_sell)
-                if big == 0 or abs(t1.amount_buy - t3.amount_sell) / big > tol:
-                    continue
-                for t2 in any_buys:
-                    if not (t1.seq < t2.seq < t3.seq) or t2 is t1:
-                        continue
-                    if t2.token_sell != t1.token_sell:
-                        continue
-                    p1, p2 = t1.sell_rate, t2.sell_rate
-                    p3 = t3.amount_buy / t3.amount_sell if t3.amount_sell else float("inf")
-                    if not (p1 < p3 < p2):
-                        continue
-                    if p1 <= 0 or (p2 - p1) / p1 < self.config.sbs_min_volatility:
-                        continue
-                    return PatternMatch(
-                        pattern=AttackPattern.SBS,
-                        target_token=token,
-                        trades=(t1, t2, t3),
-                        details=(
-                            ("buy_rate", p1),
-                            ("raise_rate", p2),
-                            ("sell_rate", p3),
-                            ("volatility", (p2 - p1) / p1),
-                        ),
-                    )
-        return None
-
-    # -- MBS ----------------------------------------------------------------------------
-
-    def _match_mbs(self, trades: Sequence[Trade], borrower: Tag) -> list[PatternMatch]:
-        matches: list[PatternMatch] = []
-        pairs = {
-            (t.token_buy, t.seller)
-            for t in trades
-            if t.buyer == borrower and t.seller is not None
-        }
-        for token, seller in pairs:
-            relevant = [
-                t
-                for t in trades
-                if t.buyer == borrower
-                and t.seller == seller
-                and (t.token_buy == token or t.token_sell == token)
-            ]
-            rounds = self._count_profitable_rounds(relevant, token)
-            if len(rounds) >= self.config.mbs_min_rounds:
-                flat = tuple(trade for pair in rounds for trade in pair)
-                matches.append(
-                    PatternMatch(
-                        pattern=AttackPattern.MBS,
-                        target_token=token,
-                        trades=flat,
-                        details=(
-                            ("n_rounds", len(rounds)),
-                            ("seller", str(seller)),
-                        ),
-                    )
-                )
-        return matches
-
-    @staticmethod
-    def _count_profitable_rounds(trades: list[Trade], token: Address) -> list[tuple[Trade, Trade]]:
-        """Pair alternating buy/sell trades into profitable rounds."""
-        rounds: list[tuple[Trade, Trade]] = []
-        pending_buy: Trade | None = None
-        for trade in trades:
-            if trade.token_buy == token:
-                pending_buy = trade
-            elif trade.token_sell == token and pending_buy is not None:
-                buy, sell = pending_buy, trade
-                same_quote = buy.token_sell == sell.token_buy
-                profitable = buy.sell_rate < sell.buy_rate
-                if same_quote and profitable:
-                    rounds.append((buy, sell))
-                pending_buy = None
-        return rounds

@@ -7,7 +7,7 @@ from typing import Sequence
 
 from ..chain.types import Address
 from .identify import FlashLoan
-from .patterns import AttackPattern, PatternMatch
+from .patterns import PatternMatch
 from .tagging import Tag
 from .trades import Trade
 
@@ -78,14 +78,15 @@ class AttackReport:
         return bool(self.matches)
 
     @property
-    def patterns(self) -> set[AttackPattern]:
+    def patterns(self) -> set[str]:
+        """Registry keys of every matched pattern."""
         return {match.pattern for match in self.matches}
 
     def volatility(self) -> float:
         return price_volatility(self.trades)
 
     def summary(self) -> str:
-        names = ",".join(sorted(p.name for p in self.patterns)) or "none"
+        names = ",".join(sorted(self.patterns)) or "none"
         providers = ",".join(sorted({fl.provider for fl in self.flash_loans}))
         return (
             f"tx={self.tx_hash[:10]} providers={providers} patterns={names} "

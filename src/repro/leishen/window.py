@@ -40,6 +40,7 @@ from typing import Iterable, Sequence
 
 from ..chain.types import Address
 from .patterns import PatternConfig, PatternMatcher
+from .registry import PatternSettings
 from .tagging import Tag
 from .trades import Trade
 
@@ -126,7 +127,7 @@ class WindowedMatcher:
     def __init__(
         self,
         window_blocks: int = DEFAULT_WINDOW_BLOCKS,
-        pattern_config: PatternConfig | None = None,
+        pattern_config: PatternConfig | PatternSettings | None = None,
     ) -> None:
         if window_blocks < 1:
             raise ValueError(f"window_blocks must be >= 1, got {window_blocks}")
@@ -206,7 +207,7 @@ class WindowedMatcher:
             return []
         detections: list[WindowedDetection] = []
         for match in self._matcher.match(trades, tag):
-            pattern = match.pattern.name
+            pattern = str(match.pattern)
             contributing: list[TradeObservation] = []
             seen_tx: set[str] = set()
             span: list[int] = []

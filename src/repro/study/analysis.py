@@ -49,7 +49,7 @@ def analyze_scenario(outcome: ScenarioOutcome, meta: AttackMeta | None = None) -
             (world.registry.pair_name(a, b), vol * 100.0)
             for (a, b), vol in sorted(by_pair.items(), key=lambda kv: -kv[1])
         )
-        patterns = tuple(sorted(p.name for p in report.patterns))
+        patterns = tuple(sorted(report.patterns))
     analyzer = ProfitAnalyzer(world.registry)
     flash_loans = FlashLoanIdentifier().identify(outcome.trace)
     accounts = [outcome.attacker, *outcome.attack_contracts]

@@ -25,15 +25,20 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from ..chain.contract import Msg, external
 from ..chain.types import Address, ETH, keccak_address
 from ..study.scenarios.base import ScriptedAttackContract
 from ..tokens.erc20 import ERC20
+from .mutate import BASELINE, Mutation
 from .profiles import GroundTruth, LabeledTrace, WildMarket
 from .timeline import monthly_attack_weights
 
 __all__ = [
     "AttackCluster",
     "ATTACK_CLUSTERS",
+    "ADVERSARIAL_CLUSTERS",
+    "MintableToken",
+    "plan_adversarial",
     "WildAttackInjector",
     "FULL_SCALE_ATTACKS",
     "FULL_SCALE_MIGRATIONS",
@@ -51,7 +56,7 @@ class AttackCluster:
     """A group of related wild attacks against one application."""
 
     app: str
-    shape: str  # "krp" | "sbs" | "mbs" | "dual"
+    shape: str  # "krp" | "sbs" | "mbs" | "dual" | "sandwich" | "mint" | "donation"
     #: ground-truth patterns ("dual" shape with sbs-only truth models the
     #: paper's pattern-level false positives inside true attacks).
     truth_patterns: tuple[str, ...]
@@ -65,8 +70,13 @@ class AttackCluster:
     #: scales only the trade amounts (not the market) — used for the
     #: dust-profit attacks at the bottom of Table VII's distribution.
     amount_factor: float = 1.0
-    #: vault mark sensitivity for mbs-shaped clusters.
+    #: vault mark sensitivity for mbs/donation-shaped clusters.
     sensitivity: float = 0.05
+    #: attack family (a registry pattern key) recorded on the ground
+    #: truth for labelled per-family scoring. ``None`` on the paper's
+    #: historical clusters keeps their ground-truth wire bytes (and the
+    #: wild-scan bench identity) unchanged.
+    family: "str | None" = None
 
 
 #: full-scale composition; the sums reproduce every Table V/VI aggregate:
@@ -109,6 +119,44 @@ FULL_SCALE_ATTACKS = sum(c.n_attacks for c in ATTACK_CLUSTERS)
 FULL_SCALE_MIGRATIONS = 6
 FULL_SCALE_STRATEGIES = 32
 
+#: Adversarial attack families beyond the paper's three patterns:
+#: sandwich/frontrunning, unprotected-mint supply dumps and
+#: donation-style single-round share inflation. Kept OUT of
+#: ``ATTACK_CLUSTERS`` so the historical schedule (and every identity
+#: digest built on it) is untouched; ``WildScanConfig.adversarial``
+#: appends them as a schedule tail, and the robustness harness injects
+#: them directly. The paper-default pattern set does not detect these —
+#: their plugins must be enabled via ``PatternSettings``.
+ADVERSARIAL_CLUSTERS: tuple[AttackCluster, ...] = (
+    AttackCluster("MevBooster", "sandwich", ("SANDWICH",), 6, 2, 2, 2,
+                  profit_usd=30_000, family="SANDWICH"),
+    AttackCluster("CoverMint", "mint", ("MINT",), 5, 1, 2, 2,
+                  profit_usd=150_000, family="MINT"),
+    AttackCluster("BeanVault", "donation", ("DONATION",), 4, 1, 1, 1,
+                  profit_usd=120_000, sensitivity=2.5, family="DONATION"),
+)
+
+
+def plan_adversarial(count: int) -> list["AttackPlan"]:
+    """Deterministic plan of ``count`` adversarial attacks.
+
+    Cycles the adversarial clusters round-robin; like
+    :func:`plan_attacks` it is pure data depending on nothing but its
+    argument, so every backend computes the identical tail.
+    """
+    plans: list[AttackPlan] = []
+    for i in range(count):
+        cluster = ADVERSARIAL_CLUSTERS[i % len(ADVERSARIAL_CLUSTERS)]
+        instance = i // len(ADVERSARIAL_CLUSTERS)
+        plans.append((
+            cluster,
+            instance % cluster.n_attackers,
+            instance % cluster.n_contracts,
+            instance % cluster.n_assets,
+            None,
+        ))
+    return plans
+
 #: One planned wild attack: (cluster, attacker_id, contract_id, asset_id,
 #: month). Pure data — the scan engine ships plans to worker processes.
 AttackPlan = tuple[AttackCluster, int, int, int, "int | None"]
@@ -149,6 +197,37 @@ def plan_attacks(scale: float) -> list[AttackPlan]:
     return plans
 
 
+class MintableToken(ERC20):
+    """An ERC20 with an unprotected supply-expansion entry point.
+
+    Models the access-control bugs behind Cover-style infinite-mint
+    incidents: anyone can call ``exploit_mint`` and credit themselves
+    fresh supply, which shows up in the transfer history as a BlackHole
+    mint with no matching acquisition trade.
+    """
+
+    @external
+    def exploit_mint(self, msg: Msg, amount: int) -> None:
+        self.mint(msg.sender, amount)
+
+
+#: ceiling on ``amount_scale`` for the vault-based shapes (mbs/donation):
+#: their flash pair and vault are sized to the baseline amounts, so an
+#: unbounded scale-up would exceed lendable reserves and revert instead
+#: of testing detection.
+_VAULT_SCALE_CAP = 1.5
+
+
+def _scaled(value: int, factor: float) -> int:
+    """Integer amount scaling that is *exact* at factor 1.0.
+
+    The baseline mutation must reproduce the unmutated attack bytes, and
+    ``int(value * 1.0)`` is lossy above 2**53 — so the identity factor
+    bypasses float math entirely.
+    """
+    return value if factor == 1.0 else int(value * factor)
+
+
 class _MiniMarket:
     """One (app, asset) attack surface inside the shared wild world."""
 
@@ -185,7 +264,58 @@ class _MiniMarket:
             self.base_quote = int(1_000 * scale) * ETH
             self.flash_pair = market.flash_pair_weth
             self.flash_token = world.registry.by_symbol(self.quote.symbol)
-        else:  # mbs: vault + curve mini market
+        elif shape == "sandwich":
+            from .profiles import _plan_body
+
+            self.target = world.new_token(asset)
+            pool_target = int(1_000_000 * scale) * self.target.unit
+            pool_quote = int(10_000 * scale) * ETH
+            self.pool = world.dex_pair(self.target, self.quote, pool_target, pool_quote)
+            self.front_amount = pool_quote // 50
+            self.victim_amount = pool_quote // 20
+            self.base_quote = self.front_amount
+            self.flash_pair = market.flash_pair_weth
+            self.flash_token = world.registry.by_symbol(self.quote.symbol)
+            # An independent user whose scripted bot the attacker's tx
+            # sandwiches; its own funds, its own creation root, so the
+            # victim buy is not attributed to the borrower tag.
+            victim_eoa = world.chain.create_eoa(
+                f"victim-{app}-{asset}",
+                address=keccak_address("sandwich-victim", app, asset),
+            )
+            self.victim = world.chain.deploy(
+                victim_eoa, ScriptedAttackContract, _plan_body,
+                hint=f"victim-bot-{app}-{asset}",
+                address=keccak_address("sandwich-victim-bot", app, asset),
+            )
+            self.flash_token.mint(self.victim.address, pool_quote * 8)
+        elif shape == "mint":
+            deployer = world.chain.create_eoa(
+                f"mint-dev-{app}-{asset}",
+                address=keccak_address("mint-deployer", app, asset),
+            )
+            self.token = world.chain.deploy(
+                deployer, MintableToken, asset, 18,
+                hint=f"mintable-{asset}",
+                address=keccak_address("mintable-token", app, asset),
+            )
+            world.registry.register(self.token)
+            unit = self.token.unit
+            # legitimate circulating supply so the dump pools can be seeded
+            self.token.mint(world.whale, 10_000_000_000 * unit)
+            pool_tokens = int(1_000_000 * scale) * unit
+            self.pool_a = world.dex_pair(
+                self.token, self.quote, pool_tokens, int(10_000 * scale) * ETH
+            )
+            self.pool_b = world.dex_pair(
+                self.token, market.usdc, pool_tokens,
+                int(15_000_000 * scale) * market.usdc.unit,
+            )
+            self.mint_amount = int(50_000 * scale) * unit
+            self.base_quote = int(100 * scale) * ETH
+            self.flash_pair = market.flash_pair_weth
+            self.flash_token = world.registry.by_symbol(self.quote.symbol)
+        else:  # mbs / donation: vault + curve mini market
             from ..study.scenarios.common import imbalance_mark
 
             self.underlying = world.new_token(asset)
@@ -212,49 +342,81 @@ class _MiniMarket:
 
     # -- attack bodies ----------------------------------------------------
 
-    def body(self):
-        return {
+    def body(self, mutation: Mutation | None = None):
+        fn = {
             "krp": self._krp_body,
             "sbs": self._sbs_body,
             "dual": self._dual_body,
             "mbs": self._mbs_body,
+            "sandwich": self._sandwich_body,
+            "mint": self._mint_body,
+            "donation": self._donation_body,
         }[self.shape]
+        m = mutation or BASELINE
 
-    def borrow_spec(self) -> tuple[ERC20, int, "Address"]:
-        if self.shape == "mbs":
+        def scripted(atk: ScriptedAttackContract) -> None:
+            fn(atk, m)
+
+        return scripted
+
+    def borrow_spec(self, mutation: Mutation | None = None) -> tuple[ERC20, int, "Address"]:
+        m = mutation or BASELINE
+        # extra headroom for scaled-up mutants; identity (1.0) for baseline
+        headroom = max(1.0, m.amount_scale) * (1.0 + max(0, m.round_delta) / 4)
+        if self.shape in ("mbs", "donation"):
+            # vault shapes borrow from a pair sized to the baseline amounts,
+            # so amount mutations are capped at what it can actually lend
+            # (the bodies apply the same cap to their spend)
+            headroom = min(headroom, _VAULT_SCALE_CAP)
             # cushion for per-round pool fees so dust-sized deposits do not
             # starve the later rounds
             cushion = self.manipulation // 25
             return (
                 self.flash_token,
-                self.deposit + self.manipulation + cushion,
+                _scaled(self.deposit + self.manipulation + cushion, headroom),
                 self.flash_pair.address,
             )
-        multiplier = {"krp": 8, "sbs": 8, "dual": 8}[self.shape]
-        return self.flash_token, self.base_quote * multiplier, self.flash_pair.address
+        multiplier = {"krp": 8, "sbs": 8, "dual": 8, "sandwich": 2, "mint": 1}[self.shape]
+        return (
+            self.flash_token,
+            _scaled(self.base_quote * multiplier, headroom),
+            self.flash_pair.address,
+        )
 
-    def _sbs_body(self, atk: ScriptedAttackContract) -> None:
+    def _sbs_body(self, atk: ScriptedAttackContract, m: Mutation) -> None:
         quote, target, pool, venue = self.quote, self.target, self.pool, self.venue
-        amount = self.base_quote
+        amount = _scaled(self.base_quote, m.amount_scale)
         bought = atk.oracle_swap(venue.address, quote.address, amount, target.address)
-        pumped = atk.swap_pool(pool.address, quote.address, amount * 6)
-        atk.swap_pool(pool.address, target.address, pumped * 55 // 100)
-        atk.oracle_swap(venue.address, target.address, bought, quote.address)
+        if m.round_delta >= 0:
+            pumped = atk.swap_pool(
+                pool.address, quote.address, _scaled(amount * 6, m.pump_scale)
+            )
+            atk.swap_pool(pool.address, target.address, pumped * 55 // 100)
+        if m.interleave:
+            atk.swap_pool(pool.address, quote.address, amount // 20)
+        exit_amount = _scaled(bought, m.exit_fraction)
+        atk.oracle_swap(venue.address, target.address, exit_amount, quote.address)
         rest = atk.balance(target.address)
         if rest:
             atk.swap_pool(pool.address, target.address, rest)
 
-    def _krp_body(self, atk: ScriptedAttackContract) -> None:
+    def _krp_body(self, atk: ScriptedAttackContract, m: Mutation) -> None:
         quote, target, pool, venue = self.quote, self.target, self.pool, self.venue
-        step = self.base_quote // 2
-        for _ in range(6):
+        step = _scaled(self.base_quote // 2, m.amount_scale)
+        n = max(1, 6 + m.round_delta)
+        dip_at = n // 2 if m.interleave else -1
+        for i in range(n):
             atk.swap_pool(pool.address, quote.address, step)
+            if i == dip_at:
+                # benign-looking counter-sell: breaks the monotone rise
+                atk.swap_pool(pool.address, target.address, atk.balance(target.address) // 3)
         amount = atk.balance(target.address)
         atk.oracle_swap(venue.address, target.address, amount, quote.address)
 
-    def _dual_body(self, atk: ScriptedAttackContract) -> None:
+    def _dual_body(self, atk: ScriptedAttackContract, m: Mutation) -> None:
         """Saddle-shape: three profitable symmetric venue rounds plus an
-        SBS triple — matches both patterns."""
+        SBS triple — matches both patterns. Not part of the mutation
+        matrix; only the baseline is exercised."""
         quote, target, pool, venue = self.quote, self.target, self.pool, self.venue
         unit_q = self.base_quote // 10
         got1 = atk.oracle_swap(venue.address, quote.address, unit_q * 10, target.address)
@@ -272,13 +434,73 @@ class _MiniMarket:
         if rest:
             atk.swap_pool(pool.address, target.address, rest)
 
-    def _mbs_body(self, atk: ScriptedAttackContract) -> None:
+    def _mbs_body(self, atk: ScriptedAttackContract, m: Mutation) -> None:
         curve, vault = self.curve, self.vault
-        for _ in range(3):
-            got = atk.curve_swap(curve.address, 0, 1, self.manipulation)
-            shares = atk.vault_deposit(vault.address, self.deposit)
+        amount_scale = min(m.amount_scale, _VAULT_SCALE_CAP)
+        manipulation = _scaled(self.manipulation, amount_scale * m.pump_scale)
+        deposit = _scaled(self.deposit, amount_scale)
+        for _ in range(max(1, 3 + m.round_delta)):
+            got = atk.curve_swap(curve.address, 0, 1, manipulation)
+            shares = atk.vault_deposit(vault.address, deposit)
             atk.curve_swap(curve.address, 1, 0, got)
-            atk.vault_withdraw(vault.address, shares)
+            atk.vault_withdraw(vault.address, _scaled(shares, m.exit_fraction))
+            if m.interleave:
+                probe = atk.vault_deposit(vault.address, deposit // 100)
+                atk.vault_withdraw(vault.address, probe)
+
+    def _sandwich_body(self, atk: ScriptedAttackContract, m: Mutation) -> None:
+        quote, target, pool = self.quote, self.target, self.pool
+        amount = _scaled(self.front_amount, m.amount_scale)
+        bought = atk.swap_pool(pool.address, quote.address, amount)
+        if m.round_delta >= 0:
+            victim_amount = _scaled(self.victim_amount, m.pump_scale)
+            self.victim.plan = lambda v: v.swap_pool(
+                pool.address, quote.address, victim_amount
+            )
+            atk.call(self.victim.address, "run")
+        if m.interleave:
+            atk.swap_pool(pool.address, quote.address, amount // 20)
+        atk.swap_pool(pool.address, target.address, _scaled(bought, m.exit_fraction))
+
+    def _mint_body(self, atk: ScriptedAttackContract, m: Mutation) -> None:
+        token, pools = self.token, (self.pool_a, self.pool_b)
+        if m.interleave:
+            # small legitimate acquisition *before* the exploit mint (after
+            # it, the mint transfer would pair with the buy's deposit leg
+            # and lift as a phantom liquidity trade)
+            atk.swap_pool(self.pool_a.address, self.quote.address, self.base_quote // 10)
+        atk.call(token.address, "exploit_mint", _scaled(self.mint_amount, m.amount_scale))
+        n = max(1, 2 + m.round_delta)
+        remaining = atk.balance(token.address)
+        if n == 1:
+            atk.swap_pool(self.pool_a.address, token.address, remaining - 1)
+            return
+        for i in range(n - 1):
+            # tranches deliberately differ from the minted amount so the
+            # mint transfer never fuses with a dump leg in simplification
+            tranche = remaining * 3 // 5
+            atk.swap_pool(pools[i % 2].address, token.address, tranche)
+            remaining -= tranche
+        atk.swap_pool(
+            pools[(n - 1) % 2].address, token.address, _scaled(remaining, m.exit_fraction)
+        )
+
+    def _donation_body(self, atk: ScriptedAttackContract, m: Mutation) -> None:
+        curve, vault = self.curve, self.vault
+        amount_scale = min(m.amount_scale, _VAULT_SCALE_CAP)
+        manipulation = _scaled(self.manipulation, amount_scale * m.pump_scale)
+        deposit = _scaled(self.deposit, amount_scale)
+        for _ in range(1 + max(0, m.round_delta)):
+            got = 0
+            if m.round_delta >= 0:
+                got = atk.curve_swap(curve.address, 0, 1, manipulation)
+            shares = atk.vault_deposit(vault.address, deposit)
+            if got:
+                atk.curve_swap(curve.address, 1, 0, got)
+            atk.vault_withdraw(vault.address, _scaled(shares, m.exit_fraction))
+            if m.interleave:
+                probe = atk.vault_deposit(vault.address, deposit // 100)
+                atk.vault_withdraw(vault.address, probe)
 
 
 @dataclass(frozen=True, slots=True)
@@ -425,15 +647,32 @@ class WildAttackInjector:
         return plan_attacks(self.scale)
 
     def execute(self, cluster: AttackCluster, attacker_id: int, contract_id: int,
-                asset_id: int, month: int | None) -> LabeledTrace:
+                asset_id: int, month: int | None,
+                mutation: "Mutation | None" = None,
+                subsidize: bool = False) -> LabeledTrace:
         mini = self._mini_market(cluster, asset_id)
         attacker = self._attacker(cluster, attacker_id)
         contract = self._contract(cluster, contract_id, attacker)
-        token, amount, flash_pair = mini.borrow_spec()
-        trace = self.market.run_flash(attacker, contract, mini.body(),
-                                      self.market.pick_provider(), token, amount,
+        token, amount, flash_pair = mini.borrow_spec(mutation)
+        # Always consume the provider draw so a mutated run never shifts
+        # the shard's RNG stream relative to the baseline schedule.
+        provider = self.market.pick_provider()
+        if mutation is not None and mutation.provider is not None:
+            provider = mutation.provider
+        if subsidize:
+            # pre-tx fee cushion: mutations that destroy the attack's
+            # profit must still *execute* (an evaded detection, not a
+            # reverted transaction) for the robustness measurement
+            token.mint(contract.address, amount // 3 + 1)
+        trace = self.market.run_flash(attacker, contract, mini.body(mutation),
+                                      provider, token, amount,
                                       flash_pair=flash_pair)
-        asset_symbol = (mini.target.symbol if mini.shape != "mbs" else mini.underlying.symbol)
+        if mini.shape in ("mbs", "donation"):
+            asset_symbol = mini.underlying.symbol
+        elif mini.shape == "mint":
+            asset_symbol = mini.token.symbol
+        else:
+            asset_symbol = mini.target.symbol
         return LabeledTrace(
             trace,
             GroundTruth(
@@ -448,6 +687,7 @@ class WildAttackInjector:
                 month=month,
                 patterns=cluster.truth_patterns,
                 known=cluster.known,
+                family=cluster.family,
             ),
         )
 

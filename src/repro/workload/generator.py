@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..leishen.patterns import PatternConfig
+from ..leishen.registry import PatternSettings
 from .attacks import FULL_SCALE_MIGRATIONS, FULL_SCALE_STRATEGIES  # noqa: F401 (re-export)
 from .profiles import GroundTruth
 
@@ -32,8 +33,12 @@ class WildScanConfig:
     with_heuristic: bool = False
     #: drop per-trace history to bound memory on full-scale runs.
     keep_history: bool = False
-    #: pattern thresholds (ablation sweeps override the paper defaults).
-    pattern_config: PatternConfig | None = None
+    #: pattern selection + thresholds: a legacy flat ``PatternConfig``
+    #: (ablation sweeps override the paper defaults) or a namespaced
+    #: :class:`~repro.leishen.registry.PatternSettings` (which can also
+    #: change the *enabled* pattern set). Identity-relevant either way —
+    #: it rides the config wire and the digest.
+    pattern_config: PatternConfig | PatternSettings | None = None
     #: worker processes consuming the shards. Purely an execution knob:
     #: the result is byte-identical for any value (the schedule partition
     #: is a function of seed/scale/shards only, never of jobs).
@@ -58,6 +63,13 @@ class WildScanConfig:
     #: it changes the canonical schedule, so it rides the config wire
     #: and the digest. ``0`` keeps the schedule exactly as before.
     split_attacks: int = 0
+    #: number of adversarial-family attacks (sandwich / infinite-mint /
+    #: donation clusters) appended to the schedule. Identity-relevant:
+    #: it changes the canonical schedule, so it rides the config wire
+    #: and the digest. ``0`` keeps the schedule exactly as before. The
+    #: paper-default pattern set will not detect these — enable the
+    #: matching plugins via ``pattern_config=PatternSettings(...)``.
+    adversarial: int = 0
 
     def __post_init__(self) -> None:
         # Programmatic callers get the same errors the CLI raises instead
@@ -69,6 +81,10 @@ class WildScanConfig:
         if self.split_attacks < 0:
             raise ValueError(
                 f"split_attacks must be >= 0, got {self.split_attacks}"
+            )
+        if self.adversarial < 0:
+            raise ValueError(
+                f"adversarial must be >= 0, got {self.adversarial}"
             )
 
 
@@ -124,7 +140,7 @@ class WildScanResult:
         return [d for d in self.detections if d.is_true_attack and not d.truth.known]
 
     def table5(self) -> list[PatternRow]:
-        return [self.rows[p] for p in ("KRP", "SBS", "MBS")]
+        return [self.rows[p] for p in ("KRP", "SBS", "MBS") if p in self.rows]
 
     def table6(self) -> list[tuple[str, int, int, int, int]]:
         """Top attacked apps among unknown attacks:

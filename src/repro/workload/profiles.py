@@ -43,6 +43,10 @@ class GroundTruth:
     month: int | None = None
     #: ground-truth patterns for true attacks (pattern-level TP/FP).
     patterns: tuple[str, ...] = ()
+    #: attack family (a registry pattern key) for labelled scenario
+    #: scoring — the primary pattern the injected shape embodies.
+    #: ``None`` for benign traffic and pre-registry labels.
+    family: str | None = None
     #: whether this is one of the 33 previously-known attacks/repeats.
     known: bool = False
     #: split-attack group id when this transaction is one round of an

@@ -54,6 +54,33 @@ class TestExplorerLeiShen:
         assert TradeKind.MINT_LIQUIDITY in kinds
         assert TradeKind.REMOVE_LIQUIDITY in kinds
 
+    def test_registry_parity_with_detector_on_event_rich_attack(self, harvest_outcome):
+        """Both paths run the same registry plugins: on a venue whose
+        events carry the full trade stream, the explorer baseline and
+        the transfer-lifting detector must agree pattern for pattern."""
+        world = harvest_outcome.world
+        report = world.detector().analyze(harvest_outcome.trace)
+        matches = ExplorerLeiShen(world.chain).analyze(harvest_outcome.trace)
+        assert matches and report is not None
+        assert {m.pattern for m in matches} == report.patterns
+
+    def test_settings_seam_disables_patterns(self, harvest_outcome):
+        """The baseline honours the same enabled-set seam as the
+        detector — disabling MBS blinds it to Harvest."""
+        from repro.leishen.registry import PatternSettings
+
+        settings = PatternSettings(enabled=("KRP", "SBS"))
+        explorer = ExplorerLeiShen(harvest_outcome.world.chain, settings)
+        assert not explorer.detect(harvest_outcome.trace)
+
+    def test_legacy_flat_config_still_tunes_thresholds(self, harvest_outcome):
+        from repro.leishen import PatternConfig
+
+        strict = ExplorerLeiShen(
+            harvest_outcome.world.chain, PatternConfig(mbs_min_rounds=99)
+        )
+        assert not strict.detect(harvest_outcome.trace)
+
 
 class TestVolatilityDetector:
     def test_flags_extreme_volatility(self):

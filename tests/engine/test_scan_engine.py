@@ -238,3 +238,42 @@ class TestParallelRecovery:
         monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", BuggyWorkerPool)
         with pytest.raises(ValueError, match="bug in shard code"):
             scan.ScanEngine._run_parallel(payloads, workers=2)
+
+
+class TestAdversarialTail:
+    """The adversarial schedule tail rides the same identity contract."""
+
+    @pytest.fixture(scope="class")
+    def adversarial_config(self):
+        from repro.leishen.registry import ALL_PATTERN_KEYS, PatternSettings
+
+        return WildScanConfig(
+            scale=SCALE, seed=SEED, shards=4, adversarial=6,
+            pattern_config=PatternSettings(enabled=ALL_PATTERN_KEYS),
+        )
+
+    @pytest.fixture(scope="class")
+    def adversarial_batch(self, adversarial_config):
+        return WildScanner(adversarial_config).run()
+
+    def test_every_family_detected_with_full_registry(self, adversarial_batch):
+        families = {
+            d.truth.family
+            for d in adversarial_batch.detections
+            if d.truth.family is not None
+        }
+        assert families == {"SANDWICH", "MINT", "DONATION"}
+        for detection in adversarial_batch.detections:
+            if detection.truth.family is not None:
+                assert detection.patterns == (detection.truth.family,)
+
+    def test_stream_matches_batch_with_tail(self, adversarial_config, adversarial_batch):
+        from repro.engine.stream import StreamEngine
+
+        streamed = StreamEngine(adversarial_config, block_size=16).run()
+        assert _snapshot(streamed.result) == _snapshot(adversarial_batch)
+
+    def test_paper_default_scan_ignores_tail_families(self):
+        config = WildScanConfig(scale=SCALE, seed=SEED, shards=4, adversarial=6)
+        result = WildScanner(config).run()
+        assert not [d for d in result.detections if d.truth.family is not None]

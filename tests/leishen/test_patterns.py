@@ -36,15 +36,15 @@ class TestKRP:
 
     def test_five_rising_buys_match(self, matcher):
         matches = matcher.match(self.make_series(5), BORROWER)
-        assert any(m.pattern is AttackPattern.KRP for m in matches)
+        assert any(m.pattern == AttackPattern.KRP for m in matches)
 
     def test_four_buys_insufficient(self, matcher):
         matches = matcher.match(self.make_series(4), BORROWER)
-        assert not any(m.pattern is AttackPattern.KRP for m in matches)
+        assert not any(m.pattern == AttackPattern.KRP for m in matches)
 
     def test_falling_price_no_match(self, matcher):
         matches = matcher.match(self.make_series(6, rising=False), BORROWER)
-        assert not any(m.pattern is AttackPattern.KRP for m in matches)
+        assert not any(m.pattern == AttackPattern.KRP for m in matches)
 
     def test_mixed_sellers_not_grouped(self, matcher):
         trades = []
@@ -52,17 +52,17 @@ class TestKRP:
             trades.append(buy(i, (100 + 10 * i) * 10, 10, seller=f"Pool{i % 2}"))
         trades.append(sell(6, 30, 4_000))
         matches = matcher.match(trades, BORROWER)
-        assert not any(m.pattern is AttackPattern.KRP for m in matches)
+        assert not any(m.pattern == AttackPattern.KRP for m in matches)
 
     def test_sell_before_buys_no_match(self, matcher):
         trades = [sell(0, 50, 5_000)] + [buy(i + 1, (100 + 10 * i) * 10, 10) for i in range(6)]
         matches = matcher.match(trades, BORROWER)
-        assert not any(m.pattern is AttackPattern.KRP for m in matches)
+        assert not any(m.pattern == AttackPattern.KRP for m in matches)
 
     def test_threshold_configurable(self):
         matcher = PatternMatcher(PatternConfig(krp_min_buys=3))
         matches = matcher.match(self.make_series(3), BORROWER)
-        assert any(m.pattern is AttackPattern.KRP for m in matches)
+        assert any(m.pattern == AttackPattern.KRP for m in matches)
 
     def test_other_buyers_ignored(self, matcher):
         trades = [buy(i, (100 + 10 * i) * 10, 10, buyer="somebody") for i in range(6)]
@@ -77,7 +77,7 @@ class TestKRP:
         trades = [buy(i, p * 10, 10) for i, p in enumerate(prices)]
         trades.append(sell(len(prices), 50, 5_000, seller="Venue"))
         matches = matcher.match(trades, BORROWER)
-        assert any(m.pattern is AttackPattern.KRP for m in matches)
+        assert any(m.pattern == AttackPattern.KRP for m in matches)
 
     def test_dip_in_middle_no_match(self, matcher):
         # regression: the matcher used to compare only the endpoints, so
@@ -88,7 +88,7 @@ class TestKRP:
         trades = [buy(i, p * 10, 10) for i, p in enumerate(prices)]
         trades.append(sell(len(prices), 50, 5_000, seller="Venue"))
         matches = matcher.match(trades, BORROWER)
-        assert not any(m.pattern is AttackPattern.KRP for m in matches)
+        assert not any(m.pattern == AttackPattern.KRP for m in matches)
 
     def test_flat_series_no_match(self, matcher):
         # nondecreasing alone is not enough: an all-plateau series never
@@ -96,7 +96,7 @@ class TestKRP:
         trades = [buy(i, 100 * 10, 10) for i in range(5)]
         trades.append(sell(5, 50, 5_000, seller="Venue"))
         matches = matcher.match(trades, BORROWER)
-        assert not any(m.pattern is AttackPattern.KRP for m in matches)
+        assert not any(m.pattern == AttackPattern.KRP for m in matches)
 
 
 class TestSBS:
@@ -109,37 +109,37 @@ class TestSBS:
 
     def test_canonical_triple_matches(self, matcher):
         matches = matcher.match(self.triple(), BORROWER)
-        assert any(m.pattern is AttackPattern.SBS for m in matches)
+        assert any(m.pattern == AttackPattern.SBS for m in matches)
 
     def test_raise_by_victim_app_matches(self, matcher):
         """bZx-1: the raise trade is executed by the venue, not the borrower."""
         matches = matcher.match(self.triple(raise_buyer="bZx"), BORROWER)
-        assert any(m.pattern is AttackPattern.SBS for m in matches)
+        assert any(m.pattern == AttackPattern.SBS for m in matches)
 
     def test_below_28pct_volatility_no_match(self, matcher):
         matches = matcher.match(self.triple(p1=10.0, p2=12.0, p3=11.0), BORROWER)
-        assert not any(m.pattern is AttackPattern.SBS for m in matches)
+        assert not any(m.pattern == AttackPattern.SBS for m in matches)
 
     def test_sell_price_above_raise_no_match(self, matcher):
         matches = matcher.match(self.triple(p3=16.0), BORROWER)
-        assert not any(m.pattern is AttackPattern.SBS for m in matches)
+        assert not any(m.pattern == AttackPattern.SBS for m in matches)
 
     def test_sell_price_below_buy_no_match(self, matcher):
         matches = matcher.match(self.triple(p3=9.0), BORROWER)
-        assert not any(m.pattern is AttackPattern.SBS for m in matches)
+        assert not any(m.pattern == AttackPattern.SBS for m in matches)
 
     def test_asymmetric_amounts_no_match(self, matcher):
         trades = self.triple()
         trades[2] = sell(3, 90, int(12.0 * 90))  # sells 90, bought 100
         matches = matcher.match(trades, BORROWER)
-        assert not any(m.pattern is AttackPattern.SBS for m in matches)
+        assert not any(m.pattern == AttackPattern.SBS for m in matches)
 
     def test_amount_tolerance_accepts_dust_difference(self, matcher):
         trades = self.triple()
         trades[2] = sell(3, 99_950, int(12.0 * 99_950))
         trades[0] = buy(1, int(10.0 * 100_000), 100_000)
         matches = matcher.match(trades, BORROWER)
-        assert any(m.pattern is AttackPattern.SBS for m in matches)
+        assert any(m.pattern == AttackPattern.SBS for m in matches)
 
     def test_wrong_order_no_match(self, matcher):
         t1, t2, t3 = self.triple()
@@ -153,7 +153,7 @@ class TestSBS:
             t3,
         ]
         matches = matcher.match(reordered, BORROWER)
-        assert not any(m.pattern is AttackPattern.SBS for m in matches)
+        assert not any(m.pattern == AttackPattern.SBS for m in matches)
 
 
 class TestMBS:
@@ -167,26 +167,26 @@ class TestMBS:
 
     def test_three_profitable_rounds_match(self, matcher):
         matches = matcher.match(self.rounds(3), BORROWER)
-        assert any(m.pattern is AttackPattern.MBS for m in matches)
+        assert any(m.pattern == AttackPattern.MBS for m in matches)
 
     def test_two_rounds_insufficient(self, matcher):
         matches = matcher.match(self.rounds(2), BORROWER)
-        assert not any(m.pattern is AttackPattern.MBS for m in matches)
+        assert not any(m.pattern == AttackPattern.MBS for m in matches)
 
     def test_unprofitable_rounds_no_match(self, matcher):
         matches = matcher.match(self.rounds(5, profitable=False), BORROWER)
-        assert not any(m.pattern is AttackPattern.MBS for m in matches)
+        assert not any(m.pattern == AttackPattern.MBS for m in matches)
 
     def test_mixed_sellers_not_rounds(self, matcher):
         trades = self.rounds(2, seller="V1") + self.rounds(1, seller="V2")
         matches = matcher.match(trades, BORROWER)
-        assert not any(m.pattern is AttackPattern.MBS for m in matches)
+        assert not any(m.pattern == AttackPattern.MBS for m in matches)
 
     def test_round_count_reported(self, matcher):
         matches = matcher.match(self.rounds(4), BORROWER)
         mbs = next(
             m for m in matches
-            if m.pattern is AttackPattern.MBS and m.target_token == X
+            if m.pattern == AttackPattern.MBS and m.target_token == X
         )
         assert mbs.detail("n_rounds") == 4
 
@@ -195,13 +195,13 @@ class TestMBS:
         round series on the quote token is reported as a second match of
         the same pattern (harmless for per-transaction verdicts)."""
         matches = matcher.match(self.rounds(4), BORROWER)
-        tokens = {m.target_token for m in matches if m.pattern is AttackPattern.MBS}
+        tokens = {m.target_token for m in matches if m.pattern == AttackPattern.MBS}
         assert tokens == {X, Q}
 
     def test_threshold_configurable(self):
         matcher = PatternMatcher(PatternConfig(mbs_min_rounds=2))
         matches = matcher.match(self.rounds(2), BORROWER)
-        assert any(m.pattern is AttackPattern.MBS for m in matches)
+        assert any(m.pattern == AttackPattern.MBS for m in matches)
 
 
 class TestGeneral:

@@ -88,6 +88,24 @@ class TestCreateOpen:
         assert config_digest(config) in message
         assert config_digest(other) in message
 
+    def test_open_rejects_registry_mismatch(self, tmp_path, config):
+        """A different enabled-pattern set is a different scan: resuming
+        its ledger must fail as loudly as a seed mismatch, with both
+        identity tuples in the message."""
+        from repro.leishen.registry import ALL_PATTERN_KEYS, PatternSettings
+
+        path = tmp_path / "run.ledger"
+        RunLedger.create(path, config, 4)
+        widened = WildScanConfig(
+            scale=SCALE, seed=SEED, shards=4,
+            pattern_config=PatternSettings(enabled=ALL_PATTERN_KEYS),
+        )
+        with pytest.raises(LedgerError, match="config digest mismatch") as info:
+            RunLedger.open(path, config=widened, shard_count=4)
+        message = str(info.value)
+        assert config_digest(config) in message
+        assert config_digest(widened) in message
+
     def test_open_rejects_shard_count_mismatch(self, tmp_path, config):
         path = tmp_path / "run.ledger"
         RunLedger.create(path, config, 4)

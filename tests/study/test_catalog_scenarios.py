@@ -82,9 +82,8 @@ class TestScenarioReplays:
         detected = report is not None and report.is_attack
         assert detected == meta.expect_leishen
         if detected and meta.patterns:
-            assert {p.name for p in meta.patterns} <= {
-                p.name for p in report.patterns
-            } or {p.name for p in report.patterns} & {p.name for p in meta.patterns}
+            expected = {p.name for p in meta.patterns}
+            assert expected <= report.patterns or report.patterns & expected
 
     @pytest.mark.parametrize("meta", FLP_ATTACKS, ids=lambda m: m.key)
     def test_defiranger_matches_table_iv(self, meta, all_outcomes):

@@ -1,0 +1,100 @@
+"""Adversarial attack families and the FlashSyn-style mutation engine."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.leishen.detector import LeiShen, LeiShenConfig
+from repro.leishen.registry import ALL_PATTERN_KEYS, PatternSettings
+from repro.workload.attacks import ADVERSARIAL_CLUSTERS, WildAttackInjector
+from repro.workload.mutate import BASELINE, MUTATIONS, mutation_by_key
+from repro.workload.profiles import WildMarket
+from repro.world import DeFiWorld
+
+
+def fresh_injector(seed="adv-test"):
+    rng = random.Random(seed)
+    world = DeFiWorld()
+    market = WildMarket(world, rng)
+    return world, WildAttackInjector(market, rng, scale=1.0)
+
+
+def execute(world_injector, cluster, asset_id=0, mutation=None, subsidize=False):
+    _, injector = world_injector
+    return injector.execute(
+        cluster, 0, 0, asset_id, None, mutation=mutation, subsidize=subsidize
+    )
+
+
+def trace_bytes(trace) -> str:
+    """A content fingerprint of everything LeiShen observes."""
+    return repr((trace.transfers, trace.calls, trace.logs))
+
+
+class TestAdversarialFamilies:
+    def test_three_families_with_distinct_patterns(self):
+        families = [c.family for c in ADVERSARIAL_CLUSTERS]
+        assert families == ["SANDWICH", "MINT", "DONATION"]
+        for cluster in ADVERSARIAL_CLUSTERS:
+            assert cluster.truth_patterns == (cluster.family,)
+
+    @pytest.mark.parametrize("cluster", ADVERSARIAL_CLUSTERS,
+                             ids=lambda c: c.family)
+    def test_family_fires_exactly_its_own_pattern(self, cluster):
+        wi = fresh_injector()
+        labeled = execute(wi, cluster)
+        world, _ = wi
+        detector = LeiShen(
+            world.chain,
+            LeiShenConfig(patterns=PatternSettings(enabled=ALL_PATTERN_KEYS)),
+        )
+        report = detector.analyze(labeled.trace)
+        assert report is not None
+        assert report.patterns == {cluster.family}
+        assert labeled.truth.family == cluster.family
+        assert labeled.truth.is_attack
+
+    @pytest.mark.parametrize("cluster", ADVERSARIAL_CLUSTERS,
+                             ids=lambda c: c.family)
+    def test_paper_default_registry_is_blind_to_them(self, cluster):
+        """The point of the plugins: the paper's KRP/SBS/MBS selection
+        does not see the new families."""
+        wi = fresh_injector()
+        labeled = execute(wi, cluster)
+        world, _ = wi
+        report = LeiShen(world.chain).analyze(labeled.trace)
+        assert report is None or not report.patterns
+
+
+class TestMutationEngine:
+    def test_baseline_mutation_reproduces_unmutated_bytes(self):
+        clean = execute(fresh_injector(), ADVERSARIAL_CLUSTERS[0])
+        base = execute(
+            fresh_injector(), ADVERSARIAL_CLUSTERS[0], mutation=BASELINE
+        )
+        assert trace_bytes(clean.trace) == trace_bytes(base.trace)
+
+    def test_mutated_runs_are_deterministic(self):
+        mutation = mutation_by_key("drop_rounds")
+        a = execute(fresh_injector(), ADVERSARIAL_CLUSTERS[1],
+                    mutation=mutation, subsidize=True)
+        b = execute(fresh_injector(), ADVERSARIAL_CLUSTERS[1],
+                    mutation=mutation, subsidize=True)
+        assert trace_bytes(a.trace) == trace_bytes(b.trace)
+
+    def test_mutation_keys_unique_and_baseline_first(self):
+        keys = [m.key for m in MUTATIONS]
+        assert keys[0] == "baseline"
+        assert len(keys) == len(set(keys))
+
+    def test_every_paper_pattern_has_a_documented_evasion(self):
+        evaded = set()
+        for mutation in MUTATIONS:
+            evaded.update(mutation.expect_evades)
+        assert {"KRP", "SBS", "MBS"} <= evaded
+
+    def test_unknown_mutation_key_is_loud(self):
+        with pytest.raises(KeyError):
+            mutation_by_key("nope")

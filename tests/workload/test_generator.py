@@ -97,3 +97,21 @@ class TestConfigValidation:
     def test_default_and_explicit_values_accepted(self):
         WildScanConfig(scale=0.005, seed=7)  # shards=None: automatic
         WildScanConfig(scale=0.005, seed=7, jobs=1, shards=1)
+
+
+class TestEmptyResultGuards:
+    """Division guards: empty scans report 0.0, never ZeroDivisionError."""
+
+    def test_pattern_row_with_no_matches(self):
+        from repro.workload.generator import PatternRow
+
+        row = PatternRow(pattern="KRP")
+        assert row.precision == 0.0
+
+    def test_result_with_no_detections(self):
+        from repro.workload.generator import WildScanResult
+
+        result = WildScanResult(config=WildScanConfig(scale=0.005, seed=7))
+        assert result.detected_count == 0
+        assert result.true_positives == 0
+        assert result.precision == 0.0

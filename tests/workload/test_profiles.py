@@ -36,7 +36,7 @@ def test_migration_is_an_sbs_false_positive(market):
     labeled = profile_migration(wild)
     report = detector.analyze(labeled.trace)
     assert report is not None and report.is_attack
-    assert {p.name for p in report.patterns} == {"SBS"}
+    assert report.patterns == {"SBS"}
     assert not labeled.truth.is_attack  # ground truth: operator migration
 
 
@@ -45,7 +45,7 @@ def test_yield_strategy_is_an_mbs_false_positive(market):
     labeled = profile_yield_strategy(wild, aggregator_initiated=True)
     report = detector.analyze(labeled.trace)
     assert report is not None and report.is_attack
-    assert "MBS" in {p.name for p in report.patterns}
+    assert "MBS" in report.patterns
     assert labeled.truth.aggregator_initiated
 
 
